@@ -1,0 +1,89 @@
+//! Microbenchmarks of the B+ tree substrate: inserts, point lookups, and
+//! range scans across tree sizes and fanouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlmini::btree::BTree;
+use std::hint::black_box;
+use std::ops::Bound;
+
+fn build(n: u64, fanout: usize) -> BTree<u64, u64> {
+    let mut t = BTree::new(fanout);
+    // Pseudo-random insertion order.
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t.insert(x % (n * 4), x);
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree/insert");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for n in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| build(black_box(n), 64));
+        });
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree/get");
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for n in [10_000u64, 100_000] {
+        let t = build(n, 64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut k = 1u64;
+            b.iter(|| {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(t.get(&(k % (n * 4))))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree/range_scan_1k");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for fanout in [16usize, 64, 256] {
+        let t = build(100_000, fanout);
+        g.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
+            b.iter(|| {
+                let lo = 50_000u64;
+                let count = t
+                    .range(Bound::Included(&lo), Bound::Excluded(&(lo + 4_000)))
+                    .count();
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree/delete");
+    g.sample_size(10);
+    g.bench_function("delete_10k", |b| {
+        b.iter_batched(
+            || build(10_000, 64),
+            |mut t| {
+                let keys: Vec<u64> = t.iter().map(|(k, _)| *k).take(5_000).collect();
+                for k in keys {
+                    t.remove(&k);
+                }
+                black_box(t.len())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_get, bench_range, bench_delete);
+criterion_main!(benches);

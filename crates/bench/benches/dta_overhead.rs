@@ -1,0 +1,75 @@
+//! DTA-session overhead benchmarks (§5.3.1): session wall time and
+//! optimizer-call consumption as a function of the top-K budget and of
+//! the optimizer-call budget (the abort-on-budget behaviour), the
+//! production concern that forced the DTA rearchitecture.
+
+use autoindex::dta::{tune, DtaConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlmini::clock::Duration;
+use sqlmini::engine::{Database, ServiceTier};
+use std::hint::black_box;
+use workload::{generate_tenant, TenantConfig};
+
+fn tenant_db(seed: u64) -> Database {
+    let mut cfg = TenantConfig::new("dta-bench", seed, ServiceTier::Standard);
+    cfg.schema.min_tables = 3;
+    cfg.schema.max_tables = 3;
+    cfg.schema.min_rows = 3_000;
+    cfg.schema.max_rows = 8_000;
+    cfg.workload.base_rate_per_hour = 300.0;
+    let mut t = generate_tenant(&cfg);
+    t.runner.run(&mut t.db, &t.model, Duration::from_hours(12));
+    t.db
+}
+
+fn bench_session_vs_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dta/session_by_top_k");
+    g.sample_size(10);
+    for k in [5usize, 15, 40] {
+        let db = tenant_db(3);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || db.clone(),
+                |mut db| {
+                    let cfg = DtaConfig {
+                        top_k: k,
+                        window: Duration::from_hours(12),
+                        optimizer_call_budget: 200_000,
+                        ..DtaConfig::default()
+                    };
+                    let r = tune(&mut db, &cfg);
+                    black_box((r.recommendations.len(), r.optimizer_calls))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_session_vs_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dta/session_by_call_budget");
+    g.sample_size(10);
+    for budget in [100u64, 1_000, 100_000] {
+        let db = tenant_db(4);
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            b.iter_batched(
+                || db.clone(),
+                |mut db| {
+                    let cfg = DtaConfig {
+                        optimizer_call_budget: budget,
+                        window: Duration::from_hours(12),
+                        ..DtaConfig::default()
+                    };
+                    let r = tune(&mut db, &cfg);
+                    black_box((r.aborted, r.optimizer_calls))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_session_vs_topk, bench_session_vs_budget);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Recommender-pipeline benchmarks: MI snapshot + recommend cost (the
+//! "cheap enough for Basic tier" claim of §5.1.1), merging scalability,
+//! and the slope test.
+
+use autoindex::classifier::ImpactClassifier;
+use autoindex::merging::merge_candidates;
+use autoindex::mi::{recommend, MiConfig, MiSnapshotStore};
+use autoindex::stats::slope_above_threshold;
+use autoindex::IndexCandidate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::query::{CmpOp, Predicate, QueryTemplate, SelectQuery, Statement};
+use sqlmini::schema::{ColumnDef, ColumnId, TableDef, TableId};
+use sqlmini::types::{Value, ValueType};
+use std::hint::black_box;
+
+fn db_with_mi_history(n_candidates: u32) -> (Database, MiSnapshotStore) {
+    let mut db = Database::new("mi", DbConfig::default(), SimClock::new());
+    let t = db
+        .create_table(TableDef::new(
+            "t",
+            (0..(n_candidates + 2))
+                .map(|i| ColumnDef::new(format!("c{i}"), ValueType::Int))
+                .collect(),
+        ))
+        .unwrap();
+    db.load_rows(
+        t,
+        (0..10_000i64).map(|i| {
+            (0..(n_candidates + 2))
+                .map(|c| Value::Int(i % (10 + c as i64 * 7)))
+                .collect()
+        }),
+    );
+    db.rebuild_stats(t);
+    // One query shape per candidate column.
+    let tpls: Vec<QueryTemplate> = (1..=n_candidates)
+        .map(|col| {
+            let mut q = SelectQuery::new(t);
+            q.predicates = vec![Predicate::param(ColumnId(col), CmpOp::Eq, 0)];
+            q.projection = vec![ColumnId(0)];
+            QueryTemplate::new(Statement::Select(q), 1)
+        })
+        .collect();
+    let mut store = MiSnapshotStore::new();
+    for h in 0..6 {
+        for tpl in &tpls {
+            for i in 0..5 {
+                db.execute(tpl, &[Value::Int((h * 5 + i) as i64)]).unwrap();
+            }
+        }
+        db.clock().advance(Duration::from_hours(1));
+        store.take_snapshot(&db);
+    }
+    (db, store)
+}
+
+fn bench_mi_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mi/recommend");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for n in [5u32, 20, 50] {
+        let (db, store) = db_with_mi_history(n);
+        let clf = ImpactClassifier::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(recommend(&db, &store, &MiConfig::default(), &clf).recommendations.len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let (db, _) = db_with_mi_history(50);
+    c.bench_function("mi/take_snapshot_50_candidates", |b| {
+        b.iter_batched(
+            MiSnapshotStore::new,
+            |mut s| {
+                s.take_snapshot(&db);
+                black_box(s.tracked())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_merging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merging/candidates");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for n in [10usize, 50, 150] {
+        let cands: Vec<IndexCandidate> = (0..n)
+            .map(|i| IndexCandidate {
+                table: TableId((i % 5) as u32),
+                key_columns: (0..=(i % 3) as u32).map(ColumnId).collect(),
+                included_columns: vec![ColumnId(10 + (i % 4) as u32)],
+                benefit: 100.0 + i as f64,
+                avg_impact_pct: 50.0,
+                demand: 10,
+                impacted_queries: vec![],
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(merge_candidates(cands.clone()).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_slope_test(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = (0..48).map(|i| (i as f64, 120.0 * i as f64 + 7.0)).collect();
+    c.bench_function("stats/slope_test_48_points", |b| {
+        b.iter(|| black_box(slope_above_threshold(&pts, 10.0)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mi_pipeline,
+    bench_snapshot,
+    bench_merging,
+    bench_slope_test
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B-instance replay benchmarks (§7.1): trace recording overhead and
+//! replay throughput at different fidelity settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiment::create_b_instance;
+use sqlmini::clock::Duration;
+use sqlmini::engine::ServiceTier;
+use std::hint::black_box;
+use workload::{generate_tenant, replay, ReplayFidelity, TenantConfig};
+
+fn traced_tenant() -> (workload::Tenant, workload::Trace) {
+    let mut cfg = TenantConfig::new("replay-bench", 5, ServiceTier::Standard);
+    cfg.schema.min_tables = 2;
+    cfg.schema.max_tables = 2;
+    cfg.schema.min_rows = 2_000;
+    cfg.schema.max_rows = 4_000;
+    cfg.workload.base_rate_per_hour = 400.0;
+    let mut t = generate_tenant(&cfg);
+    let (_, trace) = t
+        .runner
+        .run_traced(&mut t.db, &t.model, Duration::from_hours(4));
+    (t, trace)
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let (t, trace) = traced_tenant();
+    let mut g = c.benchmark_group("replay/fidelity");
+    g.sample_size(10);
+    for drop_prob in [0.0f64, 0.05, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("drop{drop_prob}")),
+            &drop_prob,
+            |b, &p| {
+                b.iter_batched(
+                    || create_b_instance(&t.db, 1).db,
+                    |mut bdb| {
+                        let s = replay(
+                            &mut bdb,
+                            &t.model,
+                            &trace,
+                            ReplayFidelity {
+                                drop_prob: p,
+                                reorder_window: 4,
+                                seed: 9,
+                            },
+                        );
+                        black_box(s.replayed)
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let (t, _) = traced_tenant();
+    let mut g = c.benchmark_group("binstance");
+    g.sample_size(20);
+    g.bench_function("fork_snapshot", |b| {
+        b.iter(|| black_box(create_b_instance(&t.db, 2).db.storage_bytes()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_fork);
+criterion_main!(benches);

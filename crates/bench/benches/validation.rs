@@ -1,0 +1,99 @@
+//! Validator benchmarks: cost of one validation pass over Query Store
+//! history (runs continuously across the fleet, so it must be cheap) and
+//! of the underlying Welch machinery.
+
+use autoindex::stats::{welch_t_test, Sample};
+use autoindex::validator::{validate, ChangeKind, ValidatorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::query::{CmpOp, Predicate, QueryTemplate, SelectQuery, Statement};
+use sqlmini::schema::{ColumnDef, ColumnId, IndexDef, TableDef};
+use sqlmini::types::{Value, ValueType};
+use std::hint::black_box;
+
+fn validated_db() -> (Database, (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp), (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp)) {
+    let mut db = Database::new("val", DbConfig::default(), SimClock::new());
+    let t = db
+        .create_table(TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("g", ValueType::Int),
+                ColumnDef::new("v", ValueType::Float),
+            ],
+        ))
+        .unwrap();
+    db.load_rows(
+        t,
+        (0..10_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 100), Value::Float(i as f64)]),
+    );
+    db.rebuild_stats(t);
+    // 20 query shapes to give the validator a realistic Query Store.
+    let tpls: Vec<QueryTemplate> = (0..20)
+        .map(|k| {
+            let mut q = SelectQuery::new(t);
+            q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+            q.projection = vec![ColumnId(0), ColumnId(2)];
+            q.limit = Some(10 + k);
+            QueryTemplate::new(Statement::Select(q), 1)
+        })
+        .collect();
+    let run = |db: &mut Database, n: usize| {
+        let start = db.clock().now();
+        for i in 0..n {
+            for tpl in &tpls {
+                db.execute(tpl, &[Value::Int((i % 100) as i64)]).unwrap();
+            }
+            db.clock().advance(Duration::from_mins(10));
+        }
+        (start, db.clock().now())
+    };
+    let before = run(&mut db, 30);
+    db.create_index(IndexDef::new("ix", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(2)]))
+        .unwrap();
+    let after = run(&mut db, 30);
+    (db, before, after)
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let (db, before, after) = validated_db();
+    let mut g = c.benchmark_group("validator");
+    g.sample_size(20);
+    g.bench_function("full_pass_20_queries", |b| {
+        b.iter(|| {
+            black_box(
+                validate(
+                    &db,
+                    "ix",
+                    ChangeKind::Created,
+                    before,
+                    after,
+                    &ValidatorConfig::default(),
+                )
+                .statements
+                .len(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_welch(c: &mut Criterion) {
+    let a = Sample {
+        mean: 104.2,
+        variance: 11.0,
+        count: 500,
+    };
+    let b_s = Sample {
+        mean: 98.7,
+        variance: 14.5,
+        count: 430,
+    };
+    c.bench_function("stats/welch_t_test", |bch| {
+        bch.iter(|| black_box(welch_t_test(&a, &b_s)));
+    });
+}
+
+criterion_group!(benches, bench_validate, bench_welch);
+criterion_main!(benches);

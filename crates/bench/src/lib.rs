@@ -1,0 +1,146 @@
+//! Shared helpers for the benchmark / figure-regeneration harnesses.
+
+use sqlmini::engine::ServiceTier;
+use std::collections::BTreeMap;
+use workload::TenantConfig;
+
+/// Minimal `--key value` argument parsing (no external CLI crates).
+pub struct Args {
+    map: BTreeMap<String, String>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
+        let mut map = BTreeMap::new();
+        let argv: Vec<String> = iter.into_iter().collect();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(key) = argv[i].strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    map.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    map.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { map }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn get_str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+/// Tenant presets sized for harness runs (smaller/faster than the library
+/// defaults but preserving tier relationships).
+pub fn harness_tenant(name: String, seed: u64, tier: ServiceTier) -> TenantConfig {
+    let mut cfg = TenantConfig::new(name, seed, tier);
+    match tier {
+        ServiceTier::Basic => {
+            cfg.schema.min_rows = 1_000;
+            cfg.schema.max_rows = 4_000;
+            cfg.workload.base_rate_per_hour = 50.0;
+            cfg.workload.write_fraction = 0.12;
+        }
+        ServiceTier::Standard => {
+            cfg.db.cpu_noise_sigma = 0.25;
+            cfg.schema.min_tables = 2;
+            cfg.schema.max_tables = 4;
+            cfg.schema.min_rows = 2_000;
+            cfg.schema.max_rows = 10_000;
+            cfg.workload.base_rate_per_hour = 150.0;
+            cfg.workload.write_fraction = 0.12;
+        }
+        ServiceTier::Premium => {
+            cfg.db.cpu_noise_sigma = 0.20;
+            cfg.schema.min_tables = 3;
+            cfg.schema.max_tables = 5;
+            cfg.schema.min_rows = 5_000;
+            cfg.schema.max_rows = 15_000;
+            cfg.workload.base_rate_per_hour = 250.0;
+            cfg.workload.reads_per_table = 6;
+            cfg.workload.write_fraction = 0.12;
+        }
+    }
+    cfg
+}
+
+/// Render a labelled percentage bar (terminal pie-chart stand-in).
+pub fn render_share(label: &str, pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round() as usize;
+    let bar: String = "#".repeat(filled.min(width));
+    format!("{label:>12} {pct:5.1}%  {bar}")
+}
+
+/// Format bytes human-readably.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_iter(
+            ["--tier", "premium", "--databases", "30", "--verbose"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.get_str("tier", "standard"), "premium");
+        assert_eq!(a.get_u64("databases", 10), 30);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get_u64("missing", 7), 7);
+    }
+
+    #[test]
+    fn share_bar_renders() {
+        let s = render_share("DTA", 50.0, 20);
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("##########"));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+    }
+}

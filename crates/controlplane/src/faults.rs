@@ -1,0 +1,171 @@
+//! Fault injection.
+//!
+//! At Azure scale everything fails: index builds, validation reads, state
+//! writes, whole micro-services (§1.2, §8.3). The control plane's retry
+//! and recovery machinery is only trustworthy if it is exercised, so
+//! every fallible control-plane action asks the [`FaultInjector`] first.
+//!
+//! Faults can be injected stochastically (seeded probabilities per fault
+//! point) or deterministically scripted ("fail the next N attempts at
+//! this point") for tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Places where a fault can strike.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum FaultPoint {
+    /// Index build fails mid-way (resource pressure, node restart).
+    IndexBuild,
+    /// Index drop fails (lock timeout is modeled separately).
+    IndexDrop,
+    /// Validation could not read execution statistics.
+    ValidationRead,
+    /// DTA session killed (server restarts, interference abort).
+    DtaSession,
+    /// Control-plane state write failed.
+    StateWrite,
+}
+
+/// Kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// Retryable (the paper's Retry state).
+    Transient,
+    /// Irrecoverable (the paper's Error state).
+    Fatal,
+}
+
+/// The injector.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    /// Probability of a transient fault per point.
+    transient_prob: BTreeMap<FaultPoint, f64>,
+    /// Probability of a fatal fault per point.
+    fatal_prob: BTreeMap<FaultPoint, f64>,
+    /// Scripted faults: (remaining count, kind) consumed before any
+    /// stochastic draw.
+    scripted: BTreeMap<FaultPoint, (u32, FaultKind)>,
+    /// Total faults injected (diagnostics).
+    pub injected: u64,
+}
+
+impl FaultInjector {
+    /// No faults at all.
+    pub fn disabled() -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(0),
+            transient_prob: BTreeMap::new(),
+            fatal_prob: BTreeMap::new(),
+            scripted: BTreeMap::new(),
+            injected: 0,
+        }
+    }
+
+    /// Stochastic faults with one probability for all points.
+    pub fn uniform(seed: u64, transient_prob: f64, fatal_prob: f64) -> FaultInjector {
+        let mut f = FaultInjector::disabled();
+        f.rng = StdRng::seed_from_u64(seed);
+        for p in [
+            FaultPoint::IndexBuild,
+            FaultPoint::IndexDrop,
+            FaultPoint::ValidationRead,
+            FaultPoint::DtaSession,
+            FaultPoint::StateWrite,
+        ] {
+            f.transient_prob.insert(p, transient_prob);
+            f.fatal_prob.insert(p, fatal_prob);
+        }
+        f
+    }
+
+    /// Set probabilities for one point.
+    pub fn set_probability(&mut self, point: FaultPoint, transient: f64, fatal: f64) {
+        self.transient_prob.insert(point, transient);
+        self.fatal_prob.insert(point, fatal);
+    }
+
+    /// Script the next `n` calls at `point` to fail with `kind`.
+    pub fn script(&mut self, point: FaultPoint, n: u32, kind: FaultKind) {
+        self.scripted.insert(point, (n, kind));
+    }
+
+    /// Ask whether the current action fails. Consumes scripted faults
+    /// first, then draws stochastically.
+    pub fn check(&mut self, point: FaultPoint) -> Option<FaultKind> {
+        if let Some((n, kind)) = self.scripted.get_mut(&point) {
+            if *n > 0 {
+                *n -= 1;
+                self.injected += 1;
+                return Some(*kind);
+            }
+        }
+        let fatal = self.fatal_prob.get(&point).copied().unwrap_or(0.0);
+        if fatal > 0.0 && self.rng.random::<f64>() < fatal {
+            self.injected += 1;
+            return Some(FaultKind::Fatal);
+        }
+        let transient = self.transient_prob.get(&point).copied().unwrap_or(0.0);
+        if transient > 0.0 && self.rng.random::<f64>() < transient {
+            self.injected += 1;
+            return Some(FaultKind::Transient);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fails() {
+        let mut f = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert_eq!(f.check(FaultPoint::IndexBuild), None);
+        }
+    }
+
+    #[test]
+    fn scripted_faults_consumed_in_order() {
+        let mut f = FaultInjector::disabled();
+        f.script(FaultPoint::IndexBuild, 2, FaultKind::Transient);
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Transient));
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Transient));
+        assert_eq!(f.check(FaultPoint::IndexBuild), None);
+        // Other points untouched.
+        assert_eq!(f.check(FaultPoint::IndexDrop), None);
+    }
+
+    #[test]
+    fn stochastic_rates_approximate_config() {
+        let mut f = FaultInjector::uniform(7, 0.2, 0.0);
+        let mut hits = 0;
+        for _ in 0..5000 {
+            if f.check(FaultPoint::ValidationRead).is_some() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 5000.0;
+        assert!((rate - 0.2).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn fatal_beats_transient() {
+        let mut f = FaultInjector::uniform(1, 0.0, 1.0);
+        assert_eq!(f.check(FaultPoint::DtaSession), Some(FaultKind::Fatal));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FaultInjector::uniform(42, 0.3, 0.01);
+        let mut b = FaultInjector::uniform(42, 0.3, 0.01);
+        for _ in 0..200 {
+            assert_eq!(a.check(FaultPoint::StateWrite), b.check(FaultPoint::StateWrite));
+        }
+    }
+}

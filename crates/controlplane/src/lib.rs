@@ -1,0 +1,27 @@
+//! `controlplane` — the fault-tolerant orchestration backbone (§4).
+//!
+//! A per-region control plane drives the auto-indexing lifecycle of every
+//! managed database: it invokes the recommenders, implements
+//! recommendations when the user's settings permit, validates them with
+//! the statistical validator, auto-reverts regressions, retries transient
+//! failures, expires stale recommendations, and raises incidents for
+//! conditions needing a human. State lives in a journaled store that
+//! survives crashes; health flows through anonymized telemetry.
+
+pub mod api;
+pub mod faults;
+pub mod lock_protocol;
+pub mod plane;
+pub mod region;
+pub mod scheduler;
+pub mod state;
+pub mod store;
+pub mod telemetry;
+
+pub use api::ManagementApi;
+pub use faults::{FaultInjector, FaultKind, FaultPoint};
+pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy};
+pub use region::{GlobalDashboard, Region};
+pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};
+pub use store::StateStore;
+pub use telemetry::{EventKind, Telemetry};

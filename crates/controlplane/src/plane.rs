@@ -1,0 +1,956 @@
+//! The control plane proper: the micro-services of §4, driving each
+//! managed database's auto-indexing lifecycle.
+//!
+//! The four micro-services the paper enumerates are the four phases of
+//! [`ControlPlane::tick`]:
+//!
+//! 1. **Analysis** — invoke the recommender (MI or DTA per the tier
+//!    policy) plus the drop analyzer, and register new recommendations;
+//! 2. **Implementation** — apply Active recommendations when the user's
+//!    settings allow, preferring low-activity windows, with fault-aware
+//!    retry;
+//! 3. **Validation** — once enough post-change statistics accumulated,
+//!    run the statistical validator and either confirm (Success) or
+//!    auto-revert (Reverting → Reverted); validation outcomes also train
+//!    the MI classifier online;
+//! 4. **Health** — detect stuck recommendations and raise incidents,
+//!    taking automated corrective action where safe.
+
+use crate::faults::{FaultInjector, FaultKind, FaultPoint};
+use crate::scheduler::{is_low_activity, SchedulerConfig};
+use crate::state::{
+    effective, DbSettings, RecoId, RecoState, RecoSubState, RetryPhase, ServerSettings,
+};
+use crate::store::StateStore;
+use crate::telemetry::{EventKind, Telemetry};
+use autoindex::classifier::TrainingExample;
+use autoindex::dta::{tune, DtaConfig};
+use autoindex::drops::{recommend_drops, DropConfig};
+use autoindex::mi::{recommend as mi_recommend, MiConfig, MiSnapshotStore};
+use autoindex::validator::{validate, ChangeKind, ValidatorConfig, Verdict};
+use autoindex::{CandidateFeatures, ImpactClassifier, RecoAction, RecoSource, Recommendation};
+use sqlmini::clock::{Duration, Timestamp};
+use sqlmini::engine::{Database, ServiceTier};
+
+/// Which recommender the per-region policy assigns (§5.1.1: "a
+/// pre-configured policy in the control plane determines which
+/// recommender to invoke").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RecommenderPolicy {
+    MiOnly,
+    DtaOnly,
+    /// Basic/Standard → MI (low overhead); Premium → DTA (comprehensive).
+    ByTier,
+}
+
+/// Control-plane policy knobs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PlanePolicy {
+    pub recommender: RecommenderPolicy,
+    /// How often to run full analysis per database.
+    pub analysis_interval: Duration,
+    /// Active recommendations expire after this age.
+    pub reco_expiry: Duration,
+    /// Minimum post-implementation observation before validating.
+    pub validation_min_wait: Duration,
+    /// Give up waiting for validation data after this long (→ Success
+    /// with a no-data note).
+    pub validation_max_wait: Duration,
+    /// Length of the pre-change comparison window.
+    pub validation_before_window: Duration,
+    pub max_retry_attempts: u32,
+    /// Defer index builds to low-activity windows.
+    pub schedule_builds: bool,
+    /// Only run DTA sessions in low-activity windows (§5.3.1: DTA runs
+    /// co-located with the primary and must not interfere with the
+    /// customer's workload).
+    pub dta_low_activity_only: bool,
+    /// Non-terminal recommendations older than this raise incidents.
+    pub stuck_horizon: Duration,
+    pub mi: MiConfig,
+    pub dta: DtaConfig,
+    pub validator: ValidatorConfig,
+    pub drops: DropConfig,
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for PlanePolicy {
+    fn default() -> PlanePolicy {
+        PlanePolicy {
+            recommender: RecommenderPolicy::ByTier,
+            analysis_interval: Duration::from_hours(6),
+            reco_expiry: Duration::from_days(7),
+            validation_min_wait: Duration::from_hours(3),
+            validation_max_wait: Duration::from_days(2),
+            validation_before_window: Duration::from_hours(12),
+            max_retry_attempts: 3,
+            schedule_builds: false,
+            dta_low_activity_only: false,
+            stuck_horizon: Duration::from_days(3),
+            mi: MiConfig::default(),
+            dta: DtaConfig::default(),
+            validator: ValidatorConfig::default(),
+            drops: DropConfig::default(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// One database under management.
+#[derive(Debug)]
+pub struct ManagedDb {
+    pub db: Database,
+    pub settings: DbSettings,
+    pub server: ServerSettings,
+    pub mi_store: MiSnapshotStore,
+    /// When usage observation began (for the drop analyzer's window).
+    pub observed_since: Timestamp,
+    pub last_analysis: Option<Timestamp>,
+}
+
+impl ManagedDb {
+    pub fn new(db: Database, settings: DbSettings, server: ServerSettings) -> ManagedDb {
+        let observed_since = db.clock().now();
+        ManagedDb {
+            db,
+            settings,
+            server,
+            mi_store: MiSnapshotStore::new(),
+            observed_since,
+            last_analysis: None,
+        }
+    }
+}
+
+/// The per-region control plane.
+#[derive(Debug)]
+pub struct ControlPlane {
+    pub store: StateStore,
+    pub telemetry: Telemetry,
+    pub faults: FaultInjector,
+    pub policy: PlanePolicy,
+    /// The MI low-impact classifier, trained online from validation
+    /// outcomes across all managed databases (§5.2).
+    pub classifier: ImpactClassifier,
+}
+
+impl ControlPlane {
+    pub fn new(policy: PlanePolicy) -> ControlPlane {
+        ControlPlane {
+            store: StateStore::new(),
+            telemetry: Telemetry::new(),
+            faults: FaultInjector::disabled(),
+            policy,
+            classifier: ImpactClassifier::default(),
+        }
+    }
+
+    pub fn with_faults(mut self, faults: FaultInjector) -> ControlPlane {
+        self.faults = faults;
+        self
+    }
+
+    /// One orchestration pass over one database. Call it periodically
+    /// (e.g. hourly) as simulated time advances.
+    pub fn tick(&mut self, mdb: &mut ManagedDb) {
+        // MI snapshots are cheap and reset-sensitive: take one per tick.
+        mdb.mi_store.take_snapshot(&mdb.db);
+        self.maybe_analyze(mdb);
+        self.drive_retries(mdb);
+        self.implement_due(mdb);
+        self.validate_due(mdb);
+        self.expire_stale(mdb);
+        self.health_check(mdb);
+    }
+
+    fn effective_settings(&self, mdb: &ManagedDb) -> (bool, bool) {
+        effective(mdb.settings, mdb.server)
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis micro-service
+    // ------------------------------------------------------------------
+
+    fn maybe_analyze(&mut self, mdb: &mut ManagedDb) {
+        let now = mdb.db.clock().now();
+        if let Some(last) = mdb.last_analysis {
+            if now.since(last) < self.policy.analysis_interval {
+                return;
+            }
+        }
+        mdb.last_analysis = Some(now);
+        self.telemetry
+            .emit(EventKind::AnalysisStarted, &mdb.db.name, "", now);
+
+        let use_dta = match self.policy.recommender {
+            RecommenderPolicy::MiOnly => false,
+            RecommenderPolicy::DtaOnly => true,
+            RecommenderPolicy::ByTier => mdb.db.config.tier == ServiceTier::Premium,
+        };
+        // Interference avoidance: a DTA session competes with the
+        // customer's workload for the primary's resources, so it can be
+        // restricted to low-activity windows. MI analysis is DMV-snapshot
+        // arithmetic and is always safe.
+        let use_dta = use_dta
+            && (!self.policy.dta_low_activity_only
+                || is_low_activity(&mdb.db, &self.policy.scheduler, now));
+
+        let mut new_recos: Vec<Recommendation> = Vec::new();
+        if use_dta {
+            if let Some(kind) = self.faults.check(FaultPoint::DtaSession) {
+                self.telemetry.emit(
+                    EventKind::DtaSessionAborted,
+                    &mdb.db.name,
+                    format!("{kind:?}"),
+                    now,
+                );
+            } else {
+                let report = tune(&mut mdb.db, &self.policy.dta);
+                if report.aborted {
+                    self.telemetry
+                        .emit(EventKind::DtaSessionAborted, &mdb.db.name, "budget", now);
+                }
+                new_recos.extend(report.recommendations);
+            }
+        } else {
+            let analysis = mi_recommend(&mdb.db, &mdb.mi_store, &self.policy.mi, &self.classifier);
+            new_recos.extend(analysis.recommendations);
+        }
+
+        // Drop analysis runs for everyone.
+        for p in recommend_drops(&mdb.db, &self.policy.drops, mdb.observed_since) {
+            new_recos.push(p.recommendation);
+        }
+
+        for reco in new_recos {
+            if self.is_duplicate_reco(&mdb.db.name, &reco) {
+                continue;
+            }
+            self.store.insert(&mdb.db.name, reco, now);
+            self.telemetry
+                .emit(EventKind::RecommendationCreated, &mdb.db.name, "", now);
+        }
+        self.telemetry
+            .emit(EventKind::AnalysisCompleted, &mdb.db.name, "", now);
+    }
+
+    /// A recommendation duplicates an open or recently-succeeded one when
+    /// it proposes the same action on the same object.
+    fn is_duplicate_reco(&self, db_name: &str, reco: &Recommendation) -> bool {
+        self.store.for_database(db_name).any(|r| {
+            let same_action = match (&r.recommendation.action, &reco.action) {
+                (RecoAction::CreateIndex { def: a }, RecoAction::CreateIndex { def: b }) => {
+                    a.table == b.table && a.key_columns == b.key_columns
+                }
+                (RecoAction::DropIndex { index: a, .. }, RecoAction::DropIndex { index: b, .. }) => {
+                    a == b
+                }
+                _ => false,
+            };
+            same_action
+                && (!r.state.is_terminal()
+                    || matches!(r.state, RecoState::Success | RecoState::Reverted))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Implementation micro-service
+    // ------------------------------------------------------------------
+
+    /// User-initiated application of one recommendation (the portal's
+    /// "apply" button) — bypasses the auto-implement setting but is still
+    /// validated by the system (§2).
+    pub fn apply_manually(&mut self, mdb: &mut ManagedDb, id: RecoId) -> bool {
+        let Some(r) = self.store.get(id) else {
+            return false;
+        };
+        if r.state != RecoState::Active || r.database != mdb.db.name {
+            return false;
+        }
+        self.implement_one(mdb, id)
+    }
+
+    fn implement_due(&mut self, mdb: &mut ManagedDb) {
+        let now = mdb.db.clock().now();
+        let (auto_create, auto_drop) = self.effective_settings(mdb);
+        if self.policy.schedule_builds
+            && !is_low_activity(&mdb.db, &self.policy.scheduler, now)
+        {
+            return;
+        }
+        let due: Vec<RecoId> = self
+            .store
+            .for_database(&mdb.db.name)
+            .filter(|r| r.state == RecoState::Active)
+            .filter(|r| match &r.recommendation.action {
+                RecoAction::CreateIndex { .. } => auto_create,
+                RecoAction::DropIndex { .. } => auto_drop,
+            })
+            .map(|r| r.id)
+            .collect();
+        for id in due {
+            self.implement_one(mdb, id);
+        }
+    }
+
+    fn implement_one(&mut self, mdb: &mut ManagedDb, id: RecoId) -> bool {
+        let now = mdb.db.clock().now();
+        let action = match self.store.get(id) {
+            Some(r) => r.recommendation.action.clone(),
+            None => return false,
+        };
+        self.store.update(id, |r| {
+            r.transition(RecoState::Implementing, now, "implementation started")
+                .expect("Active/Retry -> Implementing");
+        });
+        self.telemetry
+            .emit(EventKind::ImplementStarted, &mdb.db.name, "", now);
+
+        let fault_point = match &action {
+            RecoAction::CreateIndex { .. } => FaultPoint::IndexBuild,
+            RecoAction::DropIndex { .. } => FaultPoint::IndexDrop,
+        };
+        if let Some(kind) = self.faults.check(fault_point) {
+            return self.handle_fault(mdb, id, RetryPhase::Implement, kind, now);
+        }
+
+        let result: Result<(), String> = match &action {
+            RecoAction::CreateIndex { def } => match mdb.db.create_index(def.clone()) {
+                Ok((ix_id, _report)) => {
+                    self.store.update(id, |r| {
+                        r.implemented_index = Some(ix_id);
+                    });
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            },
+            RecoAction::DropIndex { index, .. } => {
+                match mdb.db.drop_index(*index) {
+                    Ok(def) => {
+                        self.store.update(id, |r| {
+                            r.dropped_def = Some(def);
+                        });
+                        Ok(())
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+        };
+
+        match result {
+            Ok(()) => {
+                self.store.update(id, |r| {
+                    r.implemented_at = Some(now);
+                    r.transition(RecoState::Validating, now, "implemented")
+                        .expect("Implementing -> Validating");
+                });
+                self.telemetry
+                    .emit(EventKind::ImplementSucceeded, &mdb.db.name, "", now);
+                self.telemetry
+                    .emit(EventKind::ValidationStarted, &mdb.db.name, "", now);
+                true
+            }
+            Err(e) => {
+                // Engine-level failures (duplicate name, missing table)
+                // are irrecoverable: the paper's Error terminal state.
+                self.store.update(id, |r| {
+                    r.transition(RecoState::Error, now, e.clone())
+                        .expect("Implementing -> Error");
+                    r.substate = RecoSubState::ErrorDetail(e.clone());
+                });
+                self.telemetry
+                    .emit(EventKind::ImplementFailedFatal, &mdb.db.name, e, now);
+                false
+            }
+        }
+    }
+
+    fn handle_fault(
+        &mut self,
+        mdb: &ManagedDb,
+        id: RecoId,
+        phase: RetryPhase,
+        kind: FaultKind,
+        now: Timestamp,
+    ) -> bool {
+        match kind {
+            FaultKind::Transient => {
+                let attempts = self
+                    .store
+                    .update(id, |r| r.enter_retry(phase, now, "transient fault"))
+                    .and_then(Result::ok)
+                    .unwrap_or(0);
+                self.telemetry.emit(
+                    EventKind::ImplementFailedTransient,
+                    &mdb.db.name,
+                    format!("attempt {attempts}"),
+                    now,
+                );
+                if attempts > self.policy.max_retry_attempts {
+                    self.store.update(id, |r| {
+                        r.transition(RecoState::Error, now, "retry budget exhausted")
+                            .expect("Retry -> Error");
+                    });
+                    self.telemetry
+                        .incident(&mdb.db.name, format!("{id}: retries exhausted"), now);
+                }
+                false
+            }
+            FaultKind::Fatal => {
+                self.store.update(id, |r| {
+                    r.transition(RecoState::Error, now, "fatal fault")
+                        .expect("-> Error");
+                });
+                self.telemetry
+                    .emit(EventKind::ImplementFailedFatal, &mdb.db.name, "fault", now);
+                self.telemetry
+                    .incident(&mdb.db.name, format!("{id}: fatal fault"), now);
+                false
+            }
+        }
+    }
+
+    /// Resume recommendations parked in Retry.
+    fn drive_retries(&mut self, mdb: &mut ManagedDb) {
+        let now = mdb.db.clock().now();
+        let retryable: Vec<(RecoId, RetryPhase)> = self
+            .store
+            .for_database(&mdb.db.name)
+            .filter(|r| r.state == RecoState::Retry)
+            .filter_map(|r| match &r.substate {
+                RecoSubState::RetryOf { phase, .. } => Some((r.id, *phase)),
+                _ => None,
+            })
+            .collect();
+        for (id, phase) in retryable {
+            match phase {
+                RetryPhase::Implement => {
+                    // Re-enter the implementation path.
+                    self.implement_one(mdb, id);
+                }
+                RetryPhase::Validate => {
+                    self.store.update(id, |r| {
+                        r.transition(RecoState::Validating, now, "retrying validation")
+                            .expect("Retry -> Validating");
+                    });
+                }
+                RetryPhase::Revert => {
+                    self.store.update(id, |r| {
+                        r.transition(RecoState::Reverting, now, "retrying revert")
+                            .expect("Retry -> Reverting");
+                    });
+                    self.revert_one(mdb, id);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation micro-service
+    // ------------------------------------------------------------------
+
+    fn validate_due(&mut self, mdb: &mut ManagedDb) {
+        let now = mdb.db.clock().now();
+        let due: Vec<(RecoId, Timestamp)> = self
+            .store
+            .for_database(&mdb.db.name)
+            .filter(|r| r.state == RecoState::Validating)
+            .filter_map(|r| r.implemented_at.map(|t| (r.id, t)))
+            .collect();
+        for (id, implemented_at) in due {
+            let waited = now.since(implemented_at);
+            if waited < self.policy.validation_min_wait {
+                continue;
+            }
+            if let Some(kind) = self.faults.check(FaultPoint::ValidationRead) {
+                match kind {
+                    FaultKind::Transient => {
+                        let attempts = self
+                            .store
+                            .update(id, |r| {
+                                r.enter_retry(RetryPhase::Validate, now, "stats unavailable")
+                            })
+                            .and_then(Result::ok)
+                            .unwrap_or(0);
+                        if attempts > self.policy.max_retry_attempts {
+                            self.store.update(id, |r| {
+                                r.transition(RecoState::Error, now, "validation retries exhausted")
+                                    .expect("Retry -> Error");
+                            });
+                            self.telemetry.incident(
+                                &mdb.db.name,
+                                format!("{id}: validation retries exhausted"),
+                                now,
+                            );
+                        }
+                    }
+                    FaultKind::Fatal => {
+                        self.store.update(id, |r| {
+                            r.transition(RecoState::Error, now, "validation fatal")
+                                .expect("Validating -> Error");
+                        });
+                    }
+                }
+                continue;
+            }
+
+            let (index_name, kind) = match self.store.get(id) {
+                Some(r) => match &r.recommendation.action {
+                    RecoAction::CreateIndex { def } => (def.name.clone(), ChangeKind::Created),
+                    RecoAction::DropIndex { name, .. } => (name.clone(), ChangeKind::Dropped),
+                },
+                None => continue,
+            };
+            let before = (
+                Timestamp(
+                    implemented_at
+                        .millis()
+                        .saturating_sub(self.policy.validation_before_window.millis()),
+                ),
+                implemented_at,
+            );
+            let after = (implemented_at, now);
+            let outcome = validate(&mdb.db, &index_name, kind, before, after, &self.policy.validator);
+
+            match outcome.verdict {
+                Verdict::NoData => {
+                    if waited >= self.policy.validation_max_wait {
+                        self.finish_validation(mdb, id, "no qualifying data", true, now);
+                        self.telemetry
+                            .emit(EventKind::ValidationNoData, &mdb.db.name, "", now);
+                    }
+                    // else: keep waiting.
+                }
+                Verdict::Improved => {
+                    self.train_classifier(mdb, id, true);
+                    self.finish_validation(mdb, id, "improved", true, now);
+                    self.telemetry.emit(
+                        EventKind::ValidationImproved,
+                        &mdb.db.name,
+                        format!("{:.0}%", -outcome.aggregate_cpu_change * 100.0),
+                        now,
+                    );
+                }
+                Verdict::Inconclusive => {
+                    if waited >= self.policy.validation_max_wait {
+                        self.train_classifier(mdb, id, false);
+                        self.finish_validation(mdb, id, "inconclusive", true, now);
+                        self.telemetry
+                            .emit(EventKind::ValidationInconclusive, &mdb.db.name, "", now);
+                    }
+                }
+                Verdict::Regressed => {
+                    self.train_classifier(mdb, id, false);
+                    self.store.update(id, |r| {
+                        r.transition(RecoState::Reverting, now, "regression detected")
+                            .expect("Validating -> Reverting");
+                        r.substate = RecoSubState::ValidationDetail(format!(
+                            "aggregate cpu change {:+.0}%",
+                            outcome.aggregate_cpu_change * 100.0
+                        ));
+                    });
+                    self.telemetry.emit(
+                        EventKind::ValidationRegressed,
+                        &mdb.db.name,
+                        format!("{:+.0}%", outcome.aggregate_cpu_change * 100.0),
+                        now,
+                    );
+                    self.telemetry
+                        .emit(EventKind::RevertStarted, &mdb.db.name, "", now);
+                    self.revert_one(mdb, id);
+                }
+            }
+        }
+    }
+
+    fn finish_validation(
+        &mut self,
+        _mdb: &ManagedDb,
+        id: RecoId,
+        note: &str,
+        _success: bool,
+        now: Timestamp,
+    ) {
+        self.store.update(id, |r| {
+            r.transition(RecoState::Success, now, note)
+                .expect("Validating -> Success");
+        });
+    }
+
+    /// Feed a validation outcome back into the MI classifier (§5.2: "we
+    /// use data from previous index validations ... to train a
+    /// classifier").
+    fn train_classifier(&mut self, mdb: &ManagedDb, id: RecoId, improved: bool) {
+        let Some(r) = self.store.get(id) else { return };
+        if r.recommendation.source != RecoSource::MissingIndex {
+            return;
+        }
+        let RecoAction::CreateIndex { def } = &r.recommendation.action else {
+            return;
+        };
+        let rows = mdb.db.table_rows(def.table) as f64;
+        let ex = TrainingExample {
+            features: CandidateFeatures {
+                est_impact_pct: r.recommendation.estimated_improvement * 100.0,
+                log_table_rows: rows.max(1.0).log10(),
+                log_index_size: (r.recommendation.estimated_size_bytes as f64)
+                    .max(1.0)
+                    .log10(),
+                log_demand: (1.0 + r.recommendation.impacted_queries.len() as f64).log10(),
+                n_key_columns: def.key_columns.len() as f64,
+            },
+            improved,
+        };
+        self.classifier.train_one(&ex, 0.05);
+    }
+
+    // ------------------------------------------------------------------
+    // Revert
+    // ------------------------------------------------------------------
+
+    fn revert_one(&mut self, mdb: &mut ManagedDb, id: RecoId) {
+        let now = mdb.db.clock().now();
+        let Some(r) = self.store.get(id) else { return };
+        let action = r.recommendation.action.clone();
+        let implemented_index = r.implemented_index;
+        let dropped_def = r.dropped_def.clone();
+
+        if let Some(kind) = self.faults.check(FaultPoint::IndexDrop) {
+            match kind {
+                FaultKind::Transient => {
+                    let attempts = self
+                        .store
+                        .update(id, |r| r.enter_retry(RetryPhase::Revert, now, "revert fault"))
+                        .and_then(Result::ok)
+                        .unwrap_or(0);
+                    self.telemetry
+                        .emit(EventKind::RevertFailedTransient, &mdb.db.name, "", now);
+                    if attempts > self.policy.max_retry_attempts {
+                        self.store.update(id, |r| {
+                            r.transition(RecoState::Error, now, "revert retries exhausted")
+                                .expect("Retry -> Error");
+                        });
+                        self.telemetry.incident(
+                            &mdb.db.name,
+                            format!("{id}: revert retries exhausted"),
+                            now,
+                        );
+                    }
+                }
+                FaultKind::Fatal => {
+                    self.store.update(id, |r| {
+                        r.transition(RecoState::Error, now, "revert fatal")
+                            .expect("Reverting -> Error");
+                    });
+                    self.telemetry
+                        .incident(&mdb.db.name, format!("{id}: revert fatal"), now);
+                }
+            }
+            return;
+        }
+
+        let ok = match (&action, implemented_index, dropped_def) {
+            (RecoAction::CreateIndex { .. }, Some(ix), _) => mdb.db.drop_index(ix).is_ok(),
+            (RecoAction::DropIndex { .. }, _, Some(def)) => mdb.db.create_index(def).is_ok(),
+            _ => false,
+        };
+        if ok {
+            self.store.update(id, |r| {
+                r.transition(RecoState::Reverted, now, "reverted")
+                    .expect("Reverting -> Reverted");
+            });
+            self.telemetry
+                .emit(EventKind::RevertSucceeded, &mdb.db.name, "", now);
+        } else {
+            // Index already gone / recreated externally: §4's well-known
+            // error class, processed automatically.
+            self.store.update(id, |r| {
+                r.transition(RecoState::Error, now, "revert target missing")
+                    .expect("Reverting -> Error");
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expiry + health micro-service
+    // ------------------------------------------------------------------
+
+    fn expire_stale(&mut self, mdb: &ManagedDb) {
+        let now = mdb.db.clock().now();
+        let expiry = self.policy.reco_expiry;
+        let stale: Vec<RecoId> = self
+            .store
+            .for_database(&mdb.db.name)
+            .filter(|r| r.state == RecoState::Active && now.since(r.created_at) >= expiry)
+            .map(|r| r.id)
+            .collect();
+        for id in stale {
+            self.store.update(id, |r| {
+                r.transition(RecoState::Expired, now, "aged out")
+                    .expect("Active -> Expired");
+            });
+            self.telemetry
+                .emit(EventKind::RecommendationExpired, &mdb.db.name, "", now);
+        }
+    }
+
+    fn health_check(&mut self, mdb: &ManagedDb) {
+        let now = mdb.db.clock().now();
+        let horizon = Timestamp(now.millis().saturating_sub(self.policy.stuck_horizon.millis()));
+        for id in self.store.stuck_since(horizon) {
+            let Some(r) = self.store.get(id) else { continue };
+            if r.database != mdb.db.name {
+                continue;
+            }
+            // Active recommendations awaiting the user are not stuck; the
+            // expiry path ages them out without paging anyone.
+            if r.state == RecoState::Active {
+                continue;
+            }
+            let state = r.state;
+            self.telemetry.incident(
+                &mdb.db.name,
+                format!("{id} stuck in {state:?}"),
+                now,
+            );
+            // Automated corrective action where safe: park in a terminal
+            // state so the pipeline doesn't wedge.
+            self.store.update(id, |r| {
+                let target = if r.state == RecoState::Active {
+                    RecoState::Expired
+                } else {
+                    RecoState::Error
+                };
+                let _ = r.transition(target, now, "auto-closed by health check");
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultInjector;
+    use sqlmini::clock::SimClock;
+    use sqlmini::engine::DbConfig;
+    use sqlmini::query::{CmpOp, Predicate, QueryTemplate, SelectQuery, Statement};
+    use sqlmini::schema::{ColumnDef, ColumnId, TableDef, TableId};
+    use sqlmini::types::{Value, ValueType};
+
+    fn managed_db(seed: u64) -> (ManagedDb, QueryTemplate, TableId) {
+        let mut db = Database::new(
+            format!("tenant{seed}"),
+            DbConfig {
+                seed,
+                ..DbConfig::default()
+            },
+            SimClock::new(),
+        );
+        let t = db
+            .create_table(TableDef::new(
+                "orders",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("customer_id", ValueType::Int),
+                    ColumnDef::new("total", ValueType::Float),
+                ],
+            ))
+            .unwrap();
+        db.load_rows(
+            t,
+            (0..20_000i64).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 400),
+                    Value::Float((i % 700) as f64),
+                ]
+            }),
+        );
+        db.rebuild_stats(t);
+        let mut q = SelectQuery::new(t);
+        q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(0), ColumnId(2)];
+        let tpl = QueryTemplate::new(Statement::Select(q), 1);
+        let settings = DbSettings {
+            auto_create: crate::state::Setting::On,
+            auto_drop: crate::state::Setting::On,
+        };
+        (
+            ManagedDb::new(db, settings, ServerSettings::default()),
+            tpl,
+            t,
+        )
+    }
+
+    /// Drive workload + control plane through `hours` of simulated time.
+    fn drive(plane: &mut ControlPlane, mdb: &mut ManagedDb, tpl: &QueryTemplate, hours: u64) {
+        for h in 0..hours {
+            for i in 0..20 {
+                mdb.db
+                    .execute(tpl, &[Value::Int(((h * 20 + i) % 400) as i64)])
+                    .unwrap();
+            }
+            mdb.db.clock().advance(Duration::from_hours(1));
+            plane.tick(mdb);
+        }
+    }
+
+    #[test]
+    fn closed_loop_creates_and_validates_index() {
+        let (mut mdb, tpl, t) = managed_db(1);
+        let mut plane = ControlPlane::new(PlanePolicy {
+            analysis_interval: Duration::from_hours(4),
+            validation_min_wait: Duration::from_hours(3),
+            ..PlanePolicy::default()
+        });
+        drive(&mut plane, &mut mdb, &tpl, 24);
+        // An auto index must exist on customer_id...
+        let auto_ix = mdb
+            .db
+            .catalog()
+            .indexes()
+            .find(|(_, d)| d.key_columns.first() == Some(&ColumnId(1)) && d.table == t);
+        assert!(auto_ix.is_some(), "no auto index created");
+        // ...and its recommendation must have reached Success.
+        let success = plane
+            .store
+            .all()
+            .any(|r| r.state == RecoState::Success);
+        assert!(
+            success,
+            "states: {:?}",
+            plane.store.count_by_state()
+        );
+        assert!(plane.telemetry.count(EventKind::ValidationImproved) >= 1);
+        assert_eq!(plane.telemetry.count(EventKind::RevertSucceeded), 0);
+    }
+
+    #[test]
+    fn no_auto_create_without_permission() {
+        let (mut mdb, tpl, _) = managed_db(2);
+        mdb.settings = DbSettings::default(); // inherit: server default off
+        let mut plane = ControlPlane::new(PlanePolicy::default());
+        drive(&mut plane, &mut mdb, &tpl, 24);
+        // Recommendations exist but none implemented.
+        assert!(plane.store.len() > 0, "recommendations should be generated");
+        assert_eq!(plane.telemetry.count(EventKind::ImplementStarted), 0);
+        assert_eq!(
+            mdb.db.catalog().n_indexes(),
+            0,
+            "nothing may be implemented without permission"
+        );
+    }
+
+    #[test]
+    fn transient_faults_retried_to_success() {
+        let (mut mdb, tpl, _) = managed_db(3);
+        let mut faults = FaultInjector::disabled();
+        faults.script(FaultPoint::IndexBuild, 2, FaultKind::Transient);
+        let mut plane = ControlPlane::new(PlanePolicy::default()).with_faults(faults);
+        drive(&mut plane, &mut mdb, &tpl, 30);
+        assert!(plane.telemetry.count(EventKind::ImplementFailedTransient) >= 2);
+        assert!(
+            plane.telemetry.count(EventKind::ImplementSucceeded) >= 1,
+            "retries must eventually succeed: {:?}",
+            plane.store.count_by_state()
+        );
+        assert!(plane.store.all().any(|r| r.state == RecoState::Success));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_raises_incident() {
+        let (mut mdb, tpl, _) = managed_db(4);
+        let mut faults = FaultInjector::disabled();
+        faults.script(FaultPoint::IndexBuild, 99, FaultKind::Transient);
+        let mut plane = ControlPlane::new(PlanePolicy {
+            max_retry_attempts: 2,
+            ..PlanePolicy::default()
+        })
+        .with_faults(faults);
+        drive(&mut plane, &mut mdb, &tpl, 30);
+        assert!(plane.store.all().any(|r| r.state == RecoState::Error));
+        assert!(!plane.telemetry.incidents().is_empty());
+    }
+
+    #[test]
+    fn store_recovery_mid_flight() {
+        let (mut mdb, tpl, _) = managed_db(5);
+        let mut plane = ControlPlane::new(PlanePolicy::default());
+        drive(&mut plane, &mut mdb, &tpl, 10);
+        let before = plane.store.count_by_state();
+        plane.store.crash_and_recover();
+        assert_eq!(plane.store.count_by_state(), before);
+        // The loop keeps functioning after recovery.
+        drive(&mut plane, &mut mdb, &tpl, 20);
+        assert!(plane.store.all().any(|r| r.state == RecoState::Success));
+    }
+
+    #[test]
+    fn stale_recommendations_expire() {
+        let (mut mdb, tpl, _) = managed_db(6);
+        // No auto-implementation: recommendations sit in Active.
+        mdb.settings = DbSettings::default();
+        let mut plane = ControlPlane::new(PlanePolicy {
+            reco_expiry: Duration::from_days(2),
+            ..PlanePolicy::default()
+        });
+        drive(&mut plane, &mut mdb, &tpl, 24 * 4);
+        assert!(
+            plane.telemetry.count(EventKind::RecommendationExpired) >= 1,
+            "{:?}",
+            plane.store.count_by_state()
+        );
+    }
+
+    #[test]
+    fn dta_deferred_outside_low_activity_falls_back_to_mi() {
+        let (mut mdb, tpl, _) = managed_db(8);
+        mdb.db.config.tier = ServiceTier::Premium;
+        let mut plane = ControlPlane::new(PlanePolicy {
+            recommender: RecommenderPolicy::DtaOnly,
+            dta_low_activity_only: true,
+            analysis_interval: Duration::from_hours(4),
+            ..PlanePolicy::default()
+        });
+        // Build two full days of flat always-busy history first (no
+        // ticks) so the 2-day activity profile sees every hour-of-day
+        // exactly twice: everything is peak, nothing is "low activity".
+        for h in 0..48u64 {
+            for i in 0..20 {
+                mdb.db
+                    .execute(&tpl, &[Value::Int(((h * 20 + i) % 400) as i64)])
+                    .unwrap();
+            }
+            mdb.db.clock().advance(Duration::from_hours(1));
+        }
+        drive(&mut plane, &mut mdb, &tpl, 30);
+        // DTA was suppressed during busy hours; recommendations (if any)
+        // came from the MI fallback path.
+        for r in plane.store.all() {
+            assert_ne!(
+                r.recommendation.source,
+                autoindex::RecoSource::Dta,
+                "DTA must not run during busy hours"
+            );
+        }
+    }
+
+    #[test]
+    fn manual_apply_bypasses_setting_but_validates() {
+        let (mut mdb, tpl, _) = managed_db(7);
+        mdb.settings = DbSettings::default(); // auto off
+        let mut plane = ControlPlane::new(PlanePolicy::default());
+        drive(&mut plane, &mut mdb, &tpl, 12);
+        let id = plane
+            .store
+            .all()
+            .find(|r| r.state == RecoState::Active)
+            .map(|r| r.id)
+            .expect("an active recommendation");
+        assert!(plane.apply_manually(&mut mdb, id));
+        assert_eq!(plane.store.get(id).unwrap().state, RecoState::Validating);
+        // Keep driving: validation completes.
+        drive(&mut plane, &mut mdb, &tpl, 12);
+        assert_eq!(plane.store.get(id).unwrap().state, RecoState::Success);
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-region deployment and cross-region aggregation (§3, §8.3).
+//!
+//! One auto-indexing service instance manages all databases in a region —
+//! the compliance boundary: state and telemetry never leave it. What
+//! *does* cross regions is anonymized aggregate telemetry, merged into
+//! the global dashboards on-call engineers use.
+
+use crate::plane::{ControlPlane, ManagedDb, PlanePolicy};
+use crate::telemetry::{EventKind, Telemetry};
+use std::collections::BTreeMap;
+
+/// One region: a control plane plus its managed databases.
+pub struct Region {
+    pub name: String,
+    pub plane: ControlPlane,
+    databases: BTreeMap<String, ManagedDb>,
+}
+
+impl Region {
+    pub fn new(name: impl Into<String>, policy: PlanePolicy) -> Region {
+        Region {
+            name: name.into(),
+            plane: ControlPlane::new(policy),
+            databases: BTreeMap::new(),
+        }
+    }
+
+    /// Register a database with this region.
+    pub fn adopt(&mut self, mdb: ManagedDb) {
+        self.databases.insert(mdb.db.name.clone(), mdb);
+    }
+
+    pub fn database_mut(&mut self, name: &str) -> Option<&mut ManagedDb> {
+        self.databases.get_mut(name)
+    }
+
+    pub fn databases(&self) -> impl Iterator<Item = &ManagedDb> {
+        self.databases.values()
+    }
+
+    pub fn n_databases(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// One orchestration pass over every managed database.
+    pub fn tick_all(&mut self) {
+        // Drain-and-reinsert so the plane can borrow &mut self.plane and
+        // each database independently.
+        let names: Vec<String> = self.databases.keys().cloned().collect();
+        for name in names {
+            if let Some(mut mdb) = self.databases.remove(&name) {
+                self.plane.tick(&mut mdb);
+                self.databases.insert(name, mdb);
+            }
+        }
+    }
+
+    /// The region's exportable (anonymized) telemetry.
+    pub fn export_telemetry(&self) -> &Telemetry {
+        &self.plane.telemetry
+    }
+}
+
+/// The global dashboard: merged counters across regions, health rollups,
+/// and the fleet-level figures §8.1 reports.
+#[derive(Debug, Default)]
+pub struct GlobalDashboard {
+    merged: Telemetry,
+    per_region: BTreeMap<String, BTreeMap<EventKind, u64>>,
+}
+
+impl GlobalDashboard {
+    pub fn new() -> GlobalDashboard {
+        GlobalDashboard {
+            merged: Telemetry::new(),
+            per_region: BTreeMap::new(),
+        }
+    }
+
+    /// Ingest one region's telemetry snapshot.
+    pub fn ingest(&mut self, region: &Region) {
+        self.merged.merge(region.export_telemetry());
+        self.per_region.insert(
+            region.name.clone(),
+            region.export_telemetry().counters().clone(),
+        );
+    }
+
+    pub fn global_count(&self, kind: EventKind) -> u64 {
+        self.merged.count(kind)
+    }
+
+    pub fn global_revert_rate(&self) -> f64 {
+        self.merged.revert_rate()
+    }
+
+    /// Regions whose revert rate exceeds `threshold` — the anomaly view
+    /// engineers scan for recommender-quality drift.
+    pub fn anomalous_regions(&self, threshold: f64) -> Vec<(String, f64)> {
+        self.per_region
+            .iter()
+            .filter_map(|(name, counters)| {
+                let implemented = counters
+                    .get(&EventKind::ImplementSucceeded)
+                    .copied()
+                    .unwrap_or(0);
+                if implemented == 0 {
+                    return None;
+                }
+                let reverts = counters
+                    .get(&EventKind::RevertSucceeded)
+                    .copied()
+                    .unwrap_or(0);
+                let rate = reverts as f64 / implemented as f64;
+                if rate > threshold {
+                    Some((name.clone(), rate))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Render the dashboard summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet: {} recommendations, {} implemented, {} reverted ({:.1}%), {} incidents\n",
+            self.global_count(EventKind::RecommendationCreated),
+            self.global_count(EventKind::ImplementSucceeded),
+            self.global_count(EventKind::RevertSucceeded),
+            self.global_revert_rate() * 100.0,
+            self.global_count(EventKind::IncidentRaised),
+        ));
+        for (region, counters) in &self.per_region {
+            let implemented = counters
+                .get(&EventKind::ImplementSucceeded)
+                .copied()
+                .unwrap_or(0);
+            out.push_str(&format!("  {region}: {implemented} implemented\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{DbSettings, ServerSettings, Setting};
+    use sqlmini::clock::{Duration, SimClock};
+    use sqlmini::engine::{Database, DbConfig};
+    use sqlmini::query::{CmpOp, Predicate, QueryTemplate, SelectQuery, Statement};
+    use sqlmini::schema::{ColumnDef, ColumnId, TableDef};
+    use sqlmini::types::{Value, ValueType};
+
+    fn mdb(name: &str, seed: u64) -> (ManagedDb, QueryTemplate) {
+        let mut db = Database::new(
+            name,
+            DbConfig {
+                seed,
+                ..DbConfig::default()
+            },
+            SimClock::new(),
+        );
+        let t = db
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("k", ValueType::Int),
+                ],
+            ))
+            .unwrap();
+        db.load_rows(t, (0..15_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 300)]));
+        db.rebuild_stats(t);
+        let mut q = SelectQuery::new(t);
+        q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(0)];
+        let tpl = QueryTemplate::new(Statement::Select(q), 1);
+        let settings = DbSettings {
+            auto_create: Setting::On,
+            auto_drop: Setting::On,
+        };
+        (
+            ManagedDb::new(db, settings, ServerSettings::default()),
+            tpl,
+        )
+    }
+
+    #[test]
+    fn regions_are_isolated_but_dashboard_merges() {
+        let mut west = Region::new("west", PlanePolicy {
+            analysis_interval: Duration::from_hours(4),
+            validation_min_wait: Duration::from_hours(2),
+            ..PlanePolicy::default()
+        });
+        let mut east = Region::new("east", PlanePolicy {
+            analysis_interval: Duration::from_hours(4),
+            validation_min_wait: Duration::from_hours(2),
+            ..PlanePolicy::default()
+        });
+        let (mdb_w, tpl_w) = mdb("w-db", 1);
+        let (mdb_e, tpl_e) = mdb("e-db", 2);
+        west.adopt(mdb_w);
+        east.adopt(mdb_e);
+
+        for h in 0..16u64 {
+            for (region, tpl) in [(&mut west, &tpl_w), (&mut east, &tpl_e)] {
+                let m = region.database_mut(if region.name == "west" { "w-db" } else { "e-db" }).unwrap();
+                for i in 0..20 {
+                    m.db.execute(tpl, &[Value::Int(((h * 20 + i) % 300) as i64)]).unwrap();
+                }
+                m.db.clock().advance(Duration::from_hours(1));
+                region.tick_all();
+            }
+        }
+
+        // Each region has its own state; nothing crossed.
+        assert!(west.plane.store.all().all(|r| r.database == "w-db"));
+        assert!(east.plane.store.all().all(|r| r.database == "e-db"));
+
+        let mut dash = GlobalDashboard::new();
+        dash.ingest(&west);
+        dash.ingest(&east);
+        assert_eq!(
+            dash.global_count(EventKind::RecommendationCreated),
+            west.export_telemetry().count(EventKind::RecommendationCreated)
+                + east.export_telemetry().count(EventKind::RecommendationCreated)
+        );
+        let summary = dash.render();
+        assert!(summary.contains("west"));
+        assert!(summary.contains("east"));
+    }
+
+    #[test]
+    fn anomalous_region_detection() {
+        let mut dash = GlobalDashboard::new();
+        let mut bad = Region::new("bad", PlanePolicy::default());
+        // Fake the counters via the public emit path.
+        for _ in 0..10 {
+            bad.plane.telemetry.emit(EventKind::ImplementSucceeded, "x", "", sqlmini::clock::Timestamp(0));
+        }
+        for _ in 0..4 {
+            bad.plane.telemetry.emit(EventKind::RevertSucceeded, "x", "", sqlmini::clock::Timestamp(0));
+        }
+        dash.ingest(&bad);
+        let anomalies = dash.anomalous_regions(0.2);
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].0, "bad");
+        assert!((anomalies[0].1 - 0.4).abs() < 1e-9);
+        assert!(dash.anomalous_regions(0.5).is_empty());
+    }
+}

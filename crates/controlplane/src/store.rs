@@ -1,0 +1,256 @@
+//! Journaled recommendation-state store.
+//!
+//! The production control plane persists its state machine in a
+//! highly-available database (§4). Here durability is modeled with an
+//! append-only JSON journal: every mutation is journaled, and recovery
+//! replays the journal into a fresh in-memory map. The fault-injection
+//! tests crash the in-memory state and assert the journal reconstructs
+//! it exactly.
+
+use crate::state::{RecoId, TrackedReco};
+use autoindex::Recommendation;
+use sqlmini::clock::Timestamp;
+use std::collections::BTreeMap;
+
+/// One journal record.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum JournalEntry {
+    Upsert(Box<TrackedReco>),
+}
+
+/// The state store: in-memory view + append-only journal.
+#[derive(Debug, Default)]
+pub struct StateStore {
+    recos: BTreeMap<RecoId, TrackedReco>,
+    next_id: u64,
+    journal: Vec<String>,
+}
+
+impl StateStore {
+    pub fn new() -> StateStore {
+        StateStore::default()
+    }
+
+    fn journal_upsert(&mut self, r: &TrackedReco) {
+        let line = serde_json::to_string(&JournalEntry::Upsert(Box::new(r.clone())))
+            .expect("reco serializes");
+        self.journal.push(line);
+    }
+
+    /// Track a new recommendation (state: Active).
+    pub fn insert(
+        &mut self,
+        database: impl Into<String>,
+        recommendation: Recommendation,
+        now: Timestamp,
+    ) -> RecoId {
+        let id = RecoId(self.next_id);
+        self.next_id += 1;
+        let tracked = TrackedReco::new(id, database, recommendation, now);
+        self.journal_upsert(&tracked);
+        self.recos.insert(id, tracked);
+        id
+    }
+
+    pub fn get(&self, id: RecoId) -> Option<&TrackedReco> {
+        self.recos.get(&id)
+    }
+
+    /// Mutate a recommendation through `f`; the updated record is
+    /// journaled. Returns `f`'s result.
+    pub fn update<T>(
+        &mut self,
+        id: RecoId,
+        f: impl FnOnce(&mut TrackedReco) -> T,
+    ) -> Option<T> {
+        // Split borrow: mutate, then journal a clone.
+        let out;
+        let snapshot;
+        match self.recos.get_mut(&id) {
+            Some(r) => {
+                out = f(r);
+                snapshot = r.clone();
+            }
+            None => return None,
+        }
+        self.journal_upsert(&snapshot);
+        Some(out)
+    }
+
+    /// All recommendations for one database.
+    pub fn for_database<'a>(
+        &'a self,
+        database: &'a str,
+    ) -> impl Iterator<Item = &'a TrackedReco> + 'a {
+        self.recos.values().filter(move |r| r.database == database)
+    }
+
+    /// Non-terminal recommendations for one database.
+    pub fn open_for_database<'a>(
+        &'a self,
+        database: &'a str,
+    ) -> impl Iterator<Item = &'a TrackedReco> + 'a {
+        self.for_database(database).filter(|r| !r.state.is_terminal())
+    }
+
+    pub fn all(&self) -> impl Iterator<Item = &TrackedReco> {
+        self.recos.values()
+    }
+
+    /// Count by state (dashboard primitive).
+    pub fn count_by_state(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for r in self.recos.values() {
+            *m.entry(format!("{:?}", r.state)).or_default() += 1;
+        }
+        m
+    }
+
+    pub fn len(&self) -> usize {
+        self.recos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recos.is_empty()
+    }
+
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Simulate a control-plane crash: drop all in-memory state, then
+    /// recover from the journal.
+    pub fn crash_and_recover(&mut self) {
+        let journal = std::mem::take(&mut self.journal);
+        self.recos.clear();
+        self.next_id = 0;
+        for line in &journal {
+            let entry: JournalEntry = serde_json::from_str(line).expect("journal intact");
+            match entry {
+                JournalEntry::Upsert(r) => {
+                    self.next_id = self.next_id.max(r.id.0 + 1);
+                    self.recos.insert(r.id, *r);
+                }
+            }
+        }
+        self.journal = journal;
+    }
+
+    /// Recommendations stuck in a non-terminal state since before
+    /// `horizon` (health detection input).
+    pub fn stuck_since(&self, horizon: Timestamp) -> Vec<RecoId> {
+        self.recos
+            .values()
+            .filter(|r| {
+                !r.state.is_terminal()
+                    && r.history
+                        .last()
+                        .map(|t| t.at)
+                        .unwrap_or(r.created_at)
+                        < horizon
+            })
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::RecoState;
+    use autoindex::{RecoAction, RecoSource};
+    use sqlmini::schema::{ColumnId, IndexDef, TableId};
+
+    fn reco(n: u32) -> Recommendation {
+        Recommendation {
+            action: RecoAction::CreateIndex {
+                def: IndexDef::new(format!("ix{n}"), TableId(0), vec![ColumnId(1)], vec![]),
+            },
+            source: RecoSource::MissingIndex,
+            estimated_benefit: n as f64,
+            estimated_improvement: 0.5,
+            estimated_size_bytes: 100,
+            impacted_queries: vec![],
+            generated_at: Timestamp(0),
+        }
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut s = StateStore::new();
+        let id = s.insert("db1", reco(1), Timestamp(0));
+        assert_eq!(s.get(id).unwrap().state, RecoState::Active);
+        s.update(id, |r| {
+            r.transition(RecoState::Implementing, Timestamp(5), "go").unwrap()
+        })
+        .unwrap();
+        assert_eq!(s.get(id).unwrap().state, RecoState::Implementing);
+        assert_eq!(s.journal_len(), 2);
+    }
+
+    #[test]
+    fn recovery_restores_state() {
+        let mut s = StateStore::new();
+        let a = s.insert("db1", reco(1), Timestamp(0));
+        let b = s.insert("db2", reco(2), Timestamp(1));
+        s.update(a, |r| {
+            r.transition(RecoState::Implementing, Timestamp(2), "").unwrap();
+            r.transition(RecoState::Validating, Timestamp(3), "").unwrap();
+        });
+        let before: Vec<(RecoId, RecoState)> =
+            s.all().map(|r| (r.id, r.state)).collect();
+        s.crash_and_recover();
+        let after: Vec<(RecoId, RecoState)> = s.all().map(|r| (r.id, r.state)).collect();
+        assert_eq!(before, after);
+        assert_eq!(s.get(a).unwrap().history.len(), 2, "history survives");
+        assert_eq!(s.get(b).unwrap().state, RecoState::Active);
+        // New ids continue after the recovered maximum.
+        let c = s.insert("db3", reco(3), Timestamp(9));
+        assert!(c.0 > b.0);
+    }
+
+    #[test]
+    fn per_database_filtering() {
+        let mut s = StateStore::new();
+        s.insert("db1", reco(1), Timestamp(0));
+        s.insert("db1", reco(2), Timestamp(0));
+        let done = s.insert("db1", reco(3), Timestamp(0));
+        s.insert("db2", reco(4), Timestamp(0));
+        s.update(done, |r| {
+            r.transition(RecoState::Expired, Timestamp(1), "").unwrap()
+        });
+        assert_eq!(s.for_database("db1").count(), 3);
+        assert_eq!(s.open_for_database("db1").count(), 2);
+        assert_eq!(s.for_database("db2").count(), 1);
+    }
+
+    #[test]
+    fn stuck_detection() {
+        let mut s = StateStore::new();
+        let old = s.insert("db1", reco(1), Timestamp(0));
+        let fresh = s.insert("db1", reco(2), Timestamp(10_000));
+        let stuck = s.stuck_since(Timestamp(5_000));
+        assert!(stuck.contains(&old));
+        assert!(!stuck.contains(&fresh));
+        // Terminal records are never stuck.
+        s.update(old, |r| {
+            r.transition(RecoState::Expired, Timestamp(20_000), "").unwrap()
+        });
+        assert!(s.stuck_since(Timestamp(50_000)).is_empty() || !s
+            .stuck_since(Timestamp(50_000))
+            .contains(&old));
+    }
+
+    #[test]
+    fn count_by_state_summary() {
+        let mut s = StateStore::new();
+        s.insert("db1", reco(1), Timestamp(0));
+        let b = s.insert("db1", reco(2), Timestamp(0));
+        s.update(b, |r| {
+            r.transition(RecoState::Implementing, Timestamp(1), "").unwrap()
+        });
+        let counts = s.count_by_state();
+        assert_eq!(counts.get("Active"), Some(&1));
+        assert_eq!(counts.get("Implementing"), Some(&1));
+    }
+}

@@ -1,0 +1,222 @@
+//! Anonymized telemetry (§1.2, §8.3).
+//!
+//! Engineers operating the service never see customer data; health and
+//! debugging flow through anonymized, aggregated events. This module is
+//! that pipeline: typed events with **no query text or data values**,
+//! counters, and an incident stream for the on-call path.
+
+use sqlmini::clock::Timestamp;
+use std::collections::BTreeMap;
+
+/// Event kinds emitted by the control plane.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum EventKind {
+    AnalysisStarted,
+    AnalysisCompleted,
+    RecommendationCreated,
+    RecommendationExpired,
+    ImplementStarted,
+    ImplementSucceeded,
+    ImplementFailedTransient,
+    ImplementFailedFatal,
+    ValidationStarted,
+    ValidationImproved,
+    ValidationInconclusive,
+    ValidationRegressed,
+    ValidationNoData,
+    RevertStarted,
+    RevertSucceeded,
+    RevertFailedTransient,
+    DropLockTimedOut,
+    IncidentRaised,
+    DtaSessionAborted,
+}
+
+/// One anonymized event: kind + database *hash* + time. The database name
+/// is folded to a stable hash so dashboards can correlate events without
+/// carrying tenant identity.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    pub at: Timestamp,
+    pub kind: EventKind,
+    pub db_hash: u64,
+    /// Small cardinality detail (state names, error classes) — never
+    /// query text or data.
+    pub detail: String,
+}
+
+fn hash_db(name: &str) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+/// An incident requiring (simulated) on-call attention.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Incident {
+    pub at: Timestamp,
+    pub db_hash: u64,
+    pub summary: String,
+}
+
+/// The telemetry sink.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: BTreeMap<EventKind, u64>,
+    events: Vec<Event>,
+    incidents: Vec<Incident>,
+    /// Cap on retained raw events (aggregation survives unboundedly).
+    retain_events: usize,
+}
+
+impl Telemetry {
+    pub fn new() -> Telemetry {
+        Telemetry {
+            retain_events: 100_000,
+            ..Telemetry::default()
+        }
+    }
+
+    pub fn emit(&mut self, kind: EventKind, db: &str, detail: impl Into<String>, at: Timestamp) {
+        *self.counters.entry(kind).or_default() += 1;
+        self.events.push(Event {
+            at,
+            kind,
+            db_hash: hash_db(db),
+            detail: detail.into(),
+        });
+        if self.events.len() > self.retain_events {
+            let excess = self.events.len() - self.retain_events;
+            self.events.drain(..excess);
+        }
+    }
+
+    pub fn incident(&mut self, db: &str, summary: impl Into<String>, at: Timestamp) {
+        let summary = summary.into();
+        self.emit(EventKind::IncidentRaised, db, summary.clone(), at);
+        self.incidents.push(Incident {
+            at,
+            db_hash: hash_db(db),
+            summary,
+        });
+    }
+
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counters.get(&kind).copied().unwrap_or(0)
+    }
+
+    pub fn counters(&self) -> &BTreeMap<EventKind, u64> {
+        &self.counters
+    }
+
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The operational revert rate: reverts ÷ implemented actions (§8.1
+    /// reports ~11%).
+    pub fn revert_rate(&self) -> f64 {
+        let implemented = self.count(EventKind::ImplementSucceeded);
+        if implemented == 0 {
+            return 0.0;
+        }
+        self.count(EventKind::RevertSucceeded) as f64 / implemented as f64
+    }
+
+    /// Merge another telemetry sink into this one (cross-region
+    /// aggregation for dashboards, §8.3).
+    pub fn merge(&mut self, other: &Telemetry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(*k).or_default() += v;
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.incidents.extend(other.incidents.iter().cloned());
+    }
+
+    /// Export counters as a JSON object (dashboard feed).
+    pub fn export_json(&self) -> String {
+        let m: BTreeMap<String, u64> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (format!("{k:?}"), *v))
+            .collect();
+        serde_json::to_string_pretty(&m).expect("counters serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_events() {
+        let mut t = Telemetry::new();
+        t.emit(EventKind::ImplementSucceeded, "db1", "", Timestamp(1));
+        t.emit(EventKind::ImplementSucceeded, "db2", "", Timestamp(2));
+        t.emit(EventKind::RevertSucceeded, "db1", "", Timestamp(3));
+        assert_eq!(t.count(EventKind::ImplementSucceeded), 2);
+        assert_eq!(t.events().len(), 3);
+        assert!((t.revert_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anonymization_hashes_names() {
+        let mut t = Telemetry::new();
+        t.emit(EventKind::AnalysisStarted, "secret_customer_db", "", Timestamp(0));
+        let e = &t.events()[0];
+        assert_ne!(e.db_hash, 0);
+        assert!(!format!("{e:?}").contains("secret_customer_db"));
+        // Stable hash: same name, same hash.
+        t.emit(EventKind::AnalysisStarted, "secret_customer_db", "", Timestamp(1));
+        assert_eq!(t.events()[0].db_hash, t.events()[1].db_hash);
+    }
+
+    #[test]
+    fn incidents_tracked() {
+        let mut t = Telemetry::new();
+        t.incident("db9", "stuck in Implementing for 3 days", Timestamp(5));
+        assert_eq!(t.incidents().len(), 1);
+        assert_eq!(t.count(EventKind::IncidentRaised), 1);
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = Telemetry::new();
+        let mut b = Telemetry::new();
+        a.emit(EventKind::RecommendationCreated, "x", "", Timestamp(0));
+        b.emit(EventKind::RecommendationCreated, "y", "", Timestamp(0));
+        b.incident("y", "oops", Timestamp(1));
+        a.merge(&b);
+        assert_eq!(a.count(EventKind::RecommendationCreated), 2);
+        assert_eq!(a.incidents().len(), 1);
+    }
+
+    #[test]
+    fn export_is_json() {
+        let mut t = Telemetry::new();
+        t.emit(EventKind::ValidationImproved, "db", "", Timestamp(0));
+        let j = t.export_json();
+        let parsed: BTreeMap<String, u64> = serde_json::from_str(&j).unwrap();
+        assert_eq!(parsed.get("ValidationImproved"), Some(&1));
+    }
+
+    #[test]
+    fn event_retention_cap() {
+        let mut t = Telemetry::new();
+        t.retain_events = 10;
+        for i in 0..25 {
+            t.emit(EventKind::AnalysisStarted, "db", "", Timestamp(i));
+        }
+        assert_eq!(t.events().len(), 10);
+        assert_eq!(t.count(EventKind::AnalysisStarted), 25, "counters unbounded");
+        assert_eq!(t.events()[0].at, Timestamp(15));
+    }
+}

@@ -1,0 +1,144 @@
+//! Workload coverage (§5.1.2): the fraction of the database's total
+//! resource consumption accounted for by the statements a recommender
+//! actually analyzed. The paper uses coverage as the goodness measure for
+//! automatically-selected workloads (target: > 80%).
+
+use sqlmini::clock::Timestamp;
+use sqlmini::engine::Database;
+use sqlmini::query::{QueryId, Statement};
+use sqlmini::querystore::Metric;
+
+/// Coverage of an explicit analyzed-statement set over a window.
+pub fn workload_coverage(
+    db: &Database,
+    analyzed: &[QueryId],
+    metric: Metric,
+    from: Timestamp,
+    to: Timestamp,
+) -> f64 {
+    let qs = db.query_store();
+    let total = qs.total_resources(metric, from, to);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let covered: f64 = analyzed
+        .iter()
+        .map(|&q| qs.query_stats(q, from, to).metric(metric).sum)
+        .sum();
+    (covered / total).clamp(0.0, 1.0)
+}
+
+/// Coverage of the MI recommender (§5.2): missing indexes are analyzed
+/// for every statement except inserts (and updates/deletes without
+/// predicates), so coverage is everything minus those statement classes.
+pub fn mi_coverage(db: &Database, metric: Metric, from: Timestamp, to: Timestamp) -> f64 {
+    let qs = db.query_store();
+    let total = qs.total_resources(metric, from, to);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut covered = 0.0;
+    for (qid, info) in qs.known_queries() {
+        let analyzable = match &info.template.statement {
+            Statement::Insert { .. } | Statement::BulkInsert { .. } => false,
+            Statement::Update { predicates, .. } | Statement::Delete { predicates, .. } => {
+                !predicates.is_empty()
+            }
+            Statement::Select(_) => true,
+        };
+        if analyzable {
+            covered += qs.query_stats(qid, from, to).metric(metric).sum;
+        }
+    }
+    (covered / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlmini::clock::SimClock;
+    use sqlmini::engine::DbConfig;
+    use sqlmini::query::{CmpOp, Predicate, QueryTemplate, Scalar, SelectQuery};
+    use sqlmini::schema::{ColumnDef, ColumnId, TableDef};
+    use sqlmini::types::{Value, ValueType};
+
+    fn db() -> (Database, QueryTemplate, QueryTemplate) {
+        let mut db = Database::new("c", DbConfig::default(), SimClock::new());
+        let t = db
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("x", ValueType::Int),
+                ],
+            ))
+            .unwrap();
+        db.load_rows(t, (0..1000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]));
+        db.rebuild_stats(t);
+        let mut q = SelectQuery::new(t);
+        q.predicates = vec![Predicate::cmp(ColumnId(1), CmpOp::Eq, 3i64)];
+        q.projection = vec![ColumnId(0)];
+        let sel = QueryTemplate::new(Statement::Select(q), 0);
+        let ins = QueryTemplate::new(
+            Statement::Insert {
+                table: t,
+                values: vec![Scalar::Lit(Value::Int(5000)), Scalar::Lit(Value::Int(1))],
+            },
+            0,
+        );
+        (db, sel, ins)
+    }
+
+    #[test]
+    fn explicit_coverage_fraction() {
+        let (mut db, sel, ins) = db();
+        for _ in 0..10 {
+            db.execute(&sel, &[]).unwrap();
+            db.execute(&ins, &[]).unwrap();
+        }
+        let now = db.clock().now();
+        let full = workload_coverage(
+            &db,
+            &[sel.query_id(), ins.query_id()],
+            Metric::CpuTime,
+            Timestamp::EPOCH,
+            now + sqlmini::clock::Duration(1),
+        );
+        assert!((full - 1.0).abs() < 1e-9);
+        let partial = workload_coverage(
+            &db,
+            &[sel.query_id()],
+            Metric::CpuTime,
+            Timestamp::EPOCH,
+            now + sqlmini::clock::Duration(1),
+        );
+        // The select scans 1000 rows; it dominates cost.
+        assert!(partial > 0.5 && partial < 1.0, "partial {partial}");
+    }
+
+    #[test]
+    fn mi_coverage_excludes_inserts() {
+        let (mut db, sel, ins) = db();
+        for _ in 0..10 {
+            db.execute(&sel, &[]).unwrap();
+            db.execute(&ins, &[]).unwrap();
+        }
+        let now = db.clock().now();
+        let cov = mi_coverage(
+            &db,
+            Metric::CpuTime,
+            Timestamp::EPOCH,
+            now + sqlmini::clock::Duration(1),
+        );
+        assert!(cov > 0.5 && cov < 1.0, "cov {cov}");
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let (db, sel, _) = db();
+        assert_eq!(
+            workload_coverage(&db, &[sel.query_id()], Metric::CpuTime, Timestamp(0), Timestamp(1)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Statistical analysis of experiment phases (§7.3).
+//!
+//! Phases of one experiment observe *different numbers of executions* of
+//! each query (the B-instance replays uncontrolled traffic), so costs are
+//! normalized to **fixed execution counts** taken from the baseline
+//! phase. Significance between phases comes from Welch-style tests on the
+//! weighted workload totals, with Welch–Satterthwaite degrees of freedom
+//! composed across queries.
+
+use autoindex::stats::student_t_cdf;
+use sqlmini::clock::Timestamp;
+use sqlmini::engine::Database;
+use sqlmini::query::QueryId;
+use sqlmini::querystore::Metric;
+
+/// A workload-cost estimate over one phase: the fixed-count weighted
+/// total, its estimator variance, and effective degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSample {
+    pub total: f64,
+    pub variance: f64,
+    pub df: f64,
+    /// Queries contributing.
+    pub queries: usize,
+}
+
+/// Compute the fixed-count workload cost of `window`, weighting each
+/// query by its execution count in `base_window`. Queries that did not
+/// execute in both windows are skipped (the paper's "executed before and
+/// after" rule).
+pub fn workload_cost_fixed_counts(
+    db: &Database,
+    metric: Metric,
+    base_window: (Timestamp, Timestamp),
+    window: (Timestamp, Timestamp),
+) -> CostSample {
+    let qs = db.query_store();
+    let mut total = 0.0f64;
+    let mut variance = 0.0f64;
+    let mut df_num = 0.0f64;
+    let mut df_den = 0.0f64;
+    let mut queries = 0usize;
+    for (qid, _) in qs.known_queries() {
+        let base = qs.query_stats(qid, base_window.0, base_window.1);
+        let meas = qs.query_stats(qid, window.0, window.1);
+        let w = base.metric(metric).count as f64;
+        let n = meas.metric(metric).count as f64;
+        if w < 1.0 || n < 2.0 {
+            continue;
+        }
+        queries += 1;
+        let m = meas.metric(metric);
+        total += w * m.mean();
+        // Var of (w * sample-mean) = w^2 * var / n.
+        let v = w * w * m.variance() / n;
+        variance += v;
+        if v > 0.0 {
+            df_num += v;
+            df_den += v * v / (n - 1.0);
+        }
+    }
+    let df = if df_den > 0.0 {
+        (df_num * df_num / df_den).max(1.0)
+    } else {
+        1.0
+    };
+    CostSample {
+        total,
+        variance,
+        df,
+        queries,
+    }
+}
+
+/// Per-query CPU means over a window (used for the ">2× improved queries"
+/// operational statistic).
+pub fn per_query_cpu_means(
+    db: &Database,
+    window: (Timestamp, Timestamp),
+) -> Vec<(QueryId, f64, u64)> {
+    let qs = db.query_store();
+    qs.known_queries()
+        .filter_map(|(qid, _)| {
+            let agg = qs.query_stats(qid, window.0, window.1);
+            let m = agg.metric(Metric::CpuTime);
+            if m.count > 0 {
+                Some((qid, m.mean(), m.count))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Welch-style comparison of two workload-cost samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostComparison {
+    pub t: f64,
+    pub df: f64,
+    /// One-sided p-value that `b` is more expensive than `a`.
+    pub p_b_greater: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+}
+
+pub fn compare_costs(a: &CostSample, b: &CostSample) -> Option<CostComparison> {
+    let se2 = a.variance + b.variance;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (b.total - a.total) / se2.sqrt();
+    // Compose dfs (conservative: harmonic-style Welch combination).
+    let df = (se2 * se2
+        / (a.variance * a.variance / a.df.max(1.0) + b.variance * b.variance / b.df.max(1.0)))
+    .max(1.0);
+    let cdf = student_t_cdf(t, df);
+    Some(CostComparison {
+        t,
+        df,
+        p_b_greater: 1.0 - cdf,
+        p_two_sided: 2.0 * cdf.min(1.0 - cdf),
+    })
+}
+
+/// The four slices of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Winner {
+    Dta,
+    Mi,
+    User,
+    Comparable,
+}
+
+impl std::fmt::Display for Winner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Winner::Dta => "DTA",
+            Winner::Mi => "MI",
+            Winner::User => "User",
+            Winner::Comparable => "Comparable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Improvements and the winner for one database's experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinnerAnalysis {
+    pub winner: Winner,
+    /// CPU-time improvement fraction vs baseline per arm (can be < 0).
+    pub user_improvement: f64,
+    pub mi_improvement: f64,
+    pub dta_improvement: f64,
+}
+
+/// Decide the winner (§7.3): a recommender wins when its indexes
+/// outperformed **both** other alternatives with statistical
+/// significance *and* by a practically meaningful margin (a fraction of
+/// the baseline cost); otherwise the database counts as Comparable.
+pub fn determine_winner(
+    baseline: &CostSample,
+    user: &CostSample,
+    mi: &CostSample,
+    dta: &CostSample,
+    alpha: f64,
+    margin: f64,
+) -> WinnerAnalysis {
+    let improvement = |s: &CostSample| {
+        if baseline.total > 0.0 {
+            (baseline.total - s.total) / baseline.total
+        } else {
+            0.0
+        }
+    };
+    let user_improvement = improvement(user);
+    let mi_improvement = improvement(mi);
+    let dta_improvement = improvement(dta);
+
+    // X beats Y when X's total is significantly lower and the gap is a
+    // meaningful fraction of the baseline workload cost.
+    let abs_margin = margin * baseline.total;
+    let beats = |x: &CostSample, y: &CostSample| {
+        compare_costs(x, y).is_some_and(|c| c.p_b_greater < alpha)
+            && (y.total - x.total) > abs_margin
+    };
+    let arms: [(&CostSample, Winner); 3] =
+        [(dta, Winner::Dta), (mi, Winner::Mi), (user, Winner::User)];
+    // Evaluate in a fixed precedence order so deterministic ties go to the
+    // first strict winner found.
+    let mut winner = Winner::Comparable;
+    for (s, w) in &arms {
+        let others: Vec<&CostSample> = arms
+            .iter()
+            .filter(|(_, ow)| ow != w)
+            .map(|(os, _)| *os)
+            .collect();
+        if others.iter().all(|o| beats(s, o)) {
+            winner = *w;
+            break;
+        }
+    }
+    WinnerAnalysis {
+        winner,
+        user_improvement,
+        mi_improvement,
+        dta_improvement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(total: f64, var: f64) -> CostSample {
+        CostSample {
+            total,
+            variance: var,
+            df: 30.0,
+            queries: 5,
+        }
+    }
+
+    #[test]
+    fn clear_winner_detected() {
+        let baseline = sample(1000.0, 100.0);
+        let user = sample(800.0, 100.0);
+        let mi = sample(500.0, 100.0);
+        let dta = sample(200.0, 100.0);
+        let a = determine_winner(&baseline, &user, &mi, &dta, 0.05, 0.05);
+        assert_eq!(a.winner, Winner::Dta);
+        assert!((a.dta_improvement - 0.8).abs() < 1e-9);
+        assert!((a.user_improvement - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indistinguishable_arms_are_comparable() {
+        let baseline = sample(1000.0, 400.0);
+        let user = sample(600.0, 400.0);
+        let mi = sample(590.0, 400.0);
+        let dta = sample(580.0, 400.0);
+        let a = determine_winner(&baseline, &user, &mi, &dta, 0.05, 0.05);
+        assert_eq!(a.winner, Winner::Comparable);
+    }
+
+    #[test]
+    fn user_can_win() {
+        let baseline = sample(1000.0, 50.0);
+        let user = sample(300.0, 50.0);
+        let mi = sample(900.0, 50.0);
+        let dta = sample(850.0, 50.0);
+        let a = determine_winner(&baseline, &user, &mi, &dta, 0.05, 0.05);
+        assert_eq!(a.winner, Winner::User);
+    }
+
+    #[test]
+    fn compare_costs_direction() {
+        let cheap = sample(100.0, 10.0);
+        let costly = sample(200.0, 10.0);
+        let c = compare_costs(&cheap, &costly).unwrap();
+        assert!(c.t > 0.0);
+        assert!(c.p_b_greater < 0.01);
+        let c2 = compare_costs(&costly, &cheap).unwrap();
+        assert!(c2.p_b_greater > 0.99);
+    }
+
+    #[test]
+    fn zero_variance_comparison_is_none() {
+        let a = CostSample {
+            total: 10.0,
+            variance: 0.0,
+            df: 1.0,
+            queries: 1,
+        };
+        assert!(compare_costs(&a, &a).is_none());
+    }
+}

@@ -1,0 +1,818 @@
+//! An in-memory B+ tree with real node splits, borrows, and merges.
+//!
+//! Secondary indexes in [`crate::index`] are built on this tree. Unlike a
+//! toy sorted-map wrapper, this implementation models the *physical* shape
+//! of an index — node fanout, tree depth, and the number of nodes touched
+//! per operation — because the engine's "logical reads" metric (which the
+//! paper's validator compares before/after index changes) is literally the
+//! count of B+ tree / heap pages visited.
+//!
+//! Keys are generic; the index layer instantiates the tree with composite
+//! `(key values, row id)` keys so duplicate index keys are supported.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::ops::Bound;
+
+/// Index of a node in the tree's arena.
+type NodeId = usize;
+
+const NO_NODE: NodeId = usize::MAX;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` is the smallest key reachable via `children[i + 1]`.
+        keys: Vec<K>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+        next: NodeId,
+        prev: NodeId,
+    },
+    /// Slot on the free list.
+    Free {
+        next_free: NodeId,
+    },
+}
+
+/// An in-memory B+ tree mapping `K` to `V`.
+///
+/// `fanout` is the maximum number of children of an internal node (and the
+/// maximum number of entries in a leaf). Nodes split at `fanout` and merge
+/// below `fanout / 2`.
+#[derive(Debug, Clone)]
+pub struct BTree<K, V> {
+    arena: Vec<Node<K, V>>,
+    root: NodeId,
+    free_head: NodeId,
+    len: usize,
+    fanout: usize,
+    height: usize,
+    /// Logical node visits by read operations; interior mutability because
+    /// reads take `&self`.
+    read_visits: Cell<u64>,
+    /// Logical node visits by write operations.
+    write_visits: u64,
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> Default for BTree<K, V> {
+    fn default() -> Self {
+        BTree::new(64)
+    }
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
+    /// Create an empty tree with the given maximum node fanout (>= 4).
+    pub fn new(fanout: usize) -> BTree<K, V> {
+        assert!(fanout >= 4, "fanout must be at least 4");
+        let mut t = BTree {
+            arena: Vec::new(),
+            root: NO_NODE,
+            free_head: NO_NODE,
+            len: 0,
+            fanout,
+            height: 1,
+            read_visits: Cell::new(0),
+            write_visits: 0,
+        };
+        t.root = t.alloc(Node::Leaf {
+            entries: Vec::new(),
+            next: NO_NODE,
+            prev: NO_NODE,
+        });
+        t
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of live (non-free) nodes — the tree's "page count".
+    pub fn node_count(&self) -> usize {
+        self.arena
+            .iter()
+            .filter(|n| !matches!(n, Node::Free { .. }))
+            .count()
+    }
+
+    /// Total node visits by read operations since creation.
+    pub fn read_visits(&self) -> u64 {
+        self.read_visits.get()
+    }
+
+    /// Total node visits by write operations since creation.
+    pub fn write_visits(&self) -> u64 {
+        self.write_visits
+    }
+
+    /// Reset both visit counters (used when an executor wants per-statement
+    /// deltas without tracking previous values).
+    pub fn reset_visits(&mut self) {
+        self.read_visits.set(0);
+        self.write_visits = 0;
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> NodeId {
+        if self.free_head != NO_NODE {
+            let id = self.free_head;
+            if let Node::Free { next_free } = self.arena[id] {
+                self.free_head = next_free;
+            }
+            self.arena[id] = node;
+            id
+        } else {
+            self.arena.push(node);
+            self.arena.len() - 1
+        }
+    }
+
+    fn free(&mut self, id: NodeId) {
+        self.arena[id] = Node::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = id;
+    }
+
+    fn bump_read(&self) {
+        self.read_visits.set(self.read_visits.get() + 1);
+    }
+
+    /// Look up a key. Counts one read visit per level descended.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.descend_to_leaf(key);
+        match &self.arena[leaf] {
+            Node::Leaf { entries, .. } => entries
+                .binary_search_by(|(k, _)| k.cmp(key))
+                .ok()
+                .map(|i| &entries[i].1),
+            _ => unreachable!("descend_to_leaf returned non-leaf"),
+        }
+    }
+
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn descend_to_leaf(&self, key: &K) -> NodeId {
+        let mut node = self.root;
+        loop {
+            self.bump_read();
+            match &self.arena[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = children[idx];
+                }
+                Node::Free { .. } => unreachable!("descended into freed node"),
+            }
+        }
+    }
+
+    /// Insert a key/value pair. Returns the previous value if the key
+    /// already existed. Counts one write visit per node touched.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let root = self.root;
+        match self.insert_rec(root, key, value) {
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Split(sep, right) => {
+                // Grow the tree by one level.
+                let old_root = self.root;
+                self.root = self.alloc(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.height += 1;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: NodeId, key: K, value: V) -> InsertResult<K, V> {
+        self.write_visits += 1;
+        match &mut self.arena[node] {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut entries[i].1, value);
+                        return InsertResult::Replaced(old);
+                    }
+                    Err(i) => entries.insert(i, (key, value)),
+                }
+                if self.leaf_len(node) >= self.fanout {
+                    let (sep, right) = self.split_leaf(node);
+                    InsertResult::Split(sep, right)
+                } else {
+                    InsertResult::Inserted
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let child = children[idx];
+                match self.insert_rec(child, key, value) {
+                    InsertResult::Split(sep, right) => {
+                        if let Node::Internal { keys, children } = &mut self.arena[node] {
+                            keys.insert(idx, sep);
+                            children.insert(idx + 1, right);
+                            if keys.len() >= self.fanout {
+                                let (sep, right) = self.split_internal(node);
+                                return InsertResult::Split(sep, right);
+                            }
+                        }
+                        InsertResult::Inserted
+                    }
+                    other => other,
+                }
+            }
+            Node::Free { .. } => unreachable!("insert into freed node"),
+        }
+    }
+
+    fn leaf_len(&self, node: NodeId) -> usize {
+        match &self.arena[node] {
+            Node::Leaf { entries, .. } => entries.len(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> (K, NodeId) {
+        let (right_entries, old_next) = match &mut self.arena[node] {
+            Node::Leaf { entries, next, .. } => {
+                let mid = entries.len() / 2;
+                (entries.split_off(mid), *next)
+            }
+            _ => unreachable!(),
+        };
+        let sep = right_entries[0].0.clone();
+        let right = self.alloc(Node::Leaf {
+            entries: right_entries,
+            next: old_next,
+            prev: node,
+        });
+        if old_next != NO_NODE {
+            if let Node::Leaf { prev, .. } = &mut self.arena[old_next] {
+                *prev = right;
+            }
+        }
+        if let Node::Leaf { next, .. } = &mut self.arena[node] {
+            *next = right;
+        }
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> (K, NodeId) {
+        let (sep, right_keys, right_children) = match &mut self.arena[node] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // remove separator from left
+                let right_children = children.split_off(mid + 1);
+                (sep, right_keys, right_children)
+            }
+            _ => unreachable!(),
+        };
+        let right = self.alloc(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        (sep, right)
+    }
+
+    /// Remove a key. Returns its value if present. Rebalances the tree by
+    /// borrowing from or merging with siblings.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let root = self.root;
+        let removed = self.remove_rec(root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the root if it became a pass-through internal node.
+            if let Node::Internal { keys, children } = &self.arena[self.root] {
+                if keys.is_empty() {
+                    debug_assert_eq!(children.len(), 1);
+                    let new_root = children[0];
+                    let old_root = self.root;
+                    self.root = new_root;
+                    self.free(old_root);
+                    self.height -= 1;
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, node: NodeId, key: &K) -> Option<V> {
+        self.write_visits += 1;
+        match &mut self.arena[node] {
+            Node::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => Some(entries.remove(i).1),
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let child = children[idx];
+                let removed = self.remove_rec(child, key);
+                if removed.is_some() {
+                    self.rebalance_child(node, idx);
+                }
+                removed
+            }
+            Node::Free { .. } => unreachable!("remove from freed node"),
+        }
+    }
+
+    fn node_size(&self, id: NodeId) -> usize {
+        match &self.arena[id] {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { children, .. } => children.len(),
+            Node::Free { .. } => 0,
+        }
+    }
+
+    /// After a removal under `parent.children[idx]`, restore the minimum
+    /// occupancy invariant by borrowing from a sibling or merging.
+    fn rebalance_child(&mut self, parent: NodeId, idx: usize) {
+        let min = self.fanout / 2;
+        let child = match &self.arena[parent] {
+            Node::Internal { children, .. } => children[idx],
+            _ => unreachable!(),
+        };
+        if self.node_size(child) >= min {
+            return;
+        }
+        let (left_sib, right_sib, n_children) = match &self.arena[parent] {
+            Node::Internal { children, .. } => (
+                if idx > 0 { Some(children[idx - 1]) } else { None },
+                children.get(idx + 1).copied(),
+                children.len(),
+            ),
+            _ => unreachable!(),
+        };
+        let _ = n_children;
+        // Prefer borrowing (cheaper than merging).
+        if let Some(left) = left_sib {
+            if self.node_size(left) > min {
+                self.borrow_from_left(parent, idx, left, child);
+                return;
+            }
+        }
+        if let Some(right) = right_sib {
+            if self.node_size(right) > min {
+                self.borrow_from_right(parent, idx, child, right);
+                return;
+            }
+        }
+        // Merge with a sibling.
+        if let Some(left) = left_sib {
+            self.merge_children(parent, idx - 1, left, child);
+        } else if let Some(right) = right_sib {
+            self.merge_children(parent, idx, child, right);
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: NodeId, idx: usize, left: NodeId, child: NodeId) {
+        self.write_visits += 2;
+        let is_leaf = matches!(self.arena[child], Node::Leaf { .. });
+        if is_leaf {
+            let moved = match &mut self.arena[left] {
+                Node::Leaf { entries, .. } => entries.pop().expect("left sibling non-empty"),
+                _ => unreachable!(),
+            };
+            let new_sep = moved.0.clone();
+            if let Node::Leaf { entries, .. } = &mut self.arena[child] {
+                entries.insert(0, moved);
+            }
+            if let Node::Internal { keys, .. } = &mut self.arena[parent] {
+                keys[idx - 1] = new_sep;
+            }
+        } else {
+            let (moved_key, moved_child) = match &mut self.arena[left] {
+                Node::Internal { keys, children } => {
+                    (keys.pop().expect("left non-empty"), children.pop().expect("left non-empty"))
+                }
+                _ => unreachable!(),
+            };
+            let old_sep = match &mut self.arena[parent] {
+                Node::Internal { keys, .. } => std::mem::replace(&mut keys[idx - 1], moved_key),
+                _ => unreachable!(),
+            };
+            if let Node::Internal { keys, children } = &mut self.arena[child] {
+                keys.insert(0, old_sep);
+                children.insert(0, moved_child);
+            }
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: NodeId, idx: usize, child: NodeId, right: NodeId) {
+        self.write_visits += 2;
+        let is_leaf = matches!(self.arena[child], Node::Leaf { .. });
+        if is_leaf {
+            let moved = match &mut self.arena[right] {
+                Node::Leaf { entries, .. } => entries.remove(0),
+                _ => unreachable!(),
+            };
+            let new_sep = match &self.arena[right] {
+                Node::Leaf { entries, .. } => entries[0].0.clone(),
+                _ => unreachable!(),
+            };
+            if let Node::Leaf { entries, .. } = &mut self.arena[child] {
+                entries.push(moved);
+            }
+            if let Node::Internal { keys, .. } = &mut self.arena[parent] {
+                keys[idx] = new_sep;
+            }
+        } else {
+            let (moved_key, moved_child) = match &mut self.arena[right] {
+                Node::Internal { keys, children } => (keys.remove(0), children.remove(0)),
+                _ => unreachable!(),
+            };
+            let old_sep = match &mut self.arena[parent] {
+                Node::Internal { keys, .. } => std::mem::replace(&mut keys[idx], moved_key),
+                _ => unreachable!(),
+            };
+            if let Node::Internal { keys, children } = &mut self.arena[child] {
+                keys.push(old_sep);
+                children.push(moved_child);
+            }
+        }
+    }
+
+    /// Merge `right` into `left`; both are children of `parent` separated by
+    /// `parent.keys[sep_idx]`.
+    fn merge_children(&mut self, parent: NodeId, sep_idx: usize, left: NodeId, right: NodeId) {
+        self.write_visits += 2;
+        let sep = match &mut self.arena[parent] {
+            Node::Internal { keys, children } => {
+                children.remove(sep_idx + 1);
+                keys.remove(sep_idx)
+            }
+            _ => unreachable!(),
+        };
+        let right_node = std::mem::replace(
+            &mut self.arena[right],
+            Node::Free { next_free: NO_NODE },
+        );
+        match (&mut self.arena[left], right_node) {
+            (
+                Node::Leaf { entries, next, .. },
+                Node::Leaf {
+                    entries: mut r_entries,
+                    next: r_next,
+                    ..
+                },
+            ) => {
+                entries.append(&mut r_entries);
+                *next = r_next;
+                if r_next != NO_NODE {
+                    if let Node::Leaf { prev, .. } = &mut self.arena[r_next] {
+                        *prev = left;
+                    }
+                }
+            }
+            (
+                Node::Internal { keys, children },
+                Node::Internal {
+                    keys: mut r_keys,
+                    children: mut r_children,
+                },
+            ) => {
+                keys.push(sep);
+                keys.append(&mut r_keys);
+                children.append(&mut r_children);
+            }
+            _ => unreachable!("sibling kind mismatch"),
+        }
+        self.free(right);
+    }
+
+    /// Iterate entries in key order over the given bounds. Counts read
+    /// visits for the descent and each leaf traversed.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> RangeIter<'_, K, V> {
+        let (leaf, pos) = match lo {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) => {
+                let leaf = self.descend_to_leaf(k);
+                let pos = match &self.arena[leaf] {
+                    Node::Leaf { entries, .. } => entries
+                        .binary_search_by(|(ek, _)| ek.cmp(k))
+                        .unwrap_or_else(|i| i),
+                    _ => unreachable!(),
+                };
+                (leaf, pos)
+            }
+            Bound::Excluded(k) => {
+                let leaf = self.descend_to_leaf(k);
+                let pos = match &self.arena[leaf] {
+                    Node::Leaf { entries, .. } => match entries.binary_search_by(|(ek, _)| ek.cmp(k)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    },
+                    _ => unreachable!(),
+                };
+                (leaf, pos)
+            }
+        };
+        RangeIter {
+            tree: self,
+            leaf,
+            pos,
+            hi: match hi {
+                Bound::Unbounded => Bound::Unbounded,
+                Bound::Included(k) => Bound::Included(k.clone()),
+                Bound::Excluded(k) => Bound::Excluded(k.clone()),
+            },
+        }
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    fn leftmost_leaf(&self) -> NodeId {
+        let mut node = self.root;
+        loop {
+            self.bump_read();
+            match &self.arena[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal { children, .. } => node = children[0],
+                Node::Free { .. } => unreachable!(),
+            }
+        }
+    }
+
+    /// Validate structural invariants (sortedness, occupancy, leaf links).
+    /// Used by tests; O(n).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Sortedness via full iteration.
+        let mut last: Option<&K> = None;
+        let mut count = 0usize;
+        let mut leaf = self.leftmost_leaf();
+        let mut prev_leaf = NO_NODE;
+        while leaf != NO_NODE {
+            match &self.arena[leaf] {
+                Node::Leaf { entries, next, prev } => {
+                    if *prev != prev_leaf {
+                        return Err(format!("leaf {leaf} prev link broken"));
+                    }
+                    for (k, _) in entries {
+                        if let Some(l) = last {
+                            if l >= k {
+                                return Err(format!("keys out of order at {k:?}"));
+                            }
+                        }
+                        last = Some(k);
+                        count += 1;
+                    }
+                    prev_leaf = leaf;
+                    leaf = *next;
+                }
+                _ => return Err("leaf chain hit non-leaf".into()),
+            }
+        }
+        if count != self.len {
+            return Err(format!("len mismatch: counted {count}, recorded {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+enum InsertResult<K, V> {
+    Inserted,
+    Replaced(V),
+    Split(K, NodeId),
+}
+
+/// Ordered iterator over a key range of a [`BTree`].
+pub struct RangeIter<'a, K, V> {
+    tree: &'a BTree<K, V>,
+    leaf: NodeId,
+    pos: usize,
+    hi: Bound<K>,
+}
+
+impl<'a, K: Ord + Clone + Debug, V: Clone> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.leaf == NO_NODE {
+                return None;
+            }
+            match &self.tree.arena[self.leaf] {
+                Node::Leaf { entries, next, .. } => {
+                    if self.pos < entries.len() {
+                        let (k, v) = &entries[self.pos];
+                        let in_range = match &self.hi {
+                            Bound::Unbounded => true,
+                            Bound::Included(h) => k <= h,
+                            Bound::Excluded(h) => k < h,
+                        };
+                        if !in_range {
+                            self.leaf = NO_NODE;
+                            return None;
+                        }
+                        self.pos += 1;
+                        return Some((k, v));
+                    }
+                    // Advance to the next leaf; count a page visit.
+                    self.tree.bump_read();
+                    self.leaf = *next;
+                    self.pos = 0;
+                }
+                _ => unreachable!("range iter on non-leaf"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: u64, fanout: usize) -> BTree<u64, u64> {
+        let mut t = BTree::new(fanout);
+        for i in 0..n {
+            t.insert(i, i * 10);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = build(1000, 8);
+        for i in 0..1000 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(t.get(&1000), None);
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BTree::new(4);
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn reverse_and_random_insert_order() {
+        let mut t = BTree::new(6);
+        let mut keys: Vec<u64> = (0..500).collect();
+        // Deterministic shuffle without rand: multiplicative permutation.
+        keys.sort_by_key(|k| (k.wrapping_mul(2654435761)) % 500);
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        t.check_invariants().unwrap();
+        let collected: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(collected, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_everything_both_directions() {
+        for fanout in [4, 5, 8, 64] {
+            let mut t = build(300, fanout);
+            for i in 0..150 {
+                assert_eq!(t.remove(&i), Some(i * 10), "fanout {fanout} key {i}");
+                t.check_invariants().unwrap();
+            }
+            for i in (150..300).rev() {
+                assert_eq!(t.remove(&i), Some(i * 10));
+            }
+            t.check_invariants().unwrap();
+            assert!(t.is_empty());
+            assert_eq!(t.height(), 1);
+        }
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = build(10, 4);
+        assert_eq!(t.remove(&999), None);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn range_scans() {
+        let t = build(100, 5);
+        let mid: Vec<u64> = t
+            .range(Bound::Included(&10), Bound::Excluded(&20))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(mid, (10..20).collect::<Vec<_>>());
+        let open: Vec<u64> = t
+            .range(Bound::Excluded(&95), Bound::Unbounded)
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(open, vec![96, 97, 98, 99]);
+        let all: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn range_empty_interval() {
+        let t = build(50, 4);
+        assert_eq!(
+            t.range(Bound::Included(&30), Bound::Excluded(&30)).count(),
+            0
+        );
+        assert_eq!(
+            t.range(Bound::Included(&200), Bound::Unbounded).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = build(10_000, 64);
+        // 64^3 > 10_000, so height should be small.
+        assert!(t.height() <= 4, "height {} too large", t.height());
+        assert!(t.node_count() >= 10_000 / 64);
+    }
+
+    #[test]
+    fn read_visits_track_depth() {
+        let t = build(10_000, 16);
+        let before = t.read_visits();
+        t.get(&5000);
+        let visited = t.read_visits() - before;
+        assert_eq!(visited as usize, t.height());
+    }
+
+    #[test]
+    fn visits_reset() {
+        let mut t = build(100, 8);
+        t.get(&5);
+        assert!(t.read_visits() > 0);
+        t.reset_visits();
+        assert_eq!(t.read_visits(), 0);
+        assert_eq!(t.write_visits(), 0);
+    }
+
+    #[test]
+    fn node_reuse_after_free() {
+        let mut t = build(500, 4);
+        let peak = t.arena.len();
+        for i in 0..500 {
+            t.remove(&i);
+        }
+        for i in 0..500 {
+            t.insert(i, i);
+        }
+        // Arena should not have grown much beyond the peak: freed nodes reused.
+        assert!(t.arena.len() <= peak + 2, "arena grew: {} vs {peak}", t.arena.len());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_remove_stress() {
+        let mut t: BTree<u64, u64> = BTree::new(4);
+        let mut model = std::collections::BTreeMap::new();
+        let mut x: u64 = 12345;
+        for _ in 0..5000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 300;
+            if x % 3 == 0 {
+                assert_eq!(t.remove(&k), model.remove(&k));
+            } else {
+                assert_eq!(t.insert(k, x), model.insert(k, x));
+            }
+        }
+        t.check_invariants().unwrap();
+        let got: Vec<_> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+    }
+}

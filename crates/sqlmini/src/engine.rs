@@ -1,0 +1,1031 @@
+//! The database engine facade.
+//!
+//! A [`Database`] is one tenant database: catalog, heaps, secondary
+//! indexes, statistics, plan cache, Query Store, DMVs. It exposes:
+//!
+//! * `execute` — optimize (with plan caching and parameter sniffing),
+//!   execute, apply the concurrency-noise model, and record Query Store /
+//!   DMV telemetry;
+//! * the **what-if API** ([`WhatIfSession`]) — cost statements under
+//!   hypothetical index configurations without materializing anything
+//!   (the AutoAdmin interface of [11] that DTA is built on);
+//! * online **DDL** — `create_index` (with a build-cost/duration model and
+//!   resource governance) and `drop_index`;
+//! * failure hooks — `restart()` resets the missing-index DMV and plan
+//!   cache exactly as a failover does, which is why the MI recommender
+//!   snapshots DMVs;
+//! * `fork()` — the storage-level snapshot a B-instance starts from (§7.1).
+
+use crate::catalog::{Catalog, CatalogError};
+use crate::clock::{Duration, SimClock, Timestamp};
+use crate::dmv::{IndexUsageDmv, MissingIndexDmv};
+use crate::exec::{execute_dml, execute_select, ActualMetrics, ExecContext, ExecError};
+use crate::heap::Heap;
+use crate::index::SecondaryIndex;
+use crate::optimizer::{optimize, CostModel, IndexGeom, MissingIndexObservation, PlannerEnv};
+use crate::plan::{Access, IndexRef, JoinStrategy, Plan, PlanEstimates, PlanId};
+use crate::query::{QueryId, QueryTemplate, Statement};
+use crate::querystore::QueryStore;
+use crate::schema::{IndexDef, IndexId, TableDef, TableId};
+use crate::stats::TableStats;
+use crate::types::{Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Azure SQL Database service tier — governs the resources available to a
+/// database (and hence execution durations and tuning budgets) [28].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
+pub enum ServiceTier {
+    /// Fraction of a core; tiny Query Store; MI-only tuning territory.
+    Basic,
+    /// Mid-range.
+    #[default]
+    Standard,
+    /// Business-critical: more cores, more tuning budget, complex apps.
+    Premium,
+}
+
+impl ServiceTier {
+    /// Effective CPU cores; wall-clock duration = cpu_time / cores.
+    pub fn cores(self) -> f64 {
+        match self {
+            ServiceTier::Basic => 0.5,
+            ServiceTier::Standard => 2.0,
+            ServiceTier::Premium => 8.0,
+        }
+    }
+
+    /// Index build rate in bytes of index produced per simulated second.
+    pub fn index_build_rate(self) -> f64 {
+        match self {
+            ServiceTier::Basic => 2.0e6,
+            ServiceTier::Standard => 10.0e6,
+            ServiceTier::Premium => 50.0e6,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DbConfig {
+    pub tier: ServiceTier,
+    /// Seed for the engine's noise model.
+    pub seed: u64,
+    /// Lognormal sigma applied to CPU time (logical metrics: small).
+    pub cpu_noise_sigma: f64,
+    /// Lognormal sigma applied to duration (physical metric: large), on
+    /// top of CPU noise — the paper's reason to validate on logical
+    /// metrics (§6).
+    pub duration_noise_sigma: f64,
+    /// Whether statistics auto-update when stale (disabling it widens the
+    /// estimate/actual gap — an ablation knob).
+    pub auto_update_stats: bool,
+    /// Sampling fraction for statistics rebuilds.
+    pub stats_sample_frac: f64,
+    pub cost_model: CostModel,
+    pub query_store_interval: Duration,
+    pub query_store_retention: Duration,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            tier: ServiceTier::Standard,
+            seed: 0,
+            cpu_noise_sigma: 0.05,
+            duration_noise_sigma: 0.35,
+            auto_update_stats: true,
+            stats_sample_frac: 0.1,
+            cost_model: CostModel::default(),
+            query_store_interval: Duration::from_hours(1),
+            query_store_retention: Duration::from_days(60),
+        }
+    }
+}
+
+/// Errors from engine operations.
+#[derive(Debug)]
+pub enum EngineError {
+    Catalog(CatalogError),
+    Exec(ExecError),
+    /// Index build aborted (resource pressure / injected fault).
+    BuildAborted(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Catalog(e) => write!(f, "catalog: {e}"),
+            EngineError::Exec(e) => write!(f, "exec: {e}"),
+            EngineError::BuildAborted(s) => write!(f, "index build aborted: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CatalogError> for EngineError {
+    fn from(e: CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// Outcome of one statement execution.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    pub query_id: QueryId,
+    pub plan_id: PlanId,
+    /// Names of indexes the executed plan referenced.
+    pub referenced_indexes: Vec<String>,
+    pub metrics: ActualMetrics,
+    /// Wall-clock duration in microseconds (CPU / cores × noise).
+    pub duration_us: f64,
+    /// The optimizer's estimates for the executed plan.
+    pub estimates: PlanEstimates,
+    /// Output rows (projected).
+    pub rows: Vec<Row>,
+}
+
+/// Report of a completed index build.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct IndexBuildReport {
+    pub index: IndexId,
+    pub heap_pages_scanned: u64,
+    pub index_size_bytes: u64,
+    /// Transaction log generated (≈ index size) — the log-pressure
+    /// phenomenon of §8.3.
+    pub log_bytes: u64,
+    pub build_duration: Duration,
+}
+
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    plan: Plan,
+    /// Missing-index observations made when the plan was compiled; they
+    /// are re-recorded into the MI DMV on *every* execution (matching the
+    /// DMV's per-execution `user_seeks` semantics).
+    missing: Vec<MissingIndexObservation>,
+    config_version: u64,
+}
+
+/// One tenant database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub name: String,
+    pub config: DbConfig,
+    clock: SimClock,
+    pub(crate) catalog: Catalog,
+    pub(crate) heaps: BTreeMap<TableId, Heap>,
+    pub(crate) indexes: BTreeMap<IndexId, SecondaryIndex>,
+    stats: BTreeMap<TableId, TableStats>,
+    query_store: QueryStore,
+    mi_dmv: MissingIndexDmv,
+    usage_dmv: IndexUsageDmv,
+    plan_cache: BTreeMap<QueryId, CachedPlan>,
+    /// Bumped on any DDL or statistics change; invalidates cached plans.
+    config_version: u64,
+    rng: StdRng,
+    /// Count of optimizer invocations (what-if overhead accounting).
+    pub optimizer_calls: u64,
+    /// Total CPU microseconds executed (all statements, ever).
+    pub total_cpu_us: f64,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>, config: DbConfig, clock: SimClock) -> Database {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let query_store = QueryStore::new(config.query_store_interval, config.query_store_retention);
+        Database {
+            name: name.into(),
+            config,
+            clock,
+            catalog: Catalog::new(),
+            heaps: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            query_store,
+            mi_dmv: MissingIndexDmv::new(),
+            usage_dmv: IndexUsageDmv::new(),
+            plan_cache: BTreeMap::new(),
+            config_version: 0,
+            rng,
+            optimizer_calls: 0,
+            total_cpu_us: 0.0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schema and data
+    // ------------------------------------------------------------------
+
+    /// Create a table.
+    pub fn create_table(&mut self, def: TableDef) -> Result<TableId, EngineError> {
+        let width = def.avg_row_width();
+        let n_cols = def.columns.len();
+        let id = self.catalog.add_table(def)?;
+        self.heaps.insert(id, Heap::new(width));
+        self.stats.insert(
+            id,
+            TableStats::build_full(std::iter::empty::<&Row>(), n_cols),
+        );
+        self.bump_config();
+        Ok(id)
+    }
+
+    /// Bulk-load rows without statement accounting (initial population).
+    pub fn load_rows(&mut self, table: TableId, rows: impl IntoIterator<Item = Row>) {
+        let heap = self.heaps.get_mut(&table).expect("table exists");
+        let ids: Vec<_> = rows.into_iter().map(|r| heap.insert(r)).collect();
+        let ix_ids: Vec<IndexId> = self.catalog.indexes_on(table).map(|(id, _)| id).collect();
+        for rid in ids {
+            let row = self.heaps[&table].peek(rid).expect("just inserted").clone();
+            for ix in &ix_ids {
+                if let Some(sx) = self.indexes.get_mut(ix) {
+                    sx.insert_row(rid, &row);
+                }
+            }
+        }
+    }
+
+    /// Rebuild statistics for a table (full or sampled per config).
+    pub fn rebuild_stats(&mut self, table: TableId) {
+        let heap = &self.heaps[&table];
+        let n_cols = self.catalog.table(table).expect("table").columns.len();
+        let frac = self.config.stats_sample_frac;
+        let stats = if frac >= 1.0 || heap.len() < 5_000 {
+            TableStats::build_full(heap.scan_quiet().map(|(_, r)| r), n_cols)
+        } else {
+            TableStats::build_sampled(
+                heap.scan_quiet().map(|(_, r)| r),
+                n_cols,
+                frac,
+                self.config.seed ^ table.0 as u64,
+            )
+        };
+        self.stats.insert(table, stats);
+        self.bump_config();
+    }
+
+    /// Rebuild statistics for every table.
+    pub fn rebuild_all_stats(&mut self) {
+        let tables: Vec<TableId> = self.catalog.tables().map(|(t, _)| t).collect();
+        for t in tables {
+            self.rebuild_stats(t);
+        }
+    }
+
+    pub(crate) fn bump_config(&mut self) {
+        self.config_version += 1;
+    }
+
+    /// Total modifications recorded against a table since its statistics
+    /// were built (used by the resumable-build reconciliation check).
+    pub(crate) fn table_modifications(&self, t: TableId) -> u64 {
+        self.stats.get(&t).map(|s| s.modifications).unwrap_or(0)
+    }
+
+    /// Reset the missing-index DMV (schema-change semantics), exposed for
+    /// DDL paths outside this module.
+    pub(crate) fn reset_mi_dmv(&mut self) {
+        self.mi_dmv.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn query_store(&self) -> &QueryStore {
+        &self.query_store
+    }
+
+    pub fn mi_dmv(&self) -> &MissingIndexDmv {
+        &self.mi_dmv
+    }
+
+    pub fn usage_dmv(&self) -> &IndexUsageDmv {
+        &self.usage_dmv
+    }
+
+    pub fn table_rows(&self, t: TableId) -> u64 {
+        self.heaps.get(&t).map(|h| h.len() as u64).unwrap_or(0)
+    }
+
+    pub fn table_stats(&self, t: TableId) -> Option<&TableStats> {
+        self.stats.get(&t)
+    }
+
+    pub fn index_size_bytes(&self, ix: IndexId) -> u64 {
+        self.indexes.get(&ix).map(|i| i.size_bytes()).unwrap_or(0)
+    }
+
+    /// Total storage (heaps + indexes) in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.heaps.values().map(Heap::size_bytes).sum::<u64>()
+            + self.indexes.values().map(SecondaryIndex::size_bytes).sum::<u64>()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Execute a statement template with a parameter binding.
+    pub fn execute(
+        &mut self,
+        template: &QueryTemplate,
+        params: &[Value],
+    ) -> Result<ExecOutcome, EngineError> {
+        let qid = template.query_id();
+        let now = self.clock.now();
+
+        // Auto-update statistics for involved tables (recompile trigger).
+        if self.config.auto_update_stats {
+            let mut to_update: Vec<TableId> = Vec::new();
+            let primary = template.statement.table();
+            if self.stats.get(&primary).is_some_and(TableStats::is_stale) {
+                to_update.push(primary);
+            }
+            if let Statement::Select(q) = &template.statement {
+                if let Some(j) = &q.join {
+                    if self.stats.get(&j.table).is_some_and(TableStats::is_stale) {
+                        to_update.push(j.table);
+                    }
+                }
+            }
+            for t in to_update {
+                self.rebuild_stats(t);
+            }
+        }
+
+        // Plan cache with parameter sniffing: the first binding after an
+        // invalidation compiles the plan everyone reuses.
+        let cached = self
+            .plan_cache
+            .get(&qid)
+            .filter(|c| c.config_version == self.config_version)
+            .map(|c| (c.plan.clone(), c.missing.clone()));
+        let (plan, missing) = match cached {
+            Some(pm) => pm,
+            None => {
+                let pm = self.compile(&template.statement, params);
+                self.plan_cache.insert(
+                    qid,
+                    CachedPlan {
+                        plan: pm.0.clone(),
+                        missing: pm.1.clone(),
+                        config_version: self.config_version,
+                    },
+                );
+                pm
+            }
+        };
+        // The MI DMV accumulates per execution, not per compile.
+        for obs in &missing {
+            self.mi_dmv.record(obs, now);
+        }
+
+        let result = self.run_plan(&template.statement, &plan, params);
+        let result = match result {
+            Ok(r) => r,
+            Err(ExecError::MissingIndex(_)) | Err(ExecError::HypotheticalPlan) => {
+                // Stale plan (index dropped since compile): recompile once.
+                let (plan, missing) = self.compile(&template.statement, params);
+                self.plan_cache.insert(
+                    qid,
+                    CachedPlan {
+                        plan: plan.clone(),
+                        missing,
+                        config_version: self.config_version,
+                    },
+                );
+                let retry = self.run_plan(&template.statement, &plan, params);
+                match retry {
+                    Ok(res) => {
+                        return self.finish_execution(template, params, &plan, res, now);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(e) => return Err(e.into()),
+        };
+        self.finish_execution(template, params, &plan, result, now)
+    }
+
+    fn compile(&mut self, stmt: &Statement, params: &[Value]) -> (Plan, Vec<MissingIndexObservation>) {
+        self.optimizer_calls += 1;
+        let env = EngineEnv { db: self };
+        let r = optimize(&env, stmt, params);
+        (r.plan, r.missing)
+    }
+
+    fn run_plan(
+        &mut self,
+        stmt: &Statement,
+        plan: &Plan,
+        params: &[Value],
+    ) -> Result<crate::exec::ExecResult, ExecError> {
+        let mut ctx = ExecContext {
+            catalog: &self.catalog,
+            heaps: &mut self.heaps,
+            indexes: &mut self.indexes,
+            cost_model: &self.config.cost_model,
+        };
+        match (stmt, plan) {
+            (Statement::Select(q), Plan::Select(sp)) => execute_select(&mut ctx, q, sp, params),
+            _ => execute_dml(&mut ctx, stmt, plan, params),
+        }
+    }
+
+    fn finish_execution(
+        &mut self,
+        template: &QueryTemplate,
+        params: &[Value],
+        plan: &Plan,
+        mut result: crate::exec::ExecResult,
+        now: Timestamp,
+    ) -> Result<ExecOutcome, EngineError> {
+        let qid = template.query_id();
+        // Concurrency noise: logical metrics get small noise, duration big.
+        let cpu_mult = self.lognormal(self.config.cpu_noise_sigma);
+        result.metrics.cpu_us *= cpu_mult;
+        let dur_mult = self.lognormal(self.config.duration_noise_sigma);
+        let duration_us = result.metrics.cpu_us / self.config.tier.cores() * dur_mult;
+
+        // Track table modifications for staleness + maintenance usage.
+        if template.statement.is_write() {
+            let affected = result.metrics.rows_returned;
+            if let Some(st) = self.stats.get_mut(&template.statement.table()) {
+                st.note_modifications(affected.max(1));
+            }
+            self.note_maintenance(template.statement.table(), affected);
+        }
+
+        // Usage DMV from plan shape.
+        self.note_usage(plan, result.metrics.rows_returned, now);
+
+        // Query Store. Write plans contain maintenance operators for every
+        // index they touch (as SQL Server update plans do), so a write
+        // statement's plan references — and plan identity — include the
+        // maintained indexes. This is what lets the validator attribute
+        // "writes got more expensive" regressions to a new index (§8.1).
+        let mut refs: Vec<String> = plan
+            .referenced_indexes()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        if template.statement.is_write() {
+            let table = template.statement.table();
+            let set_cols: Option<Vec<crate::schema::ColumnId>> = match &template.statement {
+                Statement::Update { set, .. } => Some(set.iter().map(|(c, _)| *c).collect()),
+                _ => None,
+            };
+            for (_, def) in self.catalog.indexes_on(table) {
+                let maintained = match &set_cols {
+                    // Updates only maintain indexes containing a SET column.
+                    Some(cols) => def.leaf_columns().any(|lc| cols.contains(&lc)),
+                    // Inserts/deletes maintain every index on the table.
+                    None => true,
+                };
+                if maintained && !refs.iter().any(|r| r == &def.name) {
+                    refs.push(def.name.clone());
+                }
+            }
+        }
+        let plan_id = if template.statement.is_write() {
+            // Fold the maintenance set into the plan identity so adding or
+            // dropping an index changes the write's plan.
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            plan.plan_id().0.hash(&mut h);
+            refs.hash(&mut h);
+            PlanId(h.finish())
+        } else {
+            plan.plan_id()
+        };
+        self.query_store.record(
+            template,
+            params,
+            plan_id,
+            &refs,
+            &result.metrics,
+            duration_us,
+            now,
+        );
+        self.total_cpu_us += result.metrics.cpu_us;
+
+        Ok(ExecOutcome {
+            query_id: qid,
+            plan_id,
+            referenced_indexes: refs,
+            metrics: result.metrics,
+            duration_us,
+            estimates: plan.estimates(),
+            rows: result.rows,
+        })
+    }
+
+    fn note_usage(&mut self, plan: &Plan, affected_rows: u64, now: Timestamp) {
+        let note_access = |a: &Access, dmv: &mut IndexUsageDmv| match a {
+            Access::SeqScan => {}
+            Access::IndexSeek { index, covering, .. } => {
+                if let Some(id) = index.real_id() {
+                    dmv.note_seek(id, now);
+                    if !covering {
+                        dmv.note_lookup(id);
+                    }
+                }
+            }
+            Access::IndexScan { index, .. } => {
+                if let Some(id) = index.real_id() {
+                    dmv.note_scan(id, now);
+                }
+            }
+        };
+        match plan {
+            Plan::Select(p) => {
+                note_access(&p.access, &mut self.usage_dmv);
+                if let Some(j) = &p.join {
+                    match &j.strategy {
+                        JoinStrategy::Hash { inner_access } => {
+                            note_access(inner_access, &mut self.usage_dmv)
+                        }
+                        JoinStrategy::IndexNestedLoop { inner_index, .. } => {
+                            if let Some(id) = inner_index.real_id() {
+                                self.usage_dmv.note_seek(id, now);
+                            }
+                        }
+                    }
+                }
+            }
+            Plan::Update(p) | Plan::Delete(p) => {
+                note_access(&p.access, &mut self.usage_dmv);
+            }
+            Plan::Insert { .. } => {}
+        }
+        let _ = affected_rows;
+    }
+
+    /// Record index maintenance in the usage DMV (invoked internally; also
+    /// public for tests).
+    pub fn note_maintenance(&mut self, table: TableId, affected_rows: u64) {
+        let ids: Vec<IndexId> = self.catalog.indexes_on(table).map(|(id, _)| id).collect();
+        for id in ids {
+            for _ in 0..affected_rows {
+                self.usage_dmv.note_update(id);
+            }
+        }
+    }
+
+    fn lognormal(&mut self, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        // Box–Muller.
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (sigma * z - sigma * sigma / 2.0).exp()
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create a secondary index online. Returns the build report.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<(IndexId, IndexBuildReport), EngineError> {
+        let table = def.table;
+        let tdef = self.catalog.table(table)?.clone();
+        let id = self.catalog.add_index(def.clone())?;
+        let mut ix = SecondaryIndex::new(def, &tdef);
+        let heap = self.heaps.get(&table).expect("heap exists");
+        let scanned = ix.build(heap);
+        let size = ix.size_bytes();
+        self.indexes.insert(id, ix);
+        // Schema change: the missing-index DMV resets (§5.2), which is why
+        // the MI recommender snapshots it.
+        self.mi_dmv.reset();
+        self.bump_config();
+        let build_secs = size as f64 / self.config.tier.index_build_rate();
+        let report = IndexBuildReport {
+            index: id,
+            heap_pages_scanned: scanned,
+            index_size_bytes: size,
+            log_bytes: size,
+            build_duration: Duration::from_millis((build_secs * 1000.0) as u64),
+        };
+        Ok((id, report))
+    }
+
+    /// Drop an index. The FIFO-convoy hazard of the metadata lock is
+    /// modeled in [`crate::lock`]; at the storage level the drop itself is
+    /// instantaneous.
+    pub fn drop_index(&mut self, id: IndexId) -> Result<IndexDef, EngineError> {
+        let def = self.catalog.remove_index(id)?;
+        self.indexes.remove(&id);
+        self.usage_dmv.forget(id);
+        self.mi_dmv.reset();
+        self.bump_config();
+        Ok(def)
+    }
+
+    /// Simulate a restart / failover: missing-index DMV and plan cache are
+    /// lost (the reset the MI recommender must tolerate, §5.2).
+    pub fn restart(&mut self) {
+        self.mi_dmv.reset();
+        self.plan_cache.clear();
+        self.bump_config();
+    }
+
+    /// Storage-level snapshot used to seed a B-instance: an independent
+    /// copy with its own noise stream (different seed → divergent noise,
+    /// like a different physical server).
+    pub fn fork(&self, new_name: impl Into<String>, new_seed: u64) -> Database {
+        let mut copy = self.clone();
+        copy.name = new_name.into();
+        copy.config.seed = new_seed;
+        copy.rng = StdRng::seed_from_u64(new_seed);
+        copy
+    }
+
+    // ------------------------------------------------------------------
+    // What-if API
+    // ------------------------------------------------------------------
+
+    /// Open a what-if session for hypothetical configuration costing.
+    pub fn what_if(&mut self) -> WhatIfSession<'_> {
+        WhatIfSession {
+            db: self,
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    fn index_geoms(&self, t: TableId) -> Vec<IndexGeom> {
+        self.catalog
+            .indexes_on(t)
+            .filter_map(|(id, def)| {
+                self.indexes.get(&id).map(|ix| IndexGeom {
+                    rref: IndexRef::Real {
+                        id,
+                        name: def.name.clone(),
+                    },
+                    def: def.clone(),
+                    height: ix.height() as f64,
+                    leaf_pages: ix.leaf_pages() as f64,
+                    entries: ix.len() as f64,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Planner environment over the live configuration.
+struct EngineEnv<'a> {
+    db: &'a Database,
+}
+
+impl PlannerEnv for EngineEnv<'_> {
+    fn table_def(&self, t: TableId) -> &TableDef {
+        self.db.catalog.table(t).expect("planner table")
+    }
+    fn table_stats(&self, t: TableId) -> &TableStats {
+        self.db.stats.get(&t).expect("planner stats")
+    }
+    fn heap_pages(&self, t: TableId) -> f64 {
+        self.db.heaps.get(&t).map(|h| h.page_count() as f64).unwrap_or(1.0)
+    }
+    fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
+        self.db.index_geoms(t)
+    }
+    fn cost_model(&self) -> &CostModel {
+        &self.db.config.cost_model
+    }
+}
+
+/// A what-if session: plans are costed under (real indexes ∪ added hypo
+/// indexes) ∖ removed, with nothing materialized. Each `cost` call counts
+/// as an optimizer invocation (the overhead DTA budgets, §5.3.1).
+pub struct WhatIfSession<'a> {
+    db: &'a mut Database,
+    added: Vec<IndexDef>,
+    removed: Vec<IndexId>,
+}
+
+impl WhatIfSession<'_> {
+    /// Add a hypothetical index to the configuration under test.
+    pub fn add_hypothetical(&mut self, def: IndexDef) {
+        self.added.push(def);
+    }
+
+    /// Hide an existing index from the configuration under test.
+    pub fn remove_real(&mut self, id: IndexId) {
+        self.removed.push(id);
+    }
+
+    pub fn clear(&mut self) {
+        self.added.clear();
+        self.removed.clear();
+    }
+
+    /// Cost a statement under the hypothetical configuration. Returns the
+    /// plan (may reference hypothetical indexes — not executable) and its
+    /// estimates.
+    pub fn cost(&mut self, template: &QueryTemplate, params: &[Value]) -> (Plan, PlanEstimates) {
+        self.db.optimizer_calls += 1;
+        let env = WhatIfEnv {
+            db: self.db,
+            added: &self.added,
+            removed: &self.removed,
+        };
+        let r = optimize(&env, &template.statement, params);
+        let est = r.plan.estimates();
+        (r.plan, est)
+    }
+}
+
+struct WhatIfEnv<'a> {
+    db: &'a Database,
+    added: &'a [IndexDef],
+    removed: &'a [IndexId],
+}
+
+impl PlannerEnv for WhatIfEnv<'_> {
+    fn table_def(&self, t: TableId) -> &TableDef {
+        self.db.catalog.table(t).expect("planner table")
+    }
+    fn table_stats(&self, t: TableId) -> &TableStats {
+        self.db.stats.get(&t).expect("planner stats")
+    }
+    fn heap_pages(&self, t: TableId) -> f64 {
+        self.db.heaps.get(&t).map(|h| h.page_count() as f64).unwrap_or(1.0)
+    }
+    fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
+        let mut geoms: Vec<IndexGeom> = self
+            .db
+            .index_geoms(t)
+            .into_iter()
+            .filter(|g| {
+                g.rref
+                    .real_id()
+                    .map_or(true, |id| !self.removed.contains(&id))
+            })
+            .collect();
+        let rows = self
+            .db
+            .stats
+            .get(&t)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(0.0);
+        let tdef = self.db.catalog.table(t).expect("table");
+        for def in self.added.iter().filter(|d| d.table == t) {
+            geoms.push(IndexGeom::hypothetical(def.clone(), tdef, rows));
+        }
+        geoms
+    }
+    fn cost_model(&self) -> &CostModel {
+        &self.db.config.cost_model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{CmpOp, Predicate, Scalar, SelectQuery};
+    use crate::schema::{ColumnDef, ColumnId};
+    use crate::types::ValueType;
+
+    fn orders_db() -> (Database, TableId) {
+        let clock = SimClock::new();
+        let mut db = Database::new("testdb", DbConfig::default(), clock);
+        let t = db
+            .create_table(TableDef::new(
+                "orders",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("customer_id", ValueType::Int),
+                    ColumnDef::new("status", ValueType::Int),
+                    ColumnDef::new("total", ValueType::Float),
+                ],
+            ))
+            .unwrap();
+        db.load_rows(
+            t,
+            (0..5000i64).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 200),
+                    Value::Int(i % 5),
+                    Value::Float((i % 1000) as f64),
+                ]
+            }),
+        );
+        db.rebuild_stats(t);
+        (db, t)
+    }
+
+    fn select_customer(t: TableId) -> QueryTemplate {
+        let mut q = SelectQuery::new(t);
+        q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(0), ColumnId(3)];
+        QueryTemplate::new(Statement::Select(q), 1)
+    }
+
+    #[test]
+    fn execute_records_query_store_and_mi() {
+        let (mut db, t) = orders_db();
+        let tpl = select_customer(t);
+        for i in 0..10 {
+            let out = db.execute(&tpl, &[Value::Int(i)]).unwrap();
+            assert_eq!(out.rows.len(), 25);
+        }
+        let qs = db.query_store();
+        let agg = qs.query_stats(tpl.query_id(), Timestamp::EPOCH, Timestamp(1));
+        assert_eq!(agg.count(), 10);
+        assert!(agg.cpu.mean() > 0.0);
+        // MI DMV should have accumulated an entry for customer_id.
+        assert_eq!(db.mi_dmv().len(), 1);
+        let (k, s) = db.mi_dmv().entries().next().unwrap();
+        assert_eq!(k.equality_columns, vec![ColumnId(1)]);
+        assert_eq!(s.user_seeks, 10, "MI DMV accumulates per execution");
+    }
+
+    #[test]
+    fn create_index_changes_plan_and_improves_metrics() {
+        let (mut db, t) = orders_db();
+        let tpl = select_customer(t);
+        let before = db.execute(&tpl, &[Value::Int(7)]).unwrap();
+        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let (_, report) = db.create_index(def).unwrap();
+        assert!(report.index_size_bytes > 0);
+        assert!(report.build_duration > Duration::ZERO);
+        let after = db.execute(&tpl, &[Value::Int(7)]).unwrap();
+        assert_ne!(before.plan_id, after.plan_id, "plan must change");
+        assert!(after.referenced_indexes.contains(&"ix_cust".to_string()));
+        assert!(after.metrics.logical_reads < before.metrics.logical_reads);
+        // Query Store has both plans.
+        assert_eq!(db.query_store().plan_history(tpl.query_id()).len(), 2);
+    }
+
+    #[test]
+    fn drop_index_reverts_plan() {
+        let (mut db, t) = orders_db();
+        let tpl = select_customer(t);
+        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let (id, _) = db.create_index(def).unwrap();
+        let with_ix = db.execute(&tpl, &[Value::Int(7)]).unwrap();
+        db.drop_index(id).unwrap();
+        let without = db.execute(&tpl, &[Value::Int(7)]).unwrap();
+        assert_ne!(with_ix.plan_id, without.plan_id);
+        assert!(without.referenced_indexes.is_empty());
+        assert_eq!(without.rows.len(), 25);
+    }
+
+    #[test]
+    fn what_if_costs_without_materializing() {
+        let (mut db, t) = orders_db();
+        let tpl = select_customer(t);
+        let baseline_calls = db.optimizer_calls;
+        let mut session = db.what_if();
+        let (plan_before, est_before) = session.cost(&tpl, &[Value::Int(7)]);
+        session.add_hypothetical(IndexDef::new(
+            "hypo_cust",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0), ColumnId(3)],
+        ));
+        let (plan_after, est_after) = session.cost(&tpl, &[Value::Int(7)]);
+        assert!(!plan_before.is_hypothetical());
+        assert!(plan_after.is_hypothetical());
+        assert!(est_after.cpu_us < est_before.cpu_us);
+        drop(session);
+        assert_eq!(db.optimizer_calls, baseline_calls + 2);
+        // Nothing was created.
+        assert_eq!(db.catalog().n_indexes(), 0);
+    }
+
+    #[test]
+    fn restart_resets_mi_dmv_and_plan_cache() {
+        let (mut db, t) = orders_db();
+        let tpl = select_customer(t);
+        db.execute(&tpl, &[Value::Int(1)]).unwrap();
+        assert!(!db.mi_dmv().is_empty());
+        db.restart();
+        assert!(db.mi_dmv().is_empty());
+        assert_eq!(db.mi_dmv().resets, 1);
+        // Re-execution re-optimizes and repopulates.
+        db.execute(&tpl, &[Value::Int(1)]).unwrap();
+        assert!(!db.mi_dmv().is_empty());
+    }
+
+    #[test]
+    fn writes_mark_stats_stale_and_auto_update() {
+        let (mut db, t) = orders_db();
+        let ins = QueryTemplate::new(
+            Statement::Insert {
+                table: t,
+                values: vec![
+                    Scalar::Lit(Value::Int(99999)),
+                    Scalar::Lit(Value::Int(1)),
+                    Scalar::Lit(Value::Int(1)),
+                    Scalar::Lit(Value::Float(1.0)),
+                ],
+            },
+            0,
+        );
+        for _ in 0..1600 {
+            db.execute(&ins, &[]).unwrap();
+        }
+        // Auto-update kicked in at some point: stats row count includes
+        // some of the inserts.
+        let rc = db.table_stats(t).unwrap().row_count;
+        assert!(rc > 5000, "stats should have refreshed, row_count {rc}");
+    }
+
+    #[test]
+    fn usage_dmv_tracks_seeks() {
+        let (mut db, t) = orders_db();
+        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let (id, _) = db.create_index(def).unwrap();
+        let tpl = select_customer(t);
+        for i in 0..5 {
+            db.execute(&tpl, &[Value::Int(i)]).unwrap();
+        }
+        assert_eq!(db.usage_dmv().usage(id).user_seeks, 5);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let (mut db, t) = orders_db();
+        let mut b = db.fork("b-instance", 999);
+        let tpl = select_customer(t);
+        // Mutate the fork only.
+        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        b.create_index(def).unwrap();
+        assert_eq!(db.catalog().n_indexes(), 0);
+        assert_eq!(b.catalog().n_indexes(), 1);
+        let a_out = db.execute(&tpl, &[Value::Int(7)]).unwrap();
+        let b_out = b.execute(&tpl, &[Value::Int(7)]).unwrap();
+        assert_eq!(a_out.rows.len(), b_out.rows.len());
+        assert!(b_out.metrics.logical_reads < a_out.metrics.logical_reads);
+    }
+
+    #[test]
+    fn duration_noisier_than_cpu() {
+        let (mut db, t) = orders_db();
+        let tpl = select_customer(t);
+        let mut cpus = Vec::new();
+        let mut durs = Vec::new();
+        for _ in 0..50 {
+            let o = db.execute(&tpl, &[Value::Int(7)]).unwrap();
+            cpus.push(o.metrics.cpu_us);
+            durs.push(o.duration_us);
+        }
+        let cv = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+            v.sqrt() / m
+        };
+        assert!(
+            cv(&durs) > cv(&cpus),
+            "duration CV {} must exceed cpu CV {}",
+            cv(&durs),
+            cv(&cpus)
+        );
+    }
+
+    #[test]
+    fn hinted_index_execution_fails_after_drop() {
+        let (mut db, t) = orders_db();
+        let def = IndexDef::new("ix_hint", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)])
+            .hinted();
+        let (id, _) = db.create_index(def).unwrap();
+        let mut q = SelectQuery::new(t);
+        q.predicates = vec![Predicate::eq(ColumnId(1), 7i64)];
+        q.projection = vec![ColumnId(0)];
+        q.index_hint = Some("ix_hint".into());
+        let tpl = QueryTemplate::new(Statement::Select(q), 0);
+        assert!(db.execute(&tpl, &[]).is_ok());
+        db.drop_index(id).unwrap();
+        // The engine recompiles; with the hint unsatisfiable it degrades
+        // to a scan (SQL Server would error; we degrade but the plan no
+        // longer references the hint — detectable by the caller).
+        let out = db.execute(&tpl, &[]).unwrap();
+        assert!(out.referenced_indexes.is_empty());
+    }
+}

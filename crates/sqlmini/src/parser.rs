@@ -1,0 +1,758 @@
+//! A small SQL-subset parser.
+//!
+//! Maps SQL text onto the structured [`Statement`] AST so examples and
+//! tests read naturally. The supported fragment is exactly what the engine
+//! executes:
+//!
+//! ```sql
+//! SELECT a, b FROM t [JOIN u ON t.x = u.y] [WHERE p AND q ...]
+//!     [GROUP BY c, ...] [ORDER BY c [ASC|DESC], ...] [LIMIT n]
+//! SELECT COUNT(a), SUM(b) FROM t ... (aggregates, optionally grouped)
+//! INSERT INTO t VALUES (1, 2.5, 'x', @p0)
+//! UPDATE t SET a = 1 WHERE b = 2
+//! DELETE FROM t WHERE a >= 3
+//! ```
+//!
+//! Parameters are written `@p0`, `@p1`, … Predicates are conjunctive
+//! (`AND` only), comparisons only — the sargable fragment index tuning
+//! reasons about.
+
+use crate::catalog::Catalog;
+use crate::query::{
+    AggFunc, CmpOp, JoinSpec, OrderKey, Predicate, QueryTemplate, Scalar, SelectQuery, Statement,
+};
+use crate::schema::{ColumnId, TableId};
+use crate::types::Value;
+
+/// Parse error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Param(u16),
+    Symbol(String), // ( ) , = <> != < <= > >= * .
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let b: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(b[start..i].iter().collect()));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < b.len() && b[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                if b[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let s: String = b[start..i].iter().collect();
+            if is_float {
+                toks.push(Tok::Float(s.parse().map_err(|_| {
+                    ParseError::new(format!("bad float literal '{s}'"))
+                })?));
+            } else {
+                toks.push(Tok::Int(s.parse().map_err(|_| {
+                    ParseError::new(format!("bad int literal '{s}'"))
+                })?));
+            }
+        } else if c == '\'' {
+            i += 1;
+            let start = i;
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err(ParseError::new("unterminated string literal"));
+            }
+            toks.push(Tok::Str(b[start..i].iter().collect()));
+            i += 1;
+        } else if c == '@' {
+            // @p<N>
+            i += 1;
+            if i < b.len() && (b[i] == 'p' || b[i] == 'P') {
+                i += 1;
+            }
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let s: String = b[start..i].iter().collect();
+            let n: u16 = s
+                .parse()
+                .map_err(|_| ParseError::new("bad parameter reference"))?;
+            toks.push(Tok::Param(n));
+        } else {
+            // Multi-char symbols first.
+            let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+            if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+                toks.push(Tok::Symbol(two));
+                i += 2;
+            } else {
+                toks.push(Tok::Symbol(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if let Some(Tok::Symbol(sym)) = self.peek() {
+            if sym == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected '{s}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn table_by_name(&self, name: &str) -> Result<TableId, ParseError> {
+        self.catalog
+            .table_by_name(name)
+            .map(|(id, _)| id)
+            .ok_or_else(|| ParseError::new(format!("unknown table '{name}'")))
+    }
+
+    fn column_of(&self, table: TableId, name: &str) -> Result<ColumnId, ParseError> {
+        self.catalog
+            .table(table)
+            .ok()
+            .and_then(|t| t.column_id(name))
+            .ok_or_else(|| ParseError::new(format!("unknown column '{name}'")))
+    }
+
+    /// Parse a possibly qualified column reference; returns (qualifier, column name).
+    fn column_ref(&mut self) -> Result<(Option<String>, String), ParseError> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let col = self.ident()?;
+            Ok((Some(first), col))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, ParseError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Scalar::Lit(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(Scalar::Lit(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(Scalar::Lit(Value::Str(s))),
+            Some(Tok::Param(p)) => Ok(Scalar::Param(p)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Scalar::Lit(Value::Null)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                Ok(Scalar::Lit(Value::Bool(true)))
+            }
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                Ok(Scalar::Lit(Value::Bool(false)))
+            }
+            other => Err(ParseError::new(format!("expected value, found {other:?}"))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.next() {
+            Some(Tok::Symbol(s)) => match s.as_str() {
+                "=" => Ok(CmpOp::Eq),
+                "<>" | "!=" => Ok(CmpOp::Ne),
+                "<" => Ok(CmpOp::Lt),
+                "<=" => Ok(CmpOp::Le),
+                ">" => Ok(CmpOp::Gt),
+                ">=" => Ok(CmpOp::Ge),
+                other => Err(ParseError::new(format!("unknown operator '{other}'"))),
+            },
+            other => Err(ParseError::new(format!("expected operator, found {other:?}"))),
+        }
+    }
+
+    /// Parse the WHERE clause into per-table predicate lists.
+    fn where_clause(
+        &mut self,
+        primary: (TableId, &str),
+        join: Option<(TableId, &str)>,
+    ) -> Result<(Vec<Predicate>, Vec<Predicate>), ParseError> {
+        let mut outer = Vec::new();
+        let mut inner = Vec::new();
+        loop {
+            let (qual, col) = self.column_ref()?;
+            let op = self.cmp_op()?;
+            let value = self.scalar()?;
+            let target = match &qual {
+                None => primary.0,
+                Some(q) if q == primary.1 => primary.0,
+                Some(q) => match &join {
+                    Some((jt, jn)) if q == jn => *jt,
+                    _ => return Err(ParseError::new(format!("unknown table qualifier '{q}'"))),
+                },
+            };
+            let column = self.column_of(target, &col)?;
+            let pred = Predicate { column, op, value };
+            if target == primary.0 {
+                outer.push(pred);
+            } else {
+                inner.push(pred);
+            }
+            if !self.eat_keyword("and") {
+                break;
+            }
+        }
+        Ok((outer, inner))
+    }
+
+    fn select(&mut self) -> Result<Statement, ParseError> {
+        // Projection items: parsed as names first; resolved after FROM.
+        #[derive(Debug)]
+        enum Item {
+            Col(Option<String>, String),
+            Agg(AggFunc, Option<String>, String),
+            Star,
+        }
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol("*") {
+                items.push(Item::Star);
+            } else {
+                let first = self.ident()?;
+                let agg = match first.to_ascii_lowercase().as_str() {
+                    "count" => Some(AggFunc::Count),
+                    "sum" => Some(AggFunc::Sum),
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    "avg" => Some(AggFunc::Avg),
+                    _ => None,
+                };
+                if agg.is_some() && self.eat_symbol("(") {
+                    let (qual, col) = if self.eat_symbol("*") {
+                        (None, String::new())
+                    } else {
+                        self.column_ref()?
+                    };
+                    self.expect_symbol(")")?;
+                    items.push(Item::Agg(agg.unwrap(), qual, col));
+                } else if self.eat_symbol(".") {
+                    let col = self.ident()?;
+                    items.push(Item::Col(Some(first), col));
+                } else {
+                    items.push(Item::Col(None, first));
+                }
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+
+        self.expect_keyword("from")?;
+        let tname = self.ident()?;
+        let table = self.table_by_name(&tname)?;
+        let mut q = SelectQuery::new(table);
+
+        // JOIN u ON t.a = u.b
+        let mut join_info: Option<(TableId, String)> = None;
+        if self.eat_keyword("join") {
+            let jname = self.ident()?;
+            let jt = self.table_by_name(&jname)?;
+            self.expect_keyword("on")?;
+            let (lq, lcol) = self.column_ref()?;
+            self.expect_symbol("=")?;
+            let (rq, rcol) = self.column_ref()?;
+            // Determine which side is the primary table.
+            let left_is_primary = match &lq {
+                Some(qn) => qn == &tname,
+                None => true,
+            };
+            let (outer_name, inner_name) = if left_is_primary {
+                (lcol.clone(), rcol.clone())
+            } else {
+                (rcol.clone(), lcol.clone())
+            };
+            let _ = (lq, rq);
+            let outer_col = self.column_of(table, &outer_name)?;
+            let inner_col = self.column_of(jt, &inner_name)?;
+            q.join = Some(JoinSpec {
+                table: jt,
+                outer_col,
+                inner_col,
+                predicates: vec![],
+                projection: vec![],
+            });
+            join_info = Some((jt, jname));
+        }
+
+        if self.eat_keyword("where") {
+            let (outer, inner) = self.where_clause(
+                (table, &tname),
+                join_info.as_ref().map(|(t, n)| (*t, n.as_str())),
+            )?;
+            q.predicates = outer;
+            if let Some(j) = &mut q.join {
+                j.predicates = inner;
+            }
+        }
+
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                let (_, col) = self.column_ref()?;
+                q.group_by.push(self.column_of(table, &col)?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let (_, col) = self.column_ref()?;
+                let column = self.column_of(table, &col)?;
+                let asc = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    self.eat_keyword("asc");
+                    true
+                };
+                q.order_by.push(OrderKey { column, asc });
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword("limit") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => q.limit = Some(n as usize),
+                other => return Err(ParseError::new(format!("bad LIMIT: {other:?}"))),
+            }
+        }
+
+        // Resolve projection.
+        for item in items {
+            match item {
+                Item::Star => {
+                    let n = self.catalog.table(table).unwrap().columns.len() as u32;
+                    q.projection.extend((0..n).map(ColumnId));
+                }
+                Item::Col(qual, name) => {
+                    let is_join_col = match (&qual, &join_info) {
+                        (Some(qn), Some((_, jn))) => qn == jn,
+                        _ => false,
+                    };
+                    if is_join_col {
+                        let (jt, _) = join_info.as_ref().unwrap();
+                        let c = self.column_of(*jt, &name)?;
+                        q.join.as_mut().unwrap().projection.push(c);
+                    } else {
+                        q.projection.push(self.column_of(table, &name)?);
+                    }
+                }
+                Item::Agg(f, _qual, name) => {
+                    let col = if name.is_empty() {
+                        ColumnId(0)
+                    } else {
+                        self.column_of(table, &name)?
+                    };
+                    q.aggregates.push((f, col));
+                }
+            }
+        }
+
+        Ok(Statement::Select(q))
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("into")?;
+        let tname = self.ident()?;
+        let table = self.table_by_name(&tname)?;
+        self.expect_keyword("values")?;
+        self.expect_symbol("(")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.scalar()?);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        let n_cols = self.catalog.table(table).unwrap().columns.len();
+        if values.len() != n_cols {
+            return Err(ParseError::new(format!(
+                "INSERT arity {} != table arity {n_cols}",
+                values.len()
+            )));
+        }
+        Ok(Statement::Insert { table, values })
+    }
+
+    fn update(&mut self) -> Result<Statement, ParseError> {
+        let tname = self.ident()?;
+        let table = self.table_by_name(&tname)?;
+        self.expect_keyword("set")?;
+        let mut set = Vec::new();
+        loop {
+            let (_, col) = self.column_ref()?;
+            let column = self.column_of(table, &col)?;
+            self.expect_symbol("=")?;
+            set.push((column, self.scalar()?));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let predicates = if self.eat_keyword("where") {
+            self.where_clause((table, &tname), None)?.0
+        } else {
+            vec![]
+        };
+        Ok(Statement::Update {
+            table,
+            predicates,
+            set,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("from")?;
+        let tname = self.ident()?;
+        let table = self.table_by_name(&tname)?;
+        let predicates = if self.eat_keyword("where") {
+            self.where_clause((table, &tname), None)?.0
+        } else {
+            vec![]
+        };
+        Ok(Statement::Delete { table, predicates })
+    }
+}
+
+/// Parse one SQL statement against a catalog.
+pub fn parse(catalog: &Catalog, sql: &str) -> Result<Statement, ParseError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        catalog,
+    };
+    let stmt = if p.eat_keyword("select") {
+        p.select()?
+    } else if p.eat_keyword("insert") {
+        p.insert()?
+    } else if p.eat_keyword("update") {
+        p.update()?
+    } else if p.eat_keyword("delete") {
+        p.delete()?
+    } else {
+        return Err(ParseError::new("expected SELECT/INSERT/UPDATE/DELETE"));
+    };
+    if p.pos != p.toks.len() {
+        return Err(ParseError::new(format!(
+            "trailing tokens at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parse a statement into a [`QueryTemplate`], inferring the parameter
+/// count from the highest `@pN` reference.
+pub fn parse_template(catalog: &Catalog, sql: &str) -> Result<QueryTemplate, ParseError> {
+    let stmt = parse(catalog, sql)?;
+    let mut max_param: i32 = -1;
+    let mut scan = |s: &Scalar| {
+        if let Scalar::Param(p) = s {
+            max_param = max_param.max(*p as i32);
+        }
+    };
+    match &stmt {
+        Statement::Select(q) => {
+            for p in &q.predicates {
+                scan(&p.value);
+            }
+            if let Some(j) = &q.join {
+                for p in &j.predicates {
+                    scan(&p.value);
+                }
+            }
+        }
+        Statement::Insert { values, .. } | Statement::BulkInsert { values, .. } => {
+            for v in values {
+                scan(v);
+            }
+        }
+        Statement::Update {
+            predicates, set, ..
+        } => {
+            for p in predicates {
+                scan(&p.value);
+            }
+            for (_, v) in set {
+                scan(v);
+            }
+        }
+        Statement::Delete { predicates, .. } => {
+            for p in predicates {
+                scan(&p.value);
+            }
+        }
+    }
+    Ok(QueryTemplate::new(stmt, (max_param + 1) as u16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableDef};
+    use crate::types::ValueType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("customer_id", ValueType::Int),
+                ColumnDef::new("status", ValueType::Str),
+                ColumnDef::new("total", ValueType::Float),
+            ],
+        ))
+        .unwrap();
+        c.add_table(TableDef::new(
+            "customers",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("region", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn simple_select() {
+        let c = catalog();
+        let s = parse(&c, "SELECT id, total FROM orders WHERE customer_id = 42").unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert_eq!(q.projection, vec![ColumnId(0), ColumnId(3)]);
+                assert_eq!(q.predicates.len(), 1);
+                assert_eq!(q.predicates[0].column, ColumnId(1));
+                assert_eq!(q.predicates[0].op, CmpOp::Eq);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn select_star_and_ranges() {
+        let c = catalog();
+        let s = parse(
+            &c,
+            "SELECT * FROM orders WHERE total >= 10.5 AND total < 20 AND status <> 'void'",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert_eq!(q.projection.len(), 4);
+                assert_eq!(q.predicates.len(), 3);
+                assert_eq!(q.predicates[2].op, CmpOp::Ne);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let c = catalog();
+        let s = parse(
+            &c,
+            "SELECT status, COUNT(id), SUM(total) FROM orders GROUP BY status ORDER BY status DESC LIMIT 10",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert_eq!(q.group_by, vec![ColumnId(2)]);
+                assert_eq!(q.aggregates.len(), 2);
+                assert_eq!(q.aggregates[0].0, AggFunc::Count);
+                assert!(!q.order_by[0].asc);
+                assert_eq!(q.limit, Some(10));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn join_with_qualified_predicates() {
+        let c = catalog();
+        let s = parse(
+            &c,
+            "SELECT orders.id, customers.region FROM orders \
+             JOIN customers ON orders.customer_id = customers.id \
+             WHERE orders.status = 'open' AND customers.region = 'EU'",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                let j = q.join.unwrap();
+                assert_eq!(j.outer_col, ColumnId(1));
+                assert_eq!(j.inner_col, ColumnId(0));
+                assert_eq!(q.predicates.len(), 1);
+                assert_eq!(j.predicates.len(), 1);
+                assert_eq!(j.projection, vec![ColumnId(1)]);
+                assert_eq!(q.projection, vec![ColumnId(0)]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_update_delete() {
+        let c = catalog();
+        let ins = parse(&c, "INSERT INTO orders VALUES (1, 2, 'open', 9.99)").unwrap();
+        assert!(matches!(ins, Statement::Insert { .. }));
+        let upd = parse(&c, "UPDATE orders SET status = 'done', total = 0 WHERE id = 5").unwrap();
+        match upd {
+            Statement::Update { set, predicates, .. } => {
+                assert_eq!(set.len(), 2);
+                assert_eq!(predicates.len(), 1);
+            }
+            _ => panic!(),
+        }
+        let del = parse(&c, "DELETE FROM orders WHERE total <= 0").unwrap();
+        assert!(matches!(del, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn parameters_counted() {
+        let c = catalog();
+        let t = parse_template(
+            &c,
+            "SELECT id FROM orders WHERE customer_id = @p0 AND total > @p2",
+        )
+        .unwrap();
+        assert_eq!(t.n_params, 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let c = catalog();
+        assert!(parse(&c, "SELECT id FROM nope").is_err());
+        assert!(parse(&c, "SELECT bogus FROM orders").is_err());
+        assert!(parse(&c, "FLY ME TO THE MOON").is_err());
+        assert!(parse(&c, "INSERT INTO orders VALUES (1)").is_err());
+        assert!(parse(&c, "SELECT id FROM orders WHERE").is_err());
+        assert!(parse(&c, "SELECT id FROM orders extra junk").is_err());
+        assert!(parse(&c, "SELECT id FROM orders WHERE status = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn arity_check_on_insert() {
+        let c = catalog();
+        let err = parse(&c, "INSERT INTO customers VALUES (1, 'EU', 3)").unwrap_err();
+        assert!(err.message.contains("arity"));
+    }
+
+    #[test]
+    fn null_and_bool_literals() {
+        let c = catalog();
+        let s = parse(&c, "INSERT INTO customers VALUES (1, NULL)").unwrap();
+        match s {
+            Statement::Insert { values, .. } => {
+                assert_eq!(values[1], Scalar::Lit(Value::Null));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Workload drift and continuous tuning: the lifecycle reason indexing
+//! can never be one-shot (§1.1 task v: "continuously tuning the database
+//! as the workload drifts").
+//!
+//! Acts one and two of a database's life:
+//!
+//! * **Act 1** — the app ships with feature A; the service indexes it.
+//! * **Act 2** — at day 10 the app's feature B launches (new dominant
+//!   query); feature A is retired. The service must (a) recommend a new
+//!   index for B, and (b) eventually flag A's now-unused index as a drop
+//!   candidate, while its slope test keeps stale MI candidates out.
+//!
+//! ```text
+//! cargo run -p bench --release --example drift_tuning
+//! ```
+
+use autoindex::RecoAction;
+use controlplane::{ControlPlane, DbSettings, ManagedDb, PlanePolicy, ServerSettings, Setting};
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::parser::parse_template;
+use sqlmini::schema::{ColumnDef, TableDef};
+use sqlmini::types::{Value, ValueType};
+
+fn main() {
+    let mut db = Database::new("drifting", DbConfig::default(), SimClock::new());
+    let t = db
+        .create_table(TableDef::new(
+            "items",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("feature_a_key", ValueType::Int),
+                ColumnDef::new("feature_b_key", ValueType::Int),
+                ColumnDef::new("v", ValueType::Float),
+            ],
+        ))
+        .unwrap();
+    db.load_rows(
+        t,
+        (0..40_000i64).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 800),
+                Value::Int((i * 7) % 900),
+                Value::Float((i % 300) as f64),
+            ]
+        }),
+    );
+    db.rebuild_stats(t);
+
+    let query_a =
+        parse_template(db.catalog(), "SELECT id, v FROM items WHERE feature_a_key = @p0").unwrap();
+    let query_b =
+        parse_template(db.catalog(), "SELECT id, v FROM items WHERE feature_b_key = @p0").unwrap();
+
+    let settings = DbSettings {
+        auto_create: Setting::On,
+        auto_drop: Setting::On,
+    };
+    let mut policy = PlanePolicy {
+        analysis_interval: Duration::from_hours(6),
+        validation_min_wait: Duration::from_hours(3),
+        ..PlanePolicy::default()
+    };
+    // Compress the drop analyzer's long horizon into this example's weeks.
+    policy.drops.observation_window = Duration::from_days(7);
+    let mut plane = ControlPlane::new(policy);
+    let mut mdb = ManagedDb::new(db, settings, ServerSettings::default());
+
+    let report_day = |plane: &ControlPlane, mdb: &ManagedDb, label: &str| {
+        let autos: Vec<String> = mdb
+            .db
+            .catalog()
+            .indexes()
+            .filter(|(_, d)| d.origin == sqlmini::schema::IndexOrigin::Auto)
+            .map(|(_, d)| d.to_string())
+            .collect();
+        let open_drops = plane
+            .store
+            .for_database(&mdb.db.name)
+            .filter(|r| {
+                matches!(r.recommendation.action, RecoAction::DropIndex { .. })
+                    && !r.state.is_terminal()
+            })
+            .count();
+        println!("{label}: auto indexes = {autos:?}; open drop recommendations = {open_drops}");
+    };
+
+    println!("== Act 1: feature A dominates (days 0-10) ==");
+    for hour in 0..(10 * 24) {
+        for i in 0..25 {
+            mdb.db
+                .execute(&query_a, &[Value::Int((hour * 25 + i) as i64 % 800)])
+                .unwrap();
+        }
+        mdb.db.clock().advance(Duration::from_hours(1));
+        plane.tick(&mut mdb);
+    }
+    report_day(&plane, &mdb, "day 10");
+
+    println!("\n== Act 2: feature B launches, feature A retired (days 10-28) ==");
+    for hour in 0..(18 * 24) {
+        for i in 0..25 {
+            mdb.db
+                .execute(&query_b, &[Value::Int((hour * 25 + i) as i64 % 900)])
+                .unwrap();
+        }
+        mdb.db.clock().advance(Duration::from_hours(1));
+        plane.tick(&mut mdb);
+    }
+    report_day(&plane, &mdb, "day 28");
+
+    println!("\n-- final recommendation ledger --");
+    for r in plane.store.all() {
+        println!(
+            "  {} [{:?}] {}",
+            r.id,
+            r.state,
+            r.recommendation.action.describe()
+        );
+    }
+
+    let has_b_index = mdb.db.catalog().indexes().any(|(_, d)| {
+        d.origin == sqlmini::schema::IndexOrigin::Auto
+            && d.key_columns.contains(&sqlmini::schema::ColumnId(2))
+    });
+    let a_drop_flagged = plane.store.all().any(|r| {
+        matches!(&r.recommendation.action,
+            RecoAction::DropIndex { name, .. } if name.contains("c1"))
+    });
+    println!(
+        "\nfeature B auto-indexed: {has_b_index}; feature A index flagged for drop: {a_drop_flagged}"
+    );
+    println!("the service followed the workload across the drift without human input.");
+}

@@ -1,0 +1,144 @@
+//! Quickstart: the auto-indexing loop on one database, end to end.
+//!
+//! Creates a small database through the SQL API, runs a workload, asks
+//! the Missing-Indexes recommender for advice, implements the top
+//! recommendation, and validates the improvement statistically — the
+//! whole §1.3 loop in one file.
+//!
+//! ```text
+//! cargo run -p bench --release --example quickstart
+//! ```
+
+use autoindex::classifier::ImpactClassifier;
+use autoindex::mi::{recommend, MiConfig, MiSnapshotStore};
+use autoindex::validator::{validate, ChangeKind, ValidatorConfig};
+use autoindex::RecoAction;
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::parser::parse_template;
+use sqlmini::schema::{ColumnDef, TableDef};
+use sqlmini::types::{Value, ValueType};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A database with a table and no indexes.
+    // ------------------------------------------------------------------
+    let clock = SimClock::new();
+    let mut db = Database::new("quickstart", DbConfig::default(), clock);
+    let orders = db
+        .create_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("customer_id", ValueType::Int),
+                ColumnDef::new("status", ValueType::Str),
+                ColumnDef::new("total", ValueType::Float),
+            ],
+        ))
+        .unwrap();
+    db.load_rows(
+        orders,
+        (0..50_000i64).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 1000),
+                Value::Str(if i % 4 == 0 { "open" } else { "done" }.into()),
+                Value::Float((i % 500) as f64),
+            ]
+        }),
+    );
+    db.rebuild_stats(orders);
+    println!("loaded {} rows into `orders`\n", db.table_rows(orders));
+
+    // ------------------------------------------------------------------
+    // 2. The application's hot query, written in SQL.
+    // ------------------------------------------------------------------
+    let lookup = parse_template(
+        db.catalog(),
+        "SELECT id, total FROM orders WHERE customer_id = @p0",
+    )
+    .unwrap();
+
+    let mut store = MiSnapshotStore::new();
+    let run_workload = |db: &mut Database, store: &mut MiSnapshotStore, hours: u64| {
+        let start = db.clock().now();
+        for h in 0..hours {
+            for i in 0..30 {
+                db.execute(&lookup, &[Value::Int((h * 30 + i) as i64 % 1000)])
+                    .unwrap();
+            }
+            db.clock().advance(Duration::from_hours(1));
+            store.take_snapshot(db);
+        }
+        (start, db.clock().now())
+    };
+
+    let before_window = run_workload(&mut db, &mut store, 6);
+    let sample = db.execute(&lookup, &[Value::Int(7)]).unwrap();
+    println!(
+        "before tuning: the lookup reads {} pages / {:.0}us CPU per execution (table scan)",
+        sample.metrics.logical_reads, sample.metrics.cpu_us
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Ask the MI recommender.
+    // ------------------------------------------------------------------
+    let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+    println!("\nMI recommender produced {} recommendation(s):", analysis.recommendations.len());
+    for r in &analysis.recommendations {
+        println!(
+            "  {}   est. improvement {:.0}%   est. size {} KiB",
+            r.action.describe(),
+            r.estimated_improvement * 100.0,
+            r.estimated_size_bytes / 1024
+        );
+    }
+    let reco = analysis.recommendations.first().expect("a recommendation");
+
+    // ------------------------------------------------------------------
+    // 4. Implement it (online) and keep the workload running.
+    // ------------------------------------------------------------------
+    let RecoAction::CreateIndex { def } = &reco.action else {
+        unreachable!("MI only proposes creates")
+    };
+    let index_name = def.name.clone();
+    let (_, report) = db.create_index(def.clone()).unwrap();
+    println!(
+        "\ncreated {index_name} online: {} KiB built in {}, {} KiB of log",
+        report.index_size_bytes / 1024,
+        report.build_duration,
+        report.log_bytes / 1024
+    );
+
+    let after_window = run_workload(&mut db, &mut store, 6);
+    let sample = db.execute(&lookup, &[Value::Int(7)]).unwrap();
+    println!(
+        "after tuning: the lookup reads {} pages / {:.0}us CPU per execution (index seek)",
+        sample.metrics.logical_reads, sample.metrics.cpu_us
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Validate the change statistically (Welch t-test on CPU time).
+    // ------------------------------------------------------------------
+    let outcome = validate(
+        &db,
+        &index_name,
+        ChangeKind::Created,
+        before_window,
+        after_window,
+        &ValidatorConfig::default(),
+    );
+    println!("\nvalidation verdict: {:?}", outcome.verdict);
+    for s in &outcome.statements {
+        println!(
+            "  query {}: CPU {:.0}us -> {:.0}us ({:+.0}%), t = {:.1}, p = {:.4}",
+            s.query_id,
+            s.cpu_before.mean,
+            s.cpu_after.mean,
+            s.cpu_change * 100.0,
+            s.cpu_test.map(|t| t.t).unwrap_or(f64::NAN),
+            s.cpu_test.map(|t| t.p_two_sided).unwrap_or(f64::NAN),
+        );
+    }
+    println!("\n(the control plane automates exactly this loop — see the saas_fleet example)");
+}

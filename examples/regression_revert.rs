@@ -1,0 +1,118 @@
+//! Regression and auto-revert: the validator earning its keep.
+//!
+//! The Missing-Indexes recommender never sees index maintenance costs
+//! (§5.2), so on a write-heavy table it can recommend an index whose
+//! SELECT-side benefit is dwarfed by the extra work every INSERT and
+//! UPDATE now pays. The paper's answer is not a smarter estimator — it is
+//! **measurement**: validate actual execution costs and auto-revert
+//! (§6, §8.1: "many reverts are due to writes becoming more expensive").
+//!
+//! This example builds exactly that trap, lets the control plane walk
+//! into it, and shows the state machine go
+//! `Active → Implementing → Validating → Reverting → Reverted`.
+//!
+//! ```text
+//! cargo run -p bench --release --example regression_revert
+//! ```
+
+use controlplane::{
+    ControlPlane, DbSettings, EventKind, ManagedDb, PlanePolicy, ServerSettings, Setting,
+};
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::parser::parse_template;
+use sqlmini::schema::{ColumnDef, TableDef};
+use sqlmini::types::{Value, ValueType};
+
+fn main() {
+    let mut db = Database::new("writeheavy", DbConfig::default(), SimClock::new());
+    let events = db
+        .create_table(TableDef::new(
+            "events",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("device_id", ValueType::Int),
+                ColumnDef::new("payload", ValueType::Float),
+            ],
+        ))
+        .unwrap();
+    db.load_rows(
+        events,
+        (0..30_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 500), Value::Float(0.0)]),
+    );
+    db.rebuild_stats(events);
+
+    // A rare dashboard query (generates MI demand for device_id)...
+    let dashboard = parse_template(
+        db.catalog(),
+        "SELECT id, payload FROM events WHERE device_id = @p0",
+    )
+    .unwrap();
+    // ...swamped by an ingest firehose.
+    let ingest =
+        parse_template(db.catalog(), "INSERT INTO events VALUES (@p0, @p1, 0.5)").unwrap();
+
+    let settings = DbSettings {
+        auto_create: Setting::On,
+        auto_drop: Setting::On,
+    };
+    let mut mdb = ManagedDb::new(db, settings, ServerSettings::default());
+    let mut plane = ControlPlane::new(PlanePolicy {
+        analysis_interval: Duration::from_hours(4),
+        validation_min_wait: Duration::from_hours(2),
+        ..PlanePolicy::default()
+    });
+
+    let mut next_id = 30_000i64;
+    println!("driving a 95%-write workload under the control plane...\n");
+    for hour in 0..48u64 {
+        // 3 dashboard queries, 60 inserts per hour.
+        for i in 0..3 {
+            mdb.db
+                .execute(&dashboard, &[Value::Int((hour * 3 + i) as i64 % 500)])
+                .unwrap();
+        }
+        for _ in 0..60 {
+            mdb.db
+                .execute(&ingest, &[Value::Int(next_id), Value::Int(next_id % 500)])
+                .unwrap();
+            next_id += 1;
+        }
+        mdb.db.clock().advance(Duration::from_hours(1));
+        plane.tick(&mut mdb);
+    }
+
+    println!("-- recommendation histories --");
+    for r in plane.store.all() {
+        println!(
+            "{} [{:?}] {}  (source {:?})",
+            r.id,
+            r.state,
+            r.recommendation.action.describe(),
+            r.recommendation.source
+        );
+        for t in &r.history {
+            println!("    {} {:?} -> {:?}  {}", t.at, t.from, t.to, t.note);
+        }
+    }
+
+    println!("\n-- telemetry --");
+    for (k, v) in plane.telemetry.counters() {
+        println!("  {k:?}: {v}");
+    }
+    let reverts = plane.telemetry.count(EventKind::RevertSucceeded);
+    let regressions = plane.telemetry.count(EventKind::ValidationRegressed);
+    println!(
+        "\nthe validator detected {regressions} regression(s) and reverted {reverts} index(es);\n\
+         the ingest statement's CPU had risen from the new index's maintenance, and no\n\
+         amount of optimizer estimation would have caught that — only measurement does."
+    );
+    assert!(
+        mdb.db
+            .catalog()
+            .indexes()
+            .all(|(_, d)| d.origin != sqlmini::schema::IndexOrigin::Auto)
+            || reverts == 0,
+        "any surviving auto index must have genuinely validated"
+    );
+}

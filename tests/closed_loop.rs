@@ -1,0 +1,172 @@
+//! Cross-crate integration: the full closed loop of Figure 4 — workload →
+//! Query Store/DMVs → recommender → control plane → implementation →
+//! validation → (Success | Reverted) — over generated tenants.
+
+use autoindex::RecoAction;
+use controlplane::{
+    ControlPlane, DbSettings, EventKind, ManagedDb, PlanePolicy, RecoState, RecommenderPolicy,
+    ServerSettings, Setting,
+};
+use sqlmini::clock::Duration;
+use sqlmini::engine::ServiceTier;
+use sqlmini::schema::IndexOrigin;
+use workload::{generate_tenant, TenantConfig};
+
+fn auto_settings() -> DbSettings {
+    DbSettings {
+        auto_create: Setting::On,
+        auto_drop: Setting::On,
+    }
+}
+
+fn small_tenant(seed: u64, tier: ServiceTier) -> workload::Tenant {
+    let mut cfg = TenantConfig::new(format!("cl{seed}"), seed, tier);
+    cfg.schema.min_tables = 2;
+    cfg.schema.max_tables = 3;
+    cfg.schema.min_rows = 2_000;
+    cfg.schema.max_rows = 6_000;
+    cfg.workload.base_rate_per_hour = 150.0;
+    cfg.user_indexes.n_useful = 1;
+    generate_tenant(&cfg)
+}
+
+/// Drive a tenant under management for `hours`.
+fn manage(plane: &mut ControlPlane, tenant: workload::Tenant, hours: u64) -> ManagedDb {
+    let model = tenant.model.clone();
+    let mut runner = tenant.runner.clone();
+    let mut mdb = ManagedDb::new(tenant.db, auto_settings(), ServerSettings::default());
+    for _ in 0..(hours / 2) {
+        runner.run(&mut mdb.db, &model, Duration::from_hours(2));
+        plane.tick(&mut mdb);
+    }
+    mdb
+}
+
+#[test]
+fn generated_tenant_reaches_steady_state_with_auto_indexes() {
+    let mut plane = ControlPlane::new(PlanePolicy {
+        analysis_interval: Duration::from_hours(6),
+        validation_min_wait: Duration::from_hours(3),
+        ..PlanePolicy::default()
+    });
+    let mdb = manage(&mut plane, small_tenant(3, ServiceTier::Standard), 72);
+
+    // The service created at least one auto index that survived validation.
+    let autos = mdb
+        .db
+        .catalog()
+        .indexes()
+        .filter(|(_, d)| d.origin == IndexOrigin::Auto)
+        .count();
+    assert!(autos >= 1, "states: {:?}", plane.store.count_by_state());
+    assert!(plane.store.all().any(|r| r.state == RecoState::Success));
+    // Every terminal recommendation has a coherent history: first
+    // transition starts at Active, last ends at its final state.
+    for r in plane.store.all() {
+        if let (Some(first), Some(last)) = (r.history.first(), r.history.last()) {
+            assert_eq!(first.from, RecoState::Active);
+            assert_eq!(last.to, r.state);
+        }
+    }
+}
+
+#[test]
+fn mi_only_policy_never_runs_dta() {
+    let mut plane = ControlPlane::new(PlanePolicy {
+        recommender: RecommenderPolicy::MiOnly,
+        analysis_interval: Duration::from_hours(6),
+        ..PlanePolicy::default()
+    });
+    let mdb = manage(&mut plane, small_tenant(4, ServiceTier::Premium), 48);
+    for r in plane.store.for_database(&mdb.db.name) {
+        assert_ne!(
+            r.recommendation.source,
+            autoindex::RecoSource::Dta,
+            "MI-only policy produced a DTA recommendation"
+        );
+    }
+}
+
+#[test]
+fn by_tier_policy_uses_dta_for_premium() {
+    let mut plane = ControlPlane::new(PlanePolicy {
+        recommender: RecommenderPolicy::ByTier,
+        analysis_interval: Duration::from_hours(6),
+        ..PlanePolicy::default()
+    });
+    let mdb = manage(&mut plane, small_tenant(5, ServiceTier::Premium), 48);
+    let has_dta = plane
+        .store
+        .for_database(&mdb.db.name)
+        .any(|r| r.recommendation.source == autoindex::RecoSource::Dta);
+    assert!(has_dta, "premium tier should be tuned by DTA");
+}
+
+#[test]
+fn implemented_indexes_change_plans_and_reduce_cost() {
+    let mut plane = ControlPlane::new(PlanePolicy::default());
+    let tenant = small_tenant(6, ServiceTier::Standard);
+    // Capture an untuned cost profile first.
+    let model = tenant.model.clone();
+    let mut runner = tenant.runner.clone();
+    let mut mdb = ManagedDb::new(tenant.db, auto_settings(), ServerSettings::default());
+    runner.run(&mut mdb.db, &model, Duration::from_hours(12));
+    let early_cpu = mdb.db.total_cpu_us;
+    let early_stmts = mdb
+        .db
+        .query_store()
+        .total_resources(
+            sqlmini::querystore::Metric::CpuTime,
+            sqlmini::clock::Timestamp::EPOCH,
+            mdb.db.clock().now(),
+        );
+    assert!(early_cpu > 0.0 && early_stmts > 0.0);
+
+    for _ in 0..36 {
+        runner.run(&mut mdb.db, &model, Duration::from_hours(2));
+        plane.tick(&mut mdb);
+    }
+    // After tuning, validated improvements must be visible in telemetry.
+    assert!(
+        plane.telemetry.count(EventKind::ValidationImproved) >= 1
+            || plane.telemetry.count(EventKind::ValidationInconclusive) >= 1,
+        "telemetry: {}",
+        plane.telemetry.export_json()
+    );
+}
+
+#[test]
+fn drop_recommendations_only_target_safe_indexes() {
+    let mut cfg = TenantConfig::new("dropsafe", 9, ServiceTier::Standard);
+    cfg.user_indexes.n_useful = 2;
+    cfg.user_indexes.n_duplicate = 2;
+    cfg.user_indexes.n_unused = 1;
+    cfg.user_indexes.hint_prob = 1.0; // every useful index is hinted
+    let tenant = generate_tenant(&cfg);
+    let mut policy = PlanePolicy::default();
+    policy.drops.observation_window = Duration::from_days(2);
+    let mut plane = ControlPlane::new(policy);
+    let model = tenant.model.clone();
+    let mut runner = tenant.runner.clone();
+    let mut mdb = ManagedDb::new(tenant.db, auto_settings(), ServerSettings::default());
+    for _ in 0..(24 * 4) {
+        runner.run(&mut mdb.db, &model, Duration::from_hours(2));
+        plane.tick(&mut mdb);
+    }
+    // No drop recommendation may name a hinted index.
+    let hinted: Vec<String> = mdb
+        .db
+        .catalog()
+        .indexes()
+        .filter(|(_, d)| d.hinted)
+        .map(|(_, d)| d.name.clone())
+        .collect();
+    for r in plane.store.all() {
+        if let RecoAction::DropIndex { name, .. } = &r.recommendation.action {
+            assert!(
+                !hinted.contains(name),
+                "hinted index {name} proposed for drop"
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration: the control plane's fault tolerance — the
+//! §1.2 requirement that the service "tolerate a wide variety of software
+//! and hardware failures" with no human in the loop.
+
+use controlplane::{
+    ControlPlane, DbSettings, EventKind, FaultInjector, FaultKind, FaultPoint, ManagedDb,
+    PlanePolicy, RecoState, ServerSettings, Setting,
+};
+use sqlmini::clock::Duration;
+use sqlmini::engine::ServiceTier;
+use workload::{generate_tenant, TenantConfig};
+
+fn managed(seed: u64) -> (ManagedDb, workload::WorkloadModel, workload::WorkloadRunner) {
+    let mut cfg = TenantConfig::new(format!("ft{seed}"), seed, ServiceTier::Standard);
+    cfg.schema.min_tables = 2;
+    cfg.schema.max_tables = 2;
+    cfg.schema.min_rows = 2_000;
+    cfg.schema.max_rows = 5_000;
+    cfg.workload.base_rate_per_hour = 150.0;
+    let tenant = generate_tenant(&cfg);
+    let model = tenant.model.clone();
+    let runner = tenant.runner.clone();
+    let settings = DbSettings {
+        auto_create: Setting::On,
+        auto_drop: Setting::On,
+    };
+    (
+        ManagedDb::new(tenant.db, settings, ServerSettings::default()),
+        model,
+        runner,
+    )
+}
+
+fn drive(
+    plane: &mut ControlPlane,
+    mdb: &mut ManagedDb,
+    model: &workload::WorkloadModel,
+    runner: &mut workload::WorkloadRunner,
+    hours: u64,
+) {
+    for _ in 0..(hours / 2) {
+        runner.run(&mut mdb.db, model, Duration::from_hours(2));
+        plane.tick(mdb);
+    }
+}
+
+#[test]
+fn loop_survives_stochastic_faults_everywhere() {
+    let faults = FaultInjector::uniform(99, 0.15, 0.01);
+    let mut plane = ControlPlane::new(PlanePolicy {
+        analysis_interval: Duration::from_hours(6),
+        validation_min_wait: Duration::from_hours(3),
+        ..PlanePolicy::default()
+    })
+    .with_faults(faults);
+    let (mut mdb, model, mut runner) = managed(1);
+    drive(&mut plane, &mut mdb, &model, &mut runner, 24 * 5);
+    // Despite constant transient faults (and occasional fatal ones), the
+    // loop keeps producing terminal outcomes — nothing is wedged forever.
+    let open: Vec<_> = plane
+        .store
+        .all()
+        .filter(|r| !r.state.is_terminal())
+        .map(|r| (r.id, r.state))
+        .collect();
+    let terminal = plane.store.all().filter(|r| r.state.is_terminal()).count();
+    assert!(terminal > 0, "no terminal outcomes at all");
+    // Open recommendations are only in live states with recent activity.
+    for (_, state) in &open {
+        assert!(matches!(
+            state,
+            RecoState::Active | RecoState::Implementing | RecoState::Validating
+                | RecoState::Reverting | RecoState::Retry
+        ));
+    }
+    assert!(plane.faults.injected > 0, "the test must actually inject");
+}
+
+#[test]
+fn engine_restart_mid_loop_is_tolerated() {
+    let mut plane = ControlPlane::new(PlanePolicy::default());
+    let (mut mdb, model, mut runner) = managed(2);
+    drive(&mut plane, &mut mdb, &model, &mut runner, 12);
+    // Failover: DMVs and plan cache wiped.
+    mdb.db.restart();
+    drive(&mut plane, &mut mdb, &model, &mut runner, 36);
+    mdb.db.restart();
+    drive(&mut plane, &mut mdb, &model, &mut runner, 36);
+    // The MI snapshot store bridged the resets: recommendations still
+    // happened after restarts.
+    assert!(
+        plane.telemetry.count(EventKind::RecommendationCreated) > 0,
+        "no recommendations despite restarts"
+    );
+    assert!(plane.store.all().any(|r| r.state == RecoState::Success));
+}
+
+#[test]
+fn control_plane_crash_recovery_preserves_all_histories() {
+    let mut plane = ControlPlane::new(PlanePolicy::default());
+    let (mut mdb, model, mut runner) = managed(3);
+    drive(&mut plane, &mut mdb, &model, &mut runner, 30);
+    let before: Vec<(String, usize)> = plane
+        .store
+        .all()
+        .map(|r| (format!("{}{:?}", r.id, r.state), r.history.len()))
+        .collect();
+    plane.store.crash_and_recover();
+    let after: Vec<(String, usize)> = plane
+        .store
+        .all()
+        .map(|r| (format!("{}{:?}", r.id, r.state), r.history.len()))
+        .collect();
+    assert_eq!(before, after);
+    // Keep operating post-recovery.
+    drive(&mut plane, &mut mdb, &model, &mut runner, 30);
+}
+
+#[test]
+fn fatal_faults_raise_incidents_not_hangs() {
+    let mut faults = FaultInjector::disabled();
+    faults.script(FaultPoint::IndexBuild, 99, FaultKind::Fatal);
+    let mut plane = ControlPlane::new(PlanePolicy::default()).with_faults(faults);
+    let (mut mdb, model, mut runner) = managed(4);
+    drive(&mut plane, &mut mdb, &model, &mut runner, 48);
+    assert!(plane.telemetry.count(EventKind::ImplementFailedFatal) > 0);
+    assert!(!plane.telemetry.incidents().is_empty());
+    // All the affected recommendations are in Error (terminal), none stuck
+    // in Implementing.
+    assert!(plane.store.all().all(|r| r.state != RecoState::Implementing));
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration: the SQL surface — statements written as SQL
+//! text drive the same engine, recommender, and validation machinery.
+
+use autoindex::classifier::ImpactClassifier;
+use autoindex::mi::{recommend, MiConfig, MiSnapshotStore};
+use autoindex::RecoAction;
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::parser::{parse, parse_template};
+use sqlmini::schema::{ColumnDef, TableDef};
+use sqlmini::types::{Value, ValueType};
+
+fn shop_db() -> Database {
+    let mut db = Database::new("shop", DbConfig::default(), SimClock::new());
+    let orders = db
+        .create_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("customer_id", ValueType::Int),
+                ColumnDef::new("status", ValueType::Str),
+                ColumnDef::new("total", ValueType::Float),
+            ],
+        ))
+        .unwrap();
+    let customers = db
+        .create_table(TableDef::new(
+            "customers",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("region", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+    db.load_rows(
+        orders,
+        (0..10_000i64).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 200),
+                Value::Str(if i % 3 == 0 { "open" } else { "done" }.into()),
+                Value::Float((i % 100) as f64),
+            ]
+        }),
+    );
+    db.load_rows(
+        customers,
+        (0..200i64).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Str(format!("region_{}", i % 4)),
+            ]
+        }),
+    );
+    db.rebuild_all_stats();
+    db
+}
+
+#[test]
+fn select_dml_roundtrip_through_sql() {
+    let mut db = shop_db();
+    let q = parse_template(
+        db.catalog(),
+        "SELECT id, total FROM orders WHERE customer_id = 7 AND status = 'open'",
+    )
+    .unwrap();
+    let out = db.execute(&q, &[]).unwrap();
+    let expected = (0..10_000i64)
+        .filter(|i| i % 200 == 7 && i % 3 == 0)
+        .count();
+    assert_eq!(out.rows.len(), expected);
+
+    // UPDATE then verify through SQL again.
+    let upd = parse_template(
+        db.catalog(),
+        "UPDATE orders SET status = 'done' WHERE customer_id = 7",
+    )
+    .unwrap();
+    let res = db.execute(&upd, &[]).unwrap();
+    assert_eq!(res.metrics.rows_returned, 50);
+    let after = db.execute(&q, &[]).unwrap();
+    assert!(after.rows.is_empty());
+
+    // DELETE everything for one customer.
+    let del = parse_template(db.catalog(), "DELETE FROM orders WHERE customer_id = 7").unwrap();
+    let res = db.execute(&del, &[]).unwrap();
+    assert_eq!(res.metrics.rows_returned, 50);
+}
+
+#[test]
+fn join_group_order_through_sql() {
+    let mut db = shop_db();
+    let q = parse_template(
+        db.catalog(),
+        "SELECT orders.id, customers.region FROM orders \
+         JOIN customers ON orders.customer_id = customers.id \
+         WHERE customers.region = 'region_1' ORDER BY id ASC LIMIT 20",
+    )
+    .unwrap();
+    let out = db.execute(&q, &[]).unwrap();
+    assert_eq!(out.rows.len(), 20);
+    for row in &out.rows {
+        assert_eq!(row[1], Value::Str("region_1".into()));
+    }
+    let agg = parse_template(
+        db.catalog(),
+        "SELECT status, COUNT(id), SUM(total) FROM orders GROUP BY status",
+    )
+    .unwrap();
+    let out = db.execute(&agg, &[]).unwrap();
+    assert_eq!(out.rows.len(), 2); // open, done
+}
+
+#[test]
+fn sql_driven_workload_feeds_recommender() {
+    let mut db = shop_db();
+    let q = parse_template(
+        db.catalog(),
+        "SELECT id, total FROM orders WHERE customer_id = @p0",
+    )
+    .unwrap();
+    let mut store = MiSnapshotStore::new();
+    for h in 0..5 {
+        for i in 0..25 {
+            db.execute(&q, &[Value::Int((h * 25 + i) % 200)]).unwrap();
+        }
+        db.clock().advance(Duration::from_hours(1));
+        store.take_snapshot(&db);
+    }
+    let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+    assert_eq!(analysis.recommendations.len(), 1);
+    let RecoAction::CreateIndex { def } = &analysis.recommendations[0].action else {
+        panic!("expected a create");
+    };
+    // customer_id is column 1 of orders.
+    assert_eq!(def.key_columns, vec![sqlmini::schema::ColumnId(1)]);
+}
+
+#[test]
+fn parse_errors_are_friendly() {
+    let db = shop_db();
+    for bad in [
+        "SELECT id FROM missing_table",
+        "SELECT nope FROM orders",
+        "UPDATE orders SET",
+        "DELETE orders",
+        "INSERT INTO orders VALUES (1)",
+    ] {
+        let err = parse(db.catalog(), bad).unwrap_err();
+        assert!(!err.message.is_empty(), "{bad}");
+    }
+}
