@@ -1,0 +1,452 @@
+//! Parallel fleet control loop with deterministic replay.
+//!
+//! The paper's service runs one control plane per region over hundreds of
+//! thousands of databases; control-plane passes for distinct databases
+//! are embarrassingly parallel because every piece of tuning state is
+//! per-database. This module exploits exactly that: the fleet is split
+//! into *shard-owned* tenant states (each tenant gets its own journaled
+//! [`StateStore`] with a disjoint [`RecoId`](crate::state::RecoId)
+//! block, its own [`Telemetry`] sink, and its own per-tenant-seeded
+//! [`FaultInjector`]), and a work-stealing pool of OS threads drives
+//! `workload → ControlPlane::tick` loops for many tenants concurrently.
+//! No global mutex is touched on the hot path; global aggregates are
+//! produced by merging the per-tenant sinks **in fleet order** at
+//! quiesce.
+//!
+//! Determinism: every random decision is drawn from state seeded by the
+//! tenant's *fleet index* — never by the executing thread — so a run
+//! with `threads = N` produces byte-identical end-of-run fleet state
+//! ([`FleetReport::canonical_string`]) to a `threads = 1` serial run, no
+//! matter how tasks were stolen. That property is what makes fleet-scale
+//! failures replayable: re-run serially with the same seeds and step
+//! through the one tenant that misbehaved.
+
+use crate::faults::FaultInjector;
+use crate::plane::{ControlPlane, ManagedDb, PlanePolicy};
+use crate::state::{DbSettings, ServerSettings};
+use crate::store::StateStore;
+use crate::telemetry::{EventKind, Telemetry};
+use crossbeam::deque::{Injector, Stealer, Worker};
+use sqlmini::clock::Duration;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use workload::fleet::Tenant;
+use workload::runner::RunSummary;
+
+/// Knobs for a fleet run. Everything that influences tenant behavior
+/// lives here, so a config + fleet seed fully determines the outcome.
+#[derive(Debug, Clone)]
+pub struct FleetDriverConfig {
+    pub policy: PlanePolicy,
+    /// Simulated time advanced per tick (workload runs for the whole
+    /// interval, then the control plane takes one pass).
+    pub tick_interval: Duration,
+    /// Auto-indexing settings applied to every tenant.
+    pub settings: DbSettings,
+    /// When set, each tenant gets a stochastic fault injector seeded
+    /// from this value and the tenant's fleet index.
+    pub fault_seed: Option<u64>,
+    pub fault_transient_prob: f64,
+    pub fault_fatal_prob: f64,
+    /// Each tenant's store allocates RecoIds from
+    /// `index * id_stride`, keeping ids disjoint fleet-wide.
+    pub id_stride: u64,
+}
+
+impl Default for FleetDriverConfig {
+    fn default() -> FleetDriverConfig {
+        FleetDriverConfig {
+            policy: PlanePolicy::default(),
+            tick_interval: Duration::from_hours(1),
+            settings: DbSettings::all_on(),
+            fault_seed: None,
+            fault_transient_prob: 0.0,
+            fault_fatal_prob: 0.0,
+            id_stride: 1_000_000,
+        }
+    }
+}
+
+/// End-of-run state of one tenant, in a canonically serializable form.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantOutcome {
+    pub name: String,
+    /// Recommendations ever tracked for this tenant.
+    pub recommendations: usize,
+    /// Recommendation count per state name.
+    pub by_state: BTreeMap<String, usize>,
+    /// Validation verdict counters (the `Validation*` event kinds).
+    pub verdicts: BTreeMap<String, u64>,
+    /// Fault/failure counters (transient + fatal + lock timeouts).
+    pub faults: BTreeMap<String, u64>,
+    pub incidents: usize,
+    /// Journal length — proxy for state-store write traffic.
+    pub journal_len: usize,
+    /// Final index names on the tenant database, sorted.
+    pub indexes: Vec<String>,
+    pub statements: u64,
+    pub errors: u64,
+    pub rows_returned: u64,
+}
+
+impl TenantOutcome {
+    fn collect(name: String, plane: &ControlPlane, mdb: &ManagedDb, run: &RunSummary) -> TenantOutcome {
+        const VERDICT_KINDS: [EventKind; 4] = [
+            EventKind::ValidationImproved,
+            EventKind::ValidationInconclusive,
+            EventKind::ValidationRegressed,
+            EventKind::ValidationNoData,
+        ];
+        const FAULT_KINDS: [EventKind; 5] = [
+            EventKind::ImplementFailedTransient,
+            EventKind::ImplementFailedFatal,
+            EventKind::RevertFailedTransient,
+            EventKind::DropLockTimedOut,
+            EventKind::DtaSessionAborted,
+        ];
+        let counter_map = |kinds: &[EventKind]| -> BTreeMap<String, u64> {
+            kinds
+                .iter()
+                .map(|k| (format!("{k:?}"), plane.telemetry.count(*k)))
+                .filter(|(_, v)| *v > 0)
+                .collect()
+        };
+        let mut indexes: Vec<String> = mdb
+            .db
+            .catalog()
+            .indexes()
+            .map(|(_, def)| def.name.clone())
+            .collect();
+        indexes.sort_unstable();
+        TenantOutcome {
+            name,
+            recommendations: plane.store.len(),
+            by_state: plane.store.count_by_state(),
+            verdicts: counter_map(&VERDICT_KINDS),
+            faults: counter_map(&FAULT_KINDS),
+            incidents: plane.telemetry.incidents().len(),
+            journal_len: plane.store.journal_len(),
+            indexes,
+            statements: run.statements,
+            errors: run.errors,
+            rows_returned: run.rows_returned,
+        }
+    }
+}
+
+/// Merged end-of-run state of the whole fleet. Everything except
+/// `threads` and `elapsed` is identical between serial and parallel
+/// runs of the same fleet + config.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, in fleet order.
+    pub tenants: Vec<TenantOutcome>,
+    /// All tenants' telemetry, merged in fleet order.
+    pub telemetry: Telemetry,
+    /// Fleet-wide recommendation count per state name.
+    pub by_state: BTreeMap<String, usize>,
+    pub statements: u64,
+    pub errors: u64,
+    pub ticks: u32,
+    pub threads: usize,
+    pub elapsed: std::time::Duration,
+}
+
+impl FleetReport {
+    fn assemble(
+        results: Vec<(TenantOutcome, Telemetry)>,
+        ticks: u32,
+        threads: usize,
+        elapsed: std::time::Duration,
+    ) -> FleetReport {
+        // Quiesce: fold the shard-owned sinks in fleet order.
+        let telemetry = Telemetry::merged(results.iter().map(|(_, tel)| tel));
+        let mut by_state: BTreeMap<String, usize> = BTreeMap::new();
+        let mut statements = 0u64;
+        let mut errors = 0u64;
+        let mut tenants = Vec::with_capacity(results.len());
+        for (outcome, _) in results {
+            for (state, n) in &outcome.by_state {
+                *by_state.entry(state.clone()).or_default() += n;
+            }
+            statements += outcome.statements;
+            errors += outcome.errors;
+            tenants.push(outcome);
+        }
+        FleetReport {
+            tenants,
+            telemetry,
+            by_state,
+            statements,
+            errors,
+            ticks,
+            threads,
+            elapsed,
+        }
+    }
+
+    /// Canonical serialization of the end-of-run fleet state: one JSON
+    /// line per tenant (in fleet order) plus the merged counters.
+    /// Serial and parallel runs of the same fleet + config produce
+    /// byte-identical output — the determinism contract the property
+    /// and integration tests pin down.
+    pub fn canonical_string(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tenants {
+            out.push_str(&serde_json::to_string(t).expect("outcome serializes"));
+            out.push('\n');
+        }
+        out.push_str("counters:");
+        for (kind, n) in self.telemetry.counters() {
+            out.push_str(&format!(" {kind:?}={n}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Tenant-ticks per wall-clock second — the bench's throughput metric.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.tenants.len() as u64 * self.ticks as u64) as f64 / secs
+    }
+}
+
+/// A tenant waiting to be driven; `index` is its position in the fleet,
+/// which seeds every per-tenant random stream.
+struct TenantTask {
+    index: usize,
+    tenant: Tenant,
+}
+
+/// The parallel fleet driver. See the module docs for the sharding and
+/// determinism story.
+#[derive(Debug, Clone, Default)]
+pub struct FleetDriver {
+    pub config: FleetDriverConfig,
+}
+
+impl FleetDriver {
+    pub fn new(config: FleetDriverConfig) -> FleetDriver {
+        FleetDriver { config }
+    }
+
+    /// Drive every tenant for `ticks` control-plane passes using
+    /// `threads` worker threads (`0` and `1` both mean serial). Consumes
+    /// the fleet; the merged end-of-run state comes back in the report.
+    pub fn run(&self, fleet: Vec<Tenant>, ticks: u32, threads: usize) -> FleetReport {
+        let start = std::time::Instant::now();
+        let results = if threads > 1 && fleet.len() > 1 {
+            self.run_parallel(fleet, ticks, threads)
+        } else {
+            fleet
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| self.run_tenant(i, t, ticks))
+                .collect()
+        };
+        FleetReport::assemble(results, ticks, threads.max(1), start.elapsed())
+    }
+
+    /// The per-tenant control loop: workload slice, then one
+    /// control-plane pass, `ticks` times. All state is owned here —
+    /// nothing is shared with other tenants, which is the whole
+    /// determinism argument.
+    fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> (TenantOutcome, Telemetry) {
+        let mut plane = ControlPlane::new(self.config.policy.clone());
+        plane.store = StateStore::with_id_base(index as u64 * self.config.id_stride);
+        if let Some(seed) = self.config.fault_seed {
+            // Seeded by fleet index, NOT by worker thread: replays the
+            // same fault schedule wherever the tenant executes.
+            let tenant_seed = seed ^ (index as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            plane.faults = FaultInjector::uniform(
+                tenant_seed,
+                self.config.fault_transient_prob,
+                self.config.fault_fatal_prob,
+            );
+        }
+        let Tenant {
+            name,
+            mut db,
+            model,
+            mut runner,
+            ..
+        } = tenant;
+        // A cloned tenant shares its ancestor's SimClock (clone shares
+        // time by design, for A/B instances). Detach so this tenant owns
+        // its time stream — otherwise driving one clone of a fleet would
+        // advance time for every other clone and wreck replay.
+        db.detach_clock();
+        let mut mdb = ManagedDb::new(db, self.config.settings, ServerSettings::default());
+        let mut run = RunSummary::default();
+        for _ in 0..ticks {
+            runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
+            plane.tick(&mut mdb);
+        }
+        let outcome = TenantOutcome::collect(name, &plane, &mdb, &run);
+        (outcome, plane.telemetry)
+    }
+
+    /// Work-stealing execution: tenants start in a global injector,
+    /// each worker keeps a local deque, and idle workers steal — first
+    /// a batch from the injector, then singles from peers. A skewed
+    /// tenant therefore pins one worker while the rest drain everything
+    /// else; results land in a per-tenant slot so assembly order is
+    /// fleet order regardless of completion order.
+    fn run_parallel(
+        &self,
+        fleet: Vec<Tenant>,
+        ticks: u32,
+        threads: usize,
+    ) -> Vec<(TenantOutcome, Telemetry)> {
+        let n = fleet.len();
+        let injector = Injector::new();
+        for (index, tenant) in fleet.into_iter().enumerate() {
+            injector.push(TenantTask { index, tenant });
+        }
+        let slots: Vec<Mutex<Option<(TenantOutcome, Telemetry)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let workers: Vec<Worker<TenantTask>> =
+            (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<TenantTask>> = workers.iter().map(Worker::stealer).collect();
+
+        crossbeam::thread::scope(|scope| {
+            for (me, worker) in workers.into_iter().enumerate() {
+                let injector = &injector;
+                let stealers = &stealers;
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let task = worker
+                        .pop()
+                        .or_else(|| injector.steal_batch_and_pop(&worker).success())
+                        .or_else(|| {
+                            stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|(other, _)| *other != me)
+                                .find_map(|(_, s)| s.steal().success())
+                        });
+                    let Some(TenantTask { index, tenant }) = task else {
+                        // Injector and every deque drained: quiesce.
+                        break;
+                    };
+                    let result = self.run_tenant(index, tenant, ticks);
+                    *slots[index].lock().unwrap() = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no poisoned slot")
+                    .expect("every tenant was driven exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlmini::engine::ServiceTier;
+    use workload::fleet::{generate_fleet, TierMix};
+
+    fn small_policy() -> PlanePolicy {
+        PlanePolicy {
+            analysis_interval: Duration::from_hours(2),
+            validation_min_wait: Duration::from_hours(1),
+            ..PlanePolicy::default()
+        }
+    }
+
+    fn tiny_fleet(n: usize, seed: u64) -> Vec<Tenant> {
+        generate_fleet(
+            n,
+            TierMix {
+                basic: 1.0,
+                standard: 0.0,
+                premium: 0.0,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn serial_run_produces_per_tenant_state() {
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            ..FleetDriverConfig::default()
+        });
+        let report = driver.run(tiny_fleet(3, 11), 4, 1);
+        assert_eq!(report.tenants.len(), 3);
+        assert!(report.statements > 0);
+        // Disjoint id blocks: each tenant's store started at its stride.
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.ticks, 4);
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            ..FleetDriverConfig::default()
+        });
+        let serial = driver.run(tiny_fleet(4, 77), 3, 1);
+        let parallel = driver.run(tiny_fleet(4, 77), 3, 4);
+        assert_eq!(serial.canonical_string(), parallel.canonical_string());
+    }
+
+    #[test]
+    fn faults_are_seeded_per_tenant_not_per_thread() {
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            fault_seed: Some(42),
+            fault_transient_prob: 0.3,
+            fault_fatal_prob: 0.05,
+            ..FleetDriverConfig::default()
+        });
+        let serial = driver.run(tiny_fleet(4, 5), 3, 1);
+        let parallel = driver.run(tiny_fleet(4, 5), 3, 3);
+        assert_eq!(serial.canonical_string(), parallel.canonical_string());
+    }
+
+    #[test]
+    fn cloned_fleets_replay_independently() {
+        // Clones share SimClocks; the driver must detach them so a
+        // fleet can be cloned, driven, and the original driven again
+        // with byte-identical results (what every serial-vs-parallel
+        // bench does).
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            ..FleetDriverConfig::default()
+        });
+        let fleet = tiny_fleet(3, 21);
+        let first = driver.run(fleet.clone(), 3, 2);
+        let second = driver.run(fleet, 3, 2);
+        assert_eq!(first.canonical_string(), second.canonical_string());
+    }
+
+    #[test]
+    fn mixed_tiers_survive_the_driver() {
+        let fleet = generate_fleet(
+            4,
+            TierMix {
+                basic: 0.5,
+                standard: 0.25,
+                premium: 0.25,
+            },
+            9,
+        );
+        assert!(fleet.iter().any(|t| t.tier != ServiceTier::Basic));
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            ..FleetDriverConfig::default()
+        });
+        let report = driver.run(fleet, 2, 2);
+        assert_eq!(report.tenants.len(), 4);
+    }
+}

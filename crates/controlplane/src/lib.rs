@@ -10,6 +10,7 @@
 
 pub mod api;
 pub mod faults;
+pub mod fleet_driver;
 pub mod lock_protocol;
 pub mod plane;
 pub mod region;
@@ -20,6 +21,7 @@ pub mod telemetry;
 
 pub use api::ManagementApi;
 pub use faults::{FaultInjector, FaultKind, FaultPoint};
+pub use fleet_driver::{FleetDriver, FleetDriverConfig, FleetReport, TenantOutcome};
 pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy};
 pub use region::{GlobalDashboard, Region};
 pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};

@@ -232,6 +232,95 @@ mod tests {
     }
 
     #[test]
+    fn aborted_attempts_requeue_on_the_exponential_backoff_schedule() {
+        // One reader holds for 300s. Default protocol: 30s attempt
+        // timeout, 60s initial back-off, doubling per retry. Attempt
+        // windows are [0,30], [90,120], [240,270] — all aborted — and
+        // the 4th requeue arrives at 510s, after the reader drained, so
+        // it is granted immediately at its own arrival instant.
+        let w = vec![LockRequest {
+            id: 1,
+            mode: LockMode::Shared,
+            priority: LockPriority::Normal,
+            arrival: Timestamp(0),
+            hold: Duration::from_secs(300),
+        }];
+        let out = run_drop_protocol(&w, Timestamp(0), &DropProtocolConfig::default());
+        assert!(out.succeeded);
+        assert_eq!(out.attempts, 4, "three aborts before the free slot");
+        assert_eq!(out.granted_at, Some(Timestamp(510_000)));
+    }
+
+    #[test]
+    fn wait_window_grant_lands_at_reader_release() {
+        // Reader ends at 100s, inside the second attempt's [90,120]
+        // wait window: the attempt is NOT aborted — the waiter picks up
+        // the lock the instant the reader releases it.
+        let w = vec![LockRequest {
+            id: 1,
+            mode: LockMode::Shared,
+            priority: LockPriority::Normal,
+            arrival: Timestamp(0),
+            hold: Duration::from_secs(100),
+        }];
+        let out = run_drop_protocol(&w, Timestamp(0), &DropProtocolConfig::default());
+        assert!(out.succeeded);
+        assert_eq!(out.attempts, 2, "first window aborts, second waits it out");
+        assert_eq!(out.granted_at, Some(Timestamp(100_000)));
+    }
+
+    #[test]
+    fn zero_backoff_requeues_back_to_back() {
+        // With no back-off, aborted attempts requeue immediately after
+        // their timeout: windows [0,30], [30,60], [60,90], then the
+        // fourth waits from 90s and is granted at the 100s release.
+        let w = vec![LockRequest {
+            id: 1,
+            mode: LockMode::Shared,
+            priority: LockPriority::Normal,
+            arrival: Timestamp(0),
+            hold: Duration::from_secs(100),
+        }];
+        let cfg = DropProtocolConfig {
+            initial_backoff: Duration::ZERO,
+            ..DropProtocolConfig::default()
+        };
+        let out = run_drop_protocol(&w, Timestamp(0), &cfg);
+        assert!(out.succeeded);
+        assert_eq!(out.attempts, 4);
+        assert_eq!(out.granted_at, Some(Timestamp(100_000)));
+    }
+
+    #[test]
+    fn aborts_under_steady_traffic_never_block_and_count_their_waits() {
+        // The aborted low-priority waits happen *while* shared traffic
+        // keeps flowing; none of it may queue behind the drop, and the
+        // drop must still land on its requeue schedule.
+        let mut w = steady_workload(
+            120,
+            Timestamp(0),
+            Duration::from_secs(2),
+            Duration::from_millis(200),
+        );
+        w.push(LockRequest {
+            id: 900,
+            mode: LockMode::Shared,
+            priority: LockPriority::Normal,
+            arrival: Timestamp(0),
+            hold: Duration::from_secs(300),
+        });
+        let out = run_drop_protocol(&w, Timestamp(0), &DropProtocolConfig::default());
+        assert!(out.succeeded);
+        assert!(out.attempts >= 4, "the 300s reader aborts the early windows");
+        assert_eq!(
+            out.convoy.blocked_shared, 0,
+            "aborted low-priority waits must not convoy anyone: {:?}",
+            out.convoy
+        );
+        assert!(out.granted_at.unwrap() >= Timestamp(300_000));
+    }
+
+    #[test]
     fn uncontended_drop_succeeds_first_try() {
         let w = steady_workload(5, Timestamp(100_000), Duration::from_secs(10), Duration::from_millis(10));
         let out = run_drop_protocol(&w, Timestamp(0), &DropProtocolConfig::default());

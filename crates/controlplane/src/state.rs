@@ -233,6 +233,17 @@ pub struct DbSettings {
     pub auto_drop: Setting,
 }
 
+impl DbSettings {
+    /// Fully-automated tuning — what the fleet driver applies to every
+    /// tenant unless configured otherwise.
+    pub fn all_on() -> DbSettings {
+        DbSettings {
+            auto_create: Setting::On,
+            auto_drop: Setting::On,
+        }
+    }
+}
+
 /// Server-level defaults that databases inherit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServerSettings {

@@ -31,6 +31,16 @@ impl StateStore {
         StateStore::default()
     }
 
+    /// A store whose [`RecoId`]s start at `base`. The fleet driver gives
+    /// each tenant's shard-owned store a disjoint id block, so ids are
+    /// unique fleet-wide and independent of thread interleaving.
+    pub fn with_id_base(base: u64) -> StateStore {
+        StateStore {
+            next_id: base,
+            ..StateStore::default()
+        }
+    }
+
     fn journal_upsert(&mut self, r: &TrackedReco) {
         let line = serde_json::to_string(&JournalEntry::Upsert(Box::new(r.clone())))
             .expect("reco serializes");

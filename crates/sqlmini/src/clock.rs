@@ -167,6 +167,16 @@ impl SimClock {
         }
         Timestamp(cur)
     }
+
+    /// A new clock reading the same instant but with private state.
+    /// Cloning a `SimClock` *shares* time by design (an A/B instance
+    /// pair ticks together); detaching is how a replica becomes
+    /// temporally independent of its ancestor.
+    pub fn detached(&self) -> SimClock {
+        SimClock {
+            now: Arc::new(AtomicU64::new(self.now.load(Ordering::Acquire))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -307,6 +307,14 @@ impl Database {
         &self.clock
     }
 
+    /// Swap the clock for a detached copy at the same instant. A cloned
+    /// database shares its ancestor's clock; detaching gives this
+    /// replica a private time stream, so advancing it no longer moves
+    /// time for the ancestor (or any sibling clone).
+    pub fn detach_clock(&mut self) {
+        self.clock = self.clock.detached();
+    }
+
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }

@@ -251,7 +251,7 @@ pub fn generate_schema(cfg: &SchemaGenConfig, seed: u64) -> Vec<TableSpec> {
                 } else {
                     ColumnDist::DerivedFrom {
                         column: ColumnId(earlier[rng.random_range(0..earlier.len())]),
-                        divisor: [10u64, 100, 1000][rng.random_range(0..3)],
+                        divisor: [10u64, 100, 1000][rng.random_range(0..3usize)],
                     }
                 }
             } else {

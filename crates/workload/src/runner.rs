@@ -96,6 +96,21 @@ impl WorkloadRunner {
         summary
     }
 
+    /// One fleet-driver tick: run the workload for `slice` of simulated
+    /// time and fold the result into `total`. Extracted so the fleet
+    /// driver's inner loop and workload-level tests share the exact
+    /// same slicing semantics.
+    pub fn run_slice_into(
+        &mut self,
+        db: &mut Database,
+        model: &WorkloadModel,
+        slice: Duration,
+        total: &mut RunSummary,
+    ) {
+        let summary = self.run(db, model, slice);
+        total.merge(&summary);
+    }
+
     /// Like [`run`](Self::run) but records every executed statement.
     pub fn run_traced(
         &mut self,

@@ -1,0 +1,67 @@
+//! Fleet-driver smoke run: the CI guard for the parallel control loop.
+//!
+//! Drives 64 tenants for 4 ticks on 4 worker threads, then replays the
+//! same fleet serially and checks the end-of-run state is
+//! byte-identical — the determinism contract, exercised at a fleet size
+//! big enough to force real work stealing, small enough to finish well
+//! inside CI's two-minute budget.
+//!
+//! ```text
+//! cargo run -p bench --release --example fleet_smoke
+//! ```
+
+use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy};
+use sqlmini::clock::Duration;
+use workload::fleet::{generate_fleet, TierMix};
+
+fn main() {
+    let tenants = 64;
+    let ticks = 4;
+    let fleet = |s| {
+        generate_fleet(
+            tenants,
+            TierMix {
+                basic: 0.9,
+                standard: 0.1,
+                premium: 0.0,
+            },
+            s,
+        )
+    };
+    let driver = FleetDriver::new(FleetDriverConfig {
+        policy: PlanePolicy {
+            analysis_interval: Duration::from_hours(2),
+            validation_min_wait: Duration::from_hours(1),
+            ..PlanePolicy::default()
+        },
+        fault_seed: Some(2024),
+        fault_transient_prob: 0.1,
+        fault_fatal_prob: 0.01,
+        ..FleetDriverConfig::default()
+    });
+
+    let parallel = driver.run(fleet(7), ticks, 4);
+    println!(
+        "parallel: {} tenants x {} ticks on {} threads in {:.2?} ({:.1} tenant-ticks/s)",
+        parallel.tenants.len(),
+        parallel.ticks,
+        parallel.threads,
+        parallel.elapsed,
+        parallel.throughput(),
+    );
+    println!("fleet states: {:?}", parallel.by_state);
+    println!("telemetry:\n{}", parallel.telemetry.export_json());
+
+    let serial = driver.run(fleet(7), ticks, 1);
+    println!(
+        "serial replay in {:.2?} ({:.1} tenant-ticks/s)",
+        serial.elapsed,
+        serial.throughput(),
+    );
+    assert_eq!(
+        serial.canonical_string(),
+        parallel.canonical_string(),
+        "parallel fleet state must replay byte-identically in serial mode"
+    );
+    println!("determinism check: parallel == serial, byte for byte");
+}

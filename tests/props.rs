@@ -327,3 +327,50 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<i32>().prop_map(Value::Date),
     ]
 }
+
+// ---------------------------------------------------------------------
+// Fleet driver: parallel == serial, whatever the shape of the fleet
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The fleet driver's determinism contract, as a property: for an
+    /// arbitrary small fleet, tick count, and worker count, the
+    /// parallel run's end-of-run state — per-tenant index sets,
+    /// validation verdicts, recommendation states, and the merged
+    /// telemetry aggregates — is byte-identical to the serial run.
+    #[test]
+    fn fleet_parallel_replays_serial(
+        n_tenants in 1usize..=6,
+        ticks in 1u32..=6,
+        threads in 1usize..=4,
+        seed in any::<u16>(),
+    ) {
+        use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy};
+        use workload::fleet::{generate_fleet, TierMix};
+
+        let fleet = |s: u64| generate_fleet(
+            n_tenants,
+            TierMix { basic: 0.85, standard: 0.15, premium: 0.0 },
+            s,
+        );
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: PlanePolicy {
+                analysis_interval: sqlmini::clock::Duration::from_hours(2),
+                validation_min_wait: sqlmini::clock::Duration::from_hours(1),
+                ..PlanePolicy::default()
+            },
+            fault_seed: Some(seed as u64 ^ 0xDECAF),
+            fault_transient_prob: 0.1,
+            fault_fatal_prob: 0.01,
+            ..FleetDriverConfig::default()
+        });
+        let serial = driver.run(fleet(seed as u64), ticks, 1);
+        let parallel = driver.run(fleet(seed as u64), ticks, threads);
+        prop_assert_eq!(serial.canonical_string(), parallel.canonical_string());
+        prop_assert_eq!(&serial.by_state, &parallel.by_state);
+        prop_assert_eq!(serial.statements, parallel.statements);
+        prop_assert_eq!(serial.telemetry.counters(), parallel.telemetry.counters());
+    }
+}
