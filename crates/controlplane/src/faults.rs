@@ -28,6 +28,12 @@ pub enum FaultPoint {
     DtaSession,
     /// Control-plane state write failed.
     StateWrite,
+    /// The process died mid-journal-write, tearing the final record.
+    /// Opt-in only: [`FaultInjector::uniform`] does not arm it.
+    JournalTear,
+    /// The whole tenant worker panics mid-tick. Opt-in only; consumed by
+    /// the fleet driver's supervisor, not by the control plane.
+    TenantPanic,
 }
 
 /// Kind of injected failure.
@@ -47,9 +53,11 @@ pub struct FaultInjector {
     transient_prob: BTreeMap<FaultPoint, f64>,
     /// Probability of a fatal fault per point.
     fatal_prob: BTreeMap<FaultPoint, f64>,
-    /// Scripted faults: (remaining count, kind) consumed before any
-    /// stochastic draw.
-    scripted: BTreeMap<FaultPoint, (u32, FaultKind)>,
+    /// Scripted faults: FIFO batches of (remaining count, kind) per
+    /// point, consumed before any stochastic draw. Exhausted batches
+    /// (and emptied queues) are removed so the map never accumulates
+    /// dead entries.
+    scripted: BTreeMap<FaultPoint, Vec<(u32, FaultKind)>>,
     /// Total faults injected (diagnostics).
     pub injected: u64,
 }
@@ -90,19 +98,47 @@ impl FaultInjector {
     }
 
     /// Script the next `n` calls at `point` to fail with `kind`.
+    /// Chainable: a second script on the same point queues up *after*
+    /// any batches already pending rather than overwriting them, so a
+    /// harness can program e.g. 2 transients followed by a fatal.
     pub fn script(&mut self, point: FaultPoint, n: u32, kind: FaultKind) {
-        self.scripted.insert(point, (n, kind));
+        if n == 0 {
+            return;
+        }
+        self.scripted.entry(point).or_default().push((n, kind));
+    }
+
+    /// True when no scripted faults are pending anywhere — exhausted
+    /// scripts are removed, not left behind as zero-count residue.
+    pub fn scripted_is_empty(&self) -> bool {
+        self.scripted.is_empty()
+    }
+
+    /// Scripted faults still pending at `point` (diagnostics).
+    pub fn scripted_remaining(&self, point: FaultPoint) -> u32 {
+        self.scripted
+            .get(&point)
+            .map(|q| q.iter().map(|(n, _)| n).sum())
+            .unwrap_or(0)
     }
 
     /// Ask whether the current action fails. Consumes scripted faults
     /// first, then draws stochastically.
     pub fn check(&mut self, point: FaultPoint) -> Option<FaultKind> {
-        if let Some((n, kind)) = self.scripted.get_mut(&point) {
-            if *n > 0 {
+        if let Some(queue) = self.scripted.get_mut(&point) {
+            if let Some((n, kind)) = queue.first_mut() {
                 *n -= 1;
+                let kind = *kind;
+                if *n == 0 {
+                    queue.remove(0);
+                }
+                if queue.is_empty() {
+                    self.scripted.remove(&point);
+                }
                 self.injected += 1;
-                return Some(*kind);
+                return Some(kind);
             }
+            self.scripted.remove(&point);
         }
         let fatal = self.fatal_prob.get(&point).copied().unwrap_or(0.0);
         if fatal > 0.0 && self.rng.random::<f64>() < fatal {
@@ -142,6 +178,48 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_scripts_are_removed() {
+        let mut f = FaultInjector::disabled();
+        f.script(FaultPoint::IndexBuild, 1, FaultKind::Transient);
+        assert!(!f.scripted_is_empty());
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Transient));
+        assert!(f.scripted_is_empty(), "exhausted entry must be dropped");
+        assert_eq!(f.scripted_remaining(FaultPoint::IndexBuild), 0);
+        assert_eq!(f.check(FaultPoint::IndexBuild), None);
+    }
+
+    #[test]
+    fn scripts_chain_in_fifo_order() {
+        let mut f = FaultInjector::disabled();
+        f.script(FaultPoint::IndexBuild, 2, FaultKind::Transient);
+        f.script(FaultPoint::IndexBuild, 1, FaultKind::Fatal);
+        assert_eq!(f.scripted_remaining(FaultPoint::IndexBuild), 3);
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Transient));
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Transient));
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Fatal));
+        assert_eq!(f.check(FaultPoint::IndexBuild), None);
+        assert!(f.scripted_is_empty());
+    }
+
+    #[test]
+    fn zero_count_script_is_a_noop() {
+        let mut f = FaultInjector::disabled();
+        f.script(FaultPoint::StateWrite, 0, FaultKind::Fatal);
+        assert!(f.scripted_is_empty());
+        assert_eq!(f.check(FaultPoint::StateWrite), None);
+    }
+
+    #[test]
+    fn uniform_leaves_opt_in_points_unarmed() {
+        // JournalTear and TenantPanic must never fire from the blanket
+        // stochastic config — they are armed explicitly by chaos tests.
+        let mut f = FaultInjector::uniform(3, 1.0, 1.0);
+        assert_eq!(f.check(FaultPoint::JournalTear), None);
+        assert_eq!(f.check(FaultPoint::TenantPanic), None);
+        assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Fatal));
+    }
+
+    #[test]
     fn stochastic_rates_approximate_config() {
         let mut f = FaultInjector::uniform(7, 0.2, 0.0);
         let mut hits = 0;
@@ -165,7 +243,10 @@ mod tests {
         let mut a = FaultInjector::uniform(42, 0.3, 0.01);
         let mut b = FaultInjector::uniform(42, 0.3, 0.01);
         for _ in 0..200 {
-            assert_eq!(a.check(FaultPoint::StateWrite), b.check(FaultPoint::StateWrite));
+            assert_eq!(
+                a.check(FaultPoint::StateWrite),
+                b.check(FaultPoint::StateWrite)
+            );
         }
     }
 }

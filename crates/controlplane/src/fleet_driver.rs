@@ -21,7 +21,7 @@
 //! failures replayable: re-run serially with the same seeds and step
 //! through the one tenant that misbehaved.
 
-use crate::faults::FaultInjector;
+use crate::faults::{FaultInjector, FaultKind, FaultPoint};
 use crate::plane::{ControlPlane, ManagedDb, PlanePolicy};
 use crate::state::{DbSettings, ServerSettings};
 use crate::store::StateStore;
@@ -29,9 +29,23 @@ use crate::telemetry::{EventKind, Telemetry};
 use crossbeam::deque::{Injector, Stealer, Worker};
 use sqlmini::clock::Duration;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use workload::fleet::Tenant;
 use workload::runner::RunSummary;
+
+/// A deterministic fault script targeting one tenant of the fleet: the
+/// next `count` checks at `point` on that tenant's injector fail with
+/// `kind`. Scripts stack (they append to the tenant's queue), composing
+/// with any stochastic `fault_seed` configuration.
+#[derive(Debug, Clone)]
+pub struct TenantScript {
+    /// Fleet index of the tenant the script applies to.
+    pub tenant: usize,
+    pub point: FaultPoint,
+    pub count: u32,
+    pub kind: FaultKind,
+}
 
 /// Knobs for a fleet run. Everything that influences tenant behavior
 /// lives here, so a config + fleet seed fully determines the outcome.
@@ -51,6 +65,22 @@ pub struct FleetDriverConfig {
     /// Each tenant's store allocates RecoIds from
     /// `index * id_stride`, keeping ids disjoint fleet-wide.
     pub id_stride: u64,
+    /// Circuit breaker: this many *consecutive* ticks with at least one
+    /// injected fault quarantines the tenant (`0` disables). Counted per
+    /// tenant from per-tenant state only, so it replays deterministically.
+    pub quarantine_threshold: u32,
+    /// Ticks a quarantined tenant's control plane sits out. The tenant's
+    /// workload keeps running — the customer's database stays up; only
+    /// the tuner backs away.
+    pub quarantine_cooldown: u32,
+    /// Chaos knob: crash + recover each tenant's store at the first tick
+    /// boundary after every `k`-th journal write. Tick boundaries are
+    /// the process-restart points (no recommendation is ever mid-flight
+    /// there), so a sweep with an intact journal must replay
+    /// byte-identically to an uncrashed run.
+    pub crash_every_writes: Option<u64>,
+    /// Deterministic per-tenant fault scripts, applied at worker setup.
+    pub scripts: Vec<TenantScript>,
 }
 
 impl Default for FleetDriverConfig {
@@ -63,7 +93,28 @@ impl Default for FleetDriverConfig {
             fault_transient_prob: 0.0,
             fault_fatal_prob: 0.0,
             id_stride: 1_000_000,
+            quarantine_threshold: 0,
+            quarantine_cooldown: 0,
+            crash_every_writes: None,
+            scripts: Vec::new(),
         }
+    }
+}
+
+/// How a tenant's worker finished.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TenantStatus {
+    /// All ticks ran (possibly with quarantine windows).
+    Completed,
+    /// The worker panicked at `tick`; the supervisor caught the unwind,
+    /// froze the tenant's state as-is, and kept the rest of the fleet
+    /// running.
+    Poisoned { tick: u32, note: String },
+}
+
+impl TenantStatus {
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, TenantStatus::Poisoned { .. })
     }
 }
 
@@ -87,22 +138,36 @@ pub struct TenantOutcome {
     pub statements: u64,
     pub errors: u64,
     pub rows_returned: u64,
+    /// How the worker finished (panics surface here, not as aborts).
+    pub status: TenantStatus,
+    /// Circuit-breaker trips for this tenant.
+    pub quarantines: u64,
+    /// Ticks spent in quarantine cool-down (control plane idle).
+    pub quarantined_ticks: u64,
 }
 
 impl TenantOutcome {
-    fn collect(name: String, plane: &ControlPlane, mdb: &ManagedDb, run: &RunSummary) -> TenantOutcome {
+    fn collect(
+        name: String,
+        plane: &ControlPlane,
+        mdb: &ManagedDb,
+        run: &RunSummary,
+        supervision: SupervisionSummary,
+    ) -> TenantOutcome {
         const VERDICT_KINDS: [EventKind; 4] = [
             EventKind::ValidationImproved,
             EventKind::ValidationInconclusive,
             EventKind::ValidationRegressed,
             EventKind::ValidationNoData,
         ];
-        const FAULT_KINDS: [EventKind; 5] = [
+        const FAULT_KINDS: [EventKind; 7] = [
             EventKind::ImplementFailedTransient,
             EventKind::ImplementFailedFatal,
             EventKind::RevertFailedTransient,
             EventKind::DropLockTimedOut,
             EventKind::DtaSessionAborted,
+            EventKind::TenantQuarantined,
+            EventKind::TenantPoisoned,
         ];
         let counter_map = |kinds: &[EventKind]| -> BTreeMap<String, u64> {
             kinds
@@ -130,8 +195,18 @@ impl TenantOutcome {
             statements: run.statements,
             errors: run.errors,
             rows_returned: run.rows_returned,
+            status: supervision.status,
+            quarantines: supervision.quarantines,
+            quarantined_ticks: supervision.quarantined_ticks,
         }
     }
+}
+
+/// What the per-tenant supervisor observed over one worker's run.
+struct SupervisionSummary {
+    status: TenantStatus,
+    quarantines: u64,
+    quarantined_ticks: u64,
 }
 
 /// Merged end-of-run state of the whole fleet. Everything except
@@ -147,6 +222,10 @@ pub struct FleetReport {
     pub by_state: BTreeMap<String, usize>,
     pub statements: u64,
     pub errors: u64,
+    /// Tenants whose workers panicked and were isolated.
+    pub poisoned: usize,
+    /// Circuit-breaker trips across the fleet.
+    pub quarantines: u64,
     pub ticks: u32,
     pub threads: usize,
     pub elapsed: std::time::Duration,
@@ -164,6 +243,8 @@ impl FleetReport {
         let mut by_state: BTreeMap<String, usize> = BTreeMap::new();
         let mut statements = 0u64;
         let mut errors = 0u64;
+        let mut poisoned = 0usize;
+        let mut quarantines = 0u64;
         let mut tenants = Vec::with_capacity(results.len());
         for (outcome, _) in results {
             for (state, n) in &outcome.by_state {
@@ -171,6 +252,10 @@ impl FleetReport {
             }
             statements += outcome.statements;
             errors += outcome.errors;
+            if outcome.status.is_poisoned() {
+                poisoned += 1;
+            }
+            quarantines += outcome.quarantines;
             tenants.push(outcome);
         }
         FleetReport {
@@ -179,6 +264,8 @@ impl FleetReport {
             by_state,
             statements,
             errors,
+            poisoned,
+            quarantines,
             ticks,
             threads,
             elapsed,
@@ -211,6 +298,17 @@ impl FleetReport {
             return f64::INFINITY;
         }
         (self.tenants.len() as u64 * self.ticks as u64) as f64 / secs
+    }
+}
+
+/// Render a caught panic payload as a short note for telemetry.
+fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -254,6 +352,14 @@ impl FleetDriver {
     /// control-plane pass, `ticks` times. All state is owned here —
     /// nothing is shared with other tenants, which is the whole
     /// determinism argument.
+    ///
+    /// The loop is *supervised*: each tick runs under `catch_unwind`, so
+    /// a panicking tenant is frozen and reported as
+    /// [`TenantStatus::Poisoned`] instead of aborting the whole fleet;
+    /// consecutive faulted ticks trip a quarantine circuit-breaker; and
+    /// the chaos `crash_every_writes` knob crash-recovers the journaled
+    /// store at tick boundaries. All supervision decisions derive from
+    /// per-tenant state only, so they replay deterministically.
     fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> (TenantOutcome, Telemetry) {
         let mut plane = ControlPlane::new(self.config.policy.clone());
         plane.store = StateStore::with_id_base(index as u64 * self.config.id_stride);
@@ -266,6 +372,9 @@ impl FleetDriver {
                 self.config.fault_transient_prob,
                 self.config.fault_fatal_prob,
             );
+        }
+        for s in self.config.scripts.iter().filter(|s| s.tenant == index) {
+            plane.faults.script(s.point, s.count, s.kind);
         }
         let Tenant {
             name,
@@ -281,11 +390,74 @@ impl FleetDriver {
         db.detach_clock();
         let mut mdb = ManagedDb::new(db, self.config.settings, ServerSettings::default());
         let mut run = RunSummary::default();
-        for _ in 0..ticks {
-            runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
-            plane.tick(&mut mdb);
+        let mut supervision = SupervisionSummary {
+            status: TenantStatus::Completed,
+            quarantines: 0,
+            quarantined_ticks: 0,
+        };
+        let mut consecutive_faulted = 0u32;
+        let mut quarantined_until = 0u32;
+        let mut writes_at_last_crash = 0u64;
+        for tick in 0..ticks {
+            if tick < quarantined_until {
+                // Cool-down: the customer's workload keeps running, the
+                // tuner stays away from the tenant entirely.
+                supervision.quarantined_ticks += 1;
+                runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
+                continue;
+            }
+            let injected_before = plane.faults.injected;
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
+                if plane.faults.check(FaultPoint::TenantPanic).is_some() {
+                    panic!("injected tenant panic");
+                }
+                plane.tick(&mut mdb);
+            }));
+            if let Err(payload) = unwound {
+                let note = panic_note(payload.as_ref());
+                plane.telemetry.emit(
+                    EventKind::TenantPoisoned,
+                    &mdb.db.name,
+                    note.clone(),
+                    mdb.db.clock().now(),
+                );
+                supervision.status = TenantStatus::Poisoned { tick, note };
+                break;
+            }
+            // Chaos sweep: crash + recover at the tick boundary once
+            // enough journal writes accumulated. Recovery stays out of
+            // telemetry here so an intact-journal sweep replays
+            // byte-identically to an uncrashed run; the recovery stats
+            // remain inspectable via `StateStore::recovery_stats`.
+            if let Some(k) = self.config.crash_every_writes {
+                let written = plane.store.journal_len() as u64;
+                if written >= writes_at_last_crash.saturating_add(k.max(1)) {
+                    plane.store.crash_and_recover();
+                    writes_at_last_crash = plane.store.journal_len() as u64;
+                }
+            }
+            // Circuit breaker on consecutive faulted ticks.
+            if plane.faults.injected > injected_before {
+                consecutive_faulted += 1;
+            } else {
+                consecutive_faulted = 0;
+            }
+            if self.config.quarantine_threshold > 0
+                && consecutive_faulted >= self.config.quarantine_threshold
+            {
+                consecutive_faulted = 0;
+                supervision.quarantines += 1;
+                quarantined_until = tick + 1 + self.config.quarantine_cooldown;
+                plane.telemetry.emit(
+                    EventKind::TenantQuarantined,
+                    &mdb.db.name,
+                    format!("cool-down {} ticks", self.config.quarantine_cooldown),
+                    mdb.db.clock().now(),
+                );
+            }
         }
-        let outcome = TenantOutcome::collect(name, &plane, &mdb, &run);
+        let outcome = TenantOutcome::collect(name, &plane, &mdb, &run, supervision);
         (outcome, plane.telemetry)
     }
 
@@ -308,8 +480,7 @@ impl FleetDriver {
         }
         let slots: Vec<Mutex<Option<(TenantOutcome, Telemetry)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        let workers: Vec<Worker<TenantTask>> =
-            (0..threads).map(|_| Worker::new_fifo()).collect();
+        let workers: Vec<Worker<TenantTask>> = (0..threads).map(|_| Worker::new_fifo()).collect();
         let stealers: Vec<Stealer<TenantTask>> = workers.iter().map(Worker::stealer).collect();
 
         crossbeam::thread::scope(|scope| {

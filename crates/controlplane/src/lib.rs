@@ -21,9 +21,11 @@ pub mod telemetry;
 
 pub use api::ManagementApi;
 pub use faults::{FaultInjector, FaultKind, FaultPoint};
-pub use fleet_driver::{FleetDriver, FleetDriverConfig, FleetReport, TenantOutcome};
-pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy};
+pub use fleet_driver::{
+    FleetDriver, FleetDriverConfig, FleetReport, TenantOutcome, TenantScript, TenantStatus,
+};
+pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy, RetryPolicy};
 pub use region::{GlobalDashboard, Region};
 pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};
-pub use store::StateStore;
+pub use store::{RecoveryReport, StateStore};
 pub use telemetry::{EventKind, Telemetry};

@@ -24,8 +24,8 @@ use crate::state::{
 use crate::store::StateStore;
 use crate::telemetry::{EventKind, Telemetry};
 use autoindex::classifier::TrainingExample;
-use autoindex::dta::{tune, DtaConfig};
 use autoindex::drops::{recommend_drops, DropConfig};
+use autoindex::dta::{tune, DtaConfig};
 use autoindex::mi::{recommend as mi_recommend, MiConfig, MiSnapshotStore};
 use autoindex::validator::{validate, ChangeKind, ValidatorConfig, Verdict};
 use autoindex::{CandidateFeatures, ImpactClassifier, RecoAction, RecoSource, Recommendation};
@@ -41,6 +41,71 @@ pub enum RecommenderPolicy {
     DtaOnly,
     /// Basic/Standard → MI (low overhead); Premium → DTA (comprehensive).
     ByTier,
+}
+
+/// Exponential backoff with deterministic jitter for the Retry state.
+///
+/// At fleet scale, retrying every failed action on the very next pass is
+/// a retry storm: one flaky region makes hundreds of thousands of
+/// tenants hammer the same resource in lock-step. Delays grow
+/// geometrically from `base` up to `cap`, and each delay is jittered
+/// *early* by up to `jitter` so co-failing tenants de-synchronize. The
+/// jitter draw is a pure hash of `(seed, recommendation id, attempt)` —
+/// no RNG state — so replays are byte-identical regardless of thread
+/// interleaving.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Geometric growth factor per additional attempt.
+    pub multiplier: f64,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Jitter fraction in [0, 1]: each delay is scaled by a factor drawn
+    /// deterministically from [1 - jitter, 1].
+    pub jitter: f64,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_hours(1),
+            multiplier: 2.0,
+            cap: Duration::from_hours(12),
+            jitter: 0.25,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic uniform draw in [0, 1) from (seed, id, attempt).
+    fn jitter01(&self, id: RecoId, attempts: u32) -> f64 {
+        let mut z =
+            self.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((attempts as u64) << 32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// How long a recommendation must sit in Retry before attempt
+    /// `attempts + 1` may fire.
+    pub fn delay(&self, id: RecoId, attempts: u32) -> Duration {
+        let exponent = attempts.saturating_sub(1).min(48) as i32;
+        let exp = self.base.millis() as f64 * self.multiplier.max(1.0).powi(exponent);
+        let capped = exp.min(self.cap.millis() as f64);
+        let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * self.jitter01(id, attempts);
+        Duration::from_millis((capped * scale).round() as u64)
+    }
+
+    /// Is a retry that entered Retry at `entered` (attempt `attempts`)
+    /// eligible to resume at `now`?
+    pub fn eligible(&self, id: RecoId, attempts: u32, entered: Timestamp, now: Timestamp) -> bool {
+        now.since(entered) >= self.delay(id, attempts)
+    }
 }
 
 /// Control-plane policy knobs.
@@ -59,6 +124,8 @@ pub struct PlanePolicy {
     /// Length of the pre-change comparison window.
     pub validation_before_window: Duration,
     pub max_retry_attempts: u32,
+    /// Backoff-with-jitter discipline for resuming parked retries.
+    pub retry: RetryPolicy,
     /// Defer index builds to low-activity windows.
     pub schedule_builds: bool,
     /// Only run DTA sessions in low-activity windows (§5.3.1: DTA runs
@@ -84,6 +151,7 @@ impl Default for PlanePolicy {
             validation_max_wait: Duration::from_days(2),
             validation_before_window: Duration::from_hours(12),
             max_retry_attempts: 3,
+            retry: RetryPolicy::default(),
             schedule_builds: false,
             dta_low_activity_only: false,
             stuck_horizon: Duration::from_days(3),
@@ -153,6 +221,7 @@ impl ControlPlane {
     /// One orchestration pass over one database. Call it periodically
     /// (e.g. hourly) as simulated time advances.
     pub fn tick(&mut self, mdb: &mut ManagedDb) {
+        self.maybe_journal_tear(mdb);
         // MI snapshots are cheap and reset-sensitive: take one per tick.
         mdb.mi_store.take_snapshot(&mdb.db);
         self.maybe_analyze(mdb);
@@ -165,6 +234,62 @@ impl ControlPlane {
 
     fn effective_settings(&self, mdb: &ManagedDb) -> (bool, bool) {
         effective(mdb.settings, mdb.server)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Injected process death mid-journal-write: tear the final record,
+    /// then restart-and-recover. Armed via [`FaultPoint::JournalTear`];
+    /// a no-op for injectors that never arm it.
+    fn maybe_journal_tear(&mut self, mdb: &ManagedDb) {
+        if self.faults.check(FaultPoint::JournalTear).is_none() {
+            return;
+        }
+        let now = mdb.db.clock().now();
+        let name = mdb.db.name.clone();
+        self.store.corrupt_journal_tail();
+        self.recover_store(&name, now);
+    }
+
+    /// Crash-recover the journaled store, surfacing the outcome through
+    /// telemetry: one `StoreRecovered` event, one `JournalEntryTruncated`
+    /// per dropped record, one `RecommendationReparked` per mid-flight
+    /// recommendation parked back into Retry, and an incident whenever
+    /// data was actually lost.
+    pub fn recover_store(&mut self, db_name: &str, now: Timestamp) -> crate::store::RecoveryReport {
+        let report = self.store.crash_and_recover();
+        self.telemetry.emit(
+            EventKind::StoreRecovered,
+            db_name,
+            format!("replayed {} entries", report.replayed),
+            now,
+        );
+        for _ in 0..report.truncated {
+            self.telemetry
+                .emit(EventKind::JournalEntryTruncated, db_name, "", now);
+        }
+        for id in &report.reparked {
+            self.telemetry.emit(
+                EventKind::RecommendationReparked,
+                db_name,
+                format!("{id}"),
+                now,
+            );
+        }
+        if report.torn_tail {
+            self.telemetry.incident(
+                db_name,
+                format!(
+                    "journal tail torn: {} entries lost, {} recommendations re-parked",
+                    report.truncated,
+                    report.reparked.len()
+                ),
+                now,
+            );
+        }
+        report
     }
 
     // ------------------------------------------------------------------
@@ -242,9 +367,10 @@ impl ControlPlane {
                 (RecoAction::CreateIndex { def: a }, RecoAction::CreateIndex { def: b }) => {
                     a.table == b.table && a.key_columns == b.key_columns
                 }
-                (RecoAction::DropIndex { index: a, .. }, RecoAction::DropIndex { index: b, .. }) => {
-                    a == b
-                }
+                (
+                    RecoAction::DropIndex { index: a, .. },
+                    RecoAction::DropIndex { index: b, .. },
+                ) => a == b,
                 _ => false,
             };
             same_action
@@ -273,9 +399,7 @@ impl ControlPlane {
     fn implement_due(&mut self, mdb: &mut ManagedDb) {
         let now = mdb.db.clock().now();
         let (auto_create, auto_drop) = self.effective_settings(mdb);
-        if self.policy.schedule_builds
-            && !is_low_activity(&mdb.db, &self.policy.scheduler, now)
-        {
+        if self.policy.schedule_builds && !is_low_activity(&mdb.db, &self.policy.scheduler, now) {
             return;
         }
         let due: Vec<RecoId> = self
@@ -324,17 +448,15 @@ impl ControlPlane {
                 }
                 Err(e) => Err(e.to_string()),
             },
-            RecoAction::DropIndex { index, .. } => {
-                match mdb.db.drop_index(*index) {
-                    Ok(def) => {
-                        self.store.update(id, |r| {
-                            r.dropped_def = Some(def);
-                        });
-                        Ok(())
-                    }
-                    Err(e) => Err(e.to_string()),
+            RecoAction::DropIndex { index, .. } => match mdb.db.drop_index(*index) {
+                Ok(def) => {
+                    self.store.update(id, |r| {
+                        r.dropped_def = Some(def);
+                    });
+                    Ok(())
                 }
-            }
+                Err(e) => Err(e.to_string()),
+            },
         };
 
         match result {
@@ -410,19 +532,36 @@ impl ControlPlane {
         }
     }
 
-    /// Resume recommendations parked in Retry.
+    /// Resume recommendations parked in Retry — but only once their
+    /// backoff window has elapsed. Retrying on the very next pass is a
+    /// retry storm at fleet scale; the [`RetryPolicy`] spaces attempts
+    /// geometrically with deterministic jitter on simulated time.
     fn drive_retries(&mut self, mdb: &mut ManagedDb) {
         let now = mdb.db.clock().now();
-        let retryable: Vec<(RecoId, RetryPhase)> = self
+        let retryable: Vec<(RecoId, RetryPhase, u32, Timestamp)> = self
             .store
             .for_database(&mdb.db.name)
             .filter(|r| r.state == RecoState::Retry)
             .filter_map(|r| match &r.substate {
-                RecoSubState::RetryOf { phase, .. } => Some((r.id, *phase)),
+                RecoSubState::RetryOf { phase, attempts } => {
+                    // The Retry entry instant is the last transition; a
+                    // reco never transitions while sitting in Retry.
+                    let entered = r.history.last().map(|t| t.at).unwrap_or(r.created_at);
+                    Some((r.id, *phase, *attempts, entered))
+                }
                 _ => None,
             })
             .collect();
-        for (id, phase) in retryable {
+        for (id, phase, attempts, entered) in retryable {
+            if !self.policy.retry.eligible(id, attempts, entered, now) {
+                self.telemetry.emit(
+                    EventKind::RetryBackoffWait,
+                    &mdb.db.name,
+                    format!("attempt {attempts}"),
+                    now,
+                );
+                continue;
+            }
             match phase {
                 RetryPhase::Implement => {
                     // Re-enter the implementation path.
@@ -510,7 +649,14 @@ impl ControlPlane {
                 implemented_at,
             );
             let after = (implemented_at, now);
-            let outcome = validate(&mdb.db, &index_name, kind, before, after, &self.policy.validator);
+            let outcome = validate(
+                &mdb.db,
+                &index_name,
+                kind,
+                before,
+                after,
+                &self.policy.validator,
+            );
 
             match outcome.verdict {
                 Verdict::NoData => {
@@ -535,8 +681,12 @@ impl ControlPlane {
                     if waited >= self.policy.validation_max_wait {
                         self.train_classifier(mdb, id, false);
                         self.finish_validation(mdb, id, "inconclusive", true, now);
-                        self.telemetry
-                            .emit(EventKind::ValidationInconclusive, &mdb.db.name, "", now);
+                        self.telemetry.emit(
+                            EventKind::ValidationInconclusive,
+                            &mdb.db.name,
+                            "",
+                            now,
+                        );
                     }
                 }
                 Verdict::Regressed => {
@@ -620,7 +770,9 @@ impl ControlPlane {
                 FaultKind::Transient => {
                     let attempts = self
                         .store
-                        .update(id, |r| r.enter_retry(RetryPhase::Revert, now, "revert fault"))
+                        .update(id, |r| {
+                            r.enter_retry(RetryPhase::Revert, now, "revert fault")
+                        })
                         .and_then(Result::ok)
                         .unwrap_or(0);
                     self.telemetry
@@ -696,9 +848,14 @@ impl ControlPlane {
 
     fn health_check(&mut self, mdb: &ManagedDb) {
         let now = mdb.db.clock().now();
-        let horizon = Timestamp(now.millis().saturating_sub(self.policy.stuck_horizon.millis()));
+        let horizon = Timestamp(
+            now.millis()
+                .saturating_sub(self.policy.stuck_horizon.millis()),
+        );
         for id in self.store.stuck_since(horizon) {
-            let Some(r) = self.store.get(id) else { continue };
+            let Some(r) = self.store.get(id) else {
+                continue;
+            };
             if r.database != mdb.db.name {
                 continue;
             }
@@ -708,11 +865,8 @@ impl ControlPlane {
                 continue;
             }
             let state = r.state;
-            self.telemetry.incident(
-                &mdb.db.name,
-                format!("{id} stuck in {state:?}"),
-                now,
-            );
+            self.telemetry
+                .incident(&mdb.db.name, format!("{id} stuck in {state:?}"), now);
             // Automated corrective action where safe: park in a terminal
             // state so the pipeline doesn't wedge.
             self.store.update(id, |r| {
@@ -796,6 +950,54 @@ mod tests {
     }
 
     #[test]
+    fn retry_policy_backoff_is_deterministic_capped_and_jittered_early() {
+        let p = RetryPolicy::default();
+        let id = RecoId(42);
+        assert_eq!(p.delay(id, 1), p.delay(id, 1), "pure function of inputs");
+        let no_jitter = RetryPolicy {
+            jitter: 0.0,
+            ..p.clone()
+        };
+        assert_eq!(no_jitter.delay(id, 1), no_jitter.base);
+        assert_eq!(no_jitter.delay(id, 2).millis(), no_jitter.base.millis() * 2);
+        assert_eq!(no_jitter.delay(id, 10), no_jitter.cap, "growth is capped");
+        // Jitter only shortens (de-synchronizes retries without ever
+        // extending the worst case), bounded by the jitter fraction.
+        for attempts in 1..6 {
+            for raw in 0..50u64 {
+                let jittered = p.delay(RecoId(raw), attempts);
+                let unjittered = no_jitter.delay(RecoId(raw), attempts);
+                assert!(jittered <= unjittered);
+                assert!(
+                    jittered.millis() as f64 >= unjittered.millis() as f64 * (1.0 - p.jitter) - 1.0
+                );
+            }
+        }
+        // ...and actually spreads distinct ids apart.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..20).map(|i| p.delay(RecoId(i), 1).millis()).collect();
+        assert!(spread.len() > 10, "jitter must spread retries: {spread:?}");
+    }
+
+    #[test]
+    fn journal_tear_fault_recovers_through_telemetry() {
+        let (mut mdb, tpl, _) = managed_db(9);
+        let mut faults = FaultInjector::disabled();
+        faults.script(
+            crate::faults::FaultPoint::JournalTear,
+            3,
+            crate::faults::FaultKind::Transient,
+        );
+        let mut plane = ControlPlane::new(PlanePolicy::default()).with_faults(faults);
+        drive(&mut plane, &mut mdb, &tpl, 24);
+        assert_eq!(plane.telemetry.count(EventKind::StoreRecovered), 3);
+        assert!(plane.faults.scripted_is_empty());
+        // The loop kept working through the tears.
+        drive(&mut plane, &mut mdb, &tpl, 12);
+        assert!(!plane.store.is_empty());
+    }
+
+    #[test]
     fn closed_loop_creates_and_validates_index() {
         let (mut mdb, tpl, t) = managed_db(1);
         let mut plane = ControlPlane::new(PlanePolicy {
@@ -812,15 +1014,8 @@ mod tests {
             .find(|(_, d)| d.key_columns.first() == Some(&ColumnId(1)) && d.table == t);
         assert!(auto_ix.is_some(), "no auto index created");
         // ...and its recommendation must have reached Success.
-        let success = plane
-            .store
-            .all()
-            .any(|r| r.state == RecoState::Success);
-        assert!(
-            success,
-            "states: {:?}",
-            plane.store.count_by_state()
-        );
+        let success = plane.store.all().any(|r| r.state == RecoState::Success);
+        assert!(success, "states: {:?}", plane.store.count_by_state());
         assert!(plane.telemetry.count(EventKind::ValidationImproved) >= 1);
         assert_eq!(plane.telemetry.count(EventKind::RevertSucceeded), 0);
     }

@@ -42,6 +42,19 @@ impl RecoState {
         )
     }
 
+    /// The retry phase a crash-interrupted state maps to. `Implementing`
+    /// and `Reverting` are the two states where the control plane was
+    /// mid-engine-action when it died; recovery re-parks them into Retry
+    /// with this phase so the action is re-driven, never silently
+    /// presumed complete.
+    pub fn retry_phase(self) -> Option<RetryPhase> {
+        match self {
+            RecoState::Implementing => Some(RetryPhase::Implement),
+            RecoState::Reverting => Some(RetryPhase::Revert),
+            _ => None,
+        }
+    }
+
     /// The legal transition relation. `Retry` remembers no target itself —
     /// the sub-state carries what is being retried.
     pub fn can_transition_to(self, next: RecoState) -> bool {
@@ -76,10 +89,7 @@ pub enum RecoSubState {
     #[default]
     None,
     /// Retry: which phase failed and how many attempts so far.
-    RetryOf {
-        phase: RetryPhase,
-        attempts: u32,
-    },
+    RetryOf { phase: RetryPhase, attempts: u32 },
     /// Error detail.
     ErrorDetail(String),
     /// Validation detail (verdict text).
@@ -300,9 +310,12 @@ mod tests {
     #[test]
     fn happy_path_transitions() {
         let mut r = TrackedReco::new(RecoId(1), "db", reco(), Timestamp(0));
-        r.transition(RecoState::Implementing, Timestamp(1), "auto").unwrap();
-        r.transition(RecoState::Validating, Timestamp(2), "built").unwrap();
-        r.transition(RecoState::Success, Timestamp(3), "validated").unwrap();
+        r.transition(RecoState::Implementing, Timestamp(1), "auto")
+            .unwrap();
+        r.transition(RecoState::Validating, Timestamp(2), "built")
+            .unwrap();
+        r.transition(RecoState::Success, Timestamp(3), "validated")
+            .unwrap();
         assert!(r.state.is_terminal());
         assert_eq!(r.history.len(), 3);
         assert_eq!(r.history[0].from, RecoState::Active);
@@ -312,10 +325,14 @@ mod tests {
     #[test]
     fn revert_path() {
         let mut r = TrackedReco::new(RecoId(1), "db", reco(), Timestamp(0));
-        r.transition(RecoState::Implementing, Timestamp(1), "").unwrap();
-        r.transition(RecoState::Validating, Timestamp(2), "").unwrap();
-        r.transition(RecoState::Reverting, Timestamp(3), "regression").unwrap();
-        r.transition(RecoState::Reverted, Timestamp(4), "dropped").unwrap();
+        r.transition(RecoState::Implementing, Timestamp(1), "")
+            .unwrap();
+        r.transition(RecoState::Validating, Timestamp(2), "")
+            .unwrap();
+        r.transition(RecoState::Reverting, Timestamp(3), "regression")
+            .unwrap();
+        r.transition(RecoState::Reverted, Timestamp(4), "dropped")
+            .unwrap();
         assert!(r.state.is_terminal());
     }
 
@@ -323,8 +340,11 @@ mod tests {
     fn illegal_transitions_rejected() {
         let mut r = TrackedReco::new(RecoId(1), "db", reco(), Timestamp(0));
         assert!(r.transition(RecoState::Success, Timestamp(1), "").is_err());
-        assert!(r.transition(RecoState::Reverting, Timestamp(1), "").is_err());
-        r.transition(RecoState::Expired, Timestamp(1), "aged").unwrap();
+        assert!(r
+            .transition(RecoState::Reverting, Timestamp(1), "")
+            .is_err());
+        r.transition(RecoState::Expired, Timestamp(1), "aged")
+            .unwrap();
         // Terminal: nothing further.
         for s in [
             RecoState::Active,
@@ -349,14 +369,40 @@ mod tests {
     #[test]
     fn retry_counts_attempts() {
         let mut r = TrackedReco::new(RecoId(1), "db", reco(), Timestamp(0));
-        r.transition(RecoState::Implementing, Timestamp(1), "").unwrap();
-        let a1 = r.enter_retry(RetryPhase::Implement, Timestamp(2), "io error").unwrap();
+        r.transition(RecoState::Implementing, Timestamp(1), "")
+            .unwrap();
+        let a1 = r
+            .enter_retry(RetryPhase::Implement, Timestamp(2), "io error")
+            .unwrap();
         assert_eq!(a1, 1);
-        r.transition(RecoState::Implementing, Timestamp(3), "retrying").unwrap();
+        r.transition(RecoState::Implementing, Timestamp(3), "retrying")
+            .unwrap();
         // Substate persisted across the Retry->Implementing hop? Attempts
         // restart per phase entry into retry:
-        let a2 = r.enter_retry(RetryPhase::Implement, Timestamp(4), "io again").unwrap();
+        let a2 = r
+            .enter_retry(RetryPhase::Implement, Timestamp(4), "io again")
+            .unwrap();
         assert_eq!(a2, 2, "attempts accumulate across retries of one phase");
+    }
+
+    #[test]
+    fn retry_phase_covers_exactly_the_mid_flight_states() {
+        assert_eq!(
+            RecoState::Implementing.retry_phase(),
+            Some(RetryPhase::Implement)
+        );
+        assert_eq!(RecoState::Reverting.retry_phase(), Some(RetryPhase::Revert));
+        for s in [
+            RecoState::Active,
+            RecoState::Expired,
+            RecoState::Validating,
+            RecoState::Success,
+            RecoState::Reverted,
+            RecoState::Retry,
+            RecoState::Error,
+        ] {
+            assert_eq!(s.retry_phase(), None, "{s:?}");
+        }
     }
 
     #[test]

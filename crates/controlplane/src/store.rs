@@ -2,10 +2,14 @@
 //!
 //! The production control plane persists its state machine in a
 //! highly-available database (§4). Here durability is modeled with an
-//! append-only JSON journal: every mutation is journaled, and recovery
-//! replays the journal into a fresh in-memory map. The fault-injection
-//! tests crash the in-memory state and assert the journal reconstructs
-//! it exactly.
+//! append-only journal of checksummed, length-prefixed JSON records:
+//! every mutation is journaled, and recovery replays the journal into a
+//! fresh in-memory map. Crash consistency is the point — a torn or
+//! corrupt tail is truncated (never a panic), recovery reports what was
+//! dropped, and any recommendation caught mid-`Implementing` or
+//! mid-`Reverting` is re-parked in the paper's Retry state rather than
+//! silently resumed, because the crash may or may not have completed
+//! the underlying engine action.
 
 use crate::state::{RecoId, TrackedReco};
 use autoindex::Recommendation;
@@ -16,6 +20,66 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 enum JournalEntry {
     Upsert(Box<TrackedReco>),
+    /// Store metadata: the id-allocation base. Journaled once at store
+    /// creation so a recovered shard keeps its fleet-wide disjoint id
+    /// block even when the journal holds no (or few) recommendations.
+    Meta {
+        id_base: u64,
+    },
+}
+
+/// FNV-1a over the payload bytes — the journal frame checksum.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Frame a journal payload: `<len-hex>|<fnv1a-hex>|<payload>`. The
+/// length prefix catches torn (short) writes, the checksum catches
+/// bit-rot and mid-record corruption.
+fn frame(payload: &str) -> String {
+    format!(
+        "{:08x}|{:08x}|{}",
+        payload.len(),
+        fnv1a32(payload.as_bytes()),
+        payload
+    )
+}
+
+/// Validate a frame and return its payload, or `None` if the record is
+/// torn (short/garbled prefix) or corrupt (checksum mismatch).
+fn parse_frame(line: &str) -> Option<&str> {
+    let (len_hex, rest) = line.split_once('|')?;
+    let (crc_hex, payload) = rest.split_once('|')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if payload.len() != len || fnv1a32(payload.as_bytes()) != crc {
+        return None;
+    }
+    Some(payload)
+}
+
+/// What one [`StateStore::crash_and_recover`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryReport {
+    /// Journal entries successfully replayed.
+    pub replayed: usize,
+    /// Entries dropped from the tail (first torn/corrupt record onward).
+    pub truncated: usize,
+    /// True when truncation happened because a record failed frame or
+    /// checksum validation (as opposed to a clean, complete journal).
+    pub torn_tail: bool,
+    /// Recommendations found mid-`Implementing`/`Reverting` and
+    /// re-parked into Retry.
+    pub reparked: Vec<RecoId>,
+    /// The recovered id-allocation base.
+    pub id_base: u64,
+    /// The next id the recovered store will allocate.
+    pub next_id: u64,
 }
 
 /// The state store: in-memory view + append-only journal.
@@ -23,7 +87,13 @@ enum JournalEntry {
 pub struct StateStore {
     recos: BTreeMap<RecoId, TrackedReco>,
     next_id: u64,
+    id_base: u64,
     journal: Vec<String>,
+    last_recovery: Option<RecoveryReport>,
+    /// Cumulative chaos counters (survive across recoveries).
+    recoveries: u64,
+    truncated_total: u64,
+    reparked_total: u64,
 }
 
 impl StateStore {
@@ -33,18 +103,27 @@ impl StateStore {
 
     /// A store whose [`RecoId`]s start at `base`. The fleet driver gives
     /// each tenant's shard-owned store a disjoint id block, so ids are
-    /// unique fleet-wide and independent of thread interleaving.
+    /// unique fleet-wide and independent of thread interleaving. The
+    /// base is journaled so recovery preserves the block (a recovered
+    /// shard must never re-allocate from 0 and collide fleet-wide).
     pub fn with_id_base(base: u64) -> StateStore {
-        StateStore {
+        let mut s = StateStore {
             next_id: base,
+            id_base: base,
             ..StateStore::default()
+        };
+        if base > 0 {
+            let line = serde_json::to_string(&JournalEntry::Meta { id_base: base })
+                .expect("meta serializes");
+            s.journal.push(frame(&line));
         }
+        s
     }
 
     fn journal_upsert(&mut self, r: &TrackedReco) {
         let line = serde_json::to_string(&JournalEntry::Upsert(Box::new(r.clone())))
             .expect("reco serializes");
-        self.journal.push(line);
+        self.journal.push(frame(&line));
     }
 
     /// Track a new recommendation (state: Active).
@@ -68,11 +147,7 @@ impl StateStore {
 
     /// Mutate a recommendation through `f`; the updated record is
     /// journaled. Returns `f`'s result.
-    pub fn update<T>(
-        &mut self,
-        id: RecoId,
-        f: impl FnOnce(&mut TrackedReco) -> T,
-    ) -> Option<T> {
+    pub fn update<T>(&mut self, id: RecoId, f: impl FnOnce(&mut TrackedReco) -> T) -> Option<T> {
         // Split borrow: mutate, then journal a clone.
         let out;
         let snapshot;
@@ -100,7 +175,8 @@ impl StateStore {
         &'a self,
         database: &'a str,
     ) -> impl Iterator<Item = &'a TrackedReco> + 'a {
-        self.for_database(database).filter(|r| !r.state.is_terminal())
+        self.for_database(database)
+            .filter(|r| !r.state.is_terminal())
     }
 
     pub fn all(&self) -> impl Iterator<Item = &TrackedReco> {
@@ -128,22 +204,117 @@ impl StateStore {
         self.journal.len()
     }
 
-    /// Simulate a control-plane crash: drop all in-memory state, then
-    /// recover from the journal.
-    pub fn crash_and_recover(&mut self) {
-        let journal = std::mem::take(&mut self.journal);
-        self.recos.clear();
-        self.next_id = 0;
+    /// The raw framed journal lines (chaos-test surface).
+    pub fn journal_lines(&self) -> &[String] {
+        &self.journal
+    }
+
+    /// Drop the last `n` journal records — models writes the crashed
+    /// process acknowledged in memory but never made durable.
+    pub fn tear_journal_tail(&mut self, n: usize) {
+        let keep = self.journal.len().saturating_sub(n);
+        self.journal.truncate(keep);
+    }
+
+    /// Mangle the final journal record — models a write torn mid-record
+    /// by the crash. The frame's length prefix and checksum make the
+    /// damage detectable on recovery.
+    pub fn corrupt_journal_tail(&mut self) {
+        if let Some(last) = self.journal.last_mut() {
+            let mut k = last.len() / 2;
+            while k > 0 && !last.is_char_boundary(k) {
+                k -= 1;
+            }
+            last.truncate(k);
+        }
+    }
+
+    /// What the most recent recovery replayed, truncated, and re-parked.
+    pub fn recover_report(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Cumulative chaos counters: (recoveries, truncated entries,
+    /// re-parked recommendations) since the store was created.
+    pub fn recovery_stats(&self) -> (u64, u64, u64) {
+        (self.recoveries, self.truncated_total, self.reparked_total)
+    }
+
+    /// Build a store by replaying framed journal lines. Replay stops at
+    /// the first torn or corrupt record — everything from there on is
+    /// truncated (the durable prefix wins, the torn tail is lost) — and
+    /// never panics. Mid-flight recommendations (`Implementing`,
+    /// `Reverting`) are re-parked into Retry, with the re-park journaled
+    /// so a second crash recovers to the same place.
+    pub fn recovered_from(journal: Vec<String>) -> (StateStore, RecoveryReport) {
+        let mut s = StateStore::default();
+        let mut report = RecoveryReport::default();
+        let mut good = 0usize;
         for line in &journal {
-            let entry: JournalEntry = serde_json::from_str(line).expect("journal intact");
+            let entry = parse_frame(line)
+                .and_then(|payload| serde_json::from_str::<JournalEntry>(payload).ok());
+            let Some(entry) = entry else {
+                report.torn_tail = true;
+                break;
+            };
             match entry {
                 JournalEntry::Upsert(r) => {
-                    self.next_id = self.next_id.max(r.id.0 + 1);
-                    self.recos.insert(r.id, *r);
+                    s.next_id = s.next_id.max(r.id.0 + 1);
+                    s.recos.insert(r.id, *r);
+                }
+                JournalEntry::Meta { id_base } => {
+                    s.id_base = s.id_base.max(id_base);
                 }
             }
+            good += 1;
         }
-        self.journal = journal;
+        report.replayed = good;
+        report.truncated = journal.len() - good;
+        s.journal = journal;
+        s.journal.truncate(good);
+        s.next_id = s.next_id.max(s.id_base);
+
+        // Re-park anything the crash caught mid-operation: the engine
+        // action may or may not have completed, so the only safe state
+        // is Retry — the retry path re-drives or terminally parks it.
+        let mid: Vec<_> = s
+            .recos
+            .values()
+            .filter_map(|r| {
+                r.state.retry_phase().map(|phase| {
+                    let at = r.history.last().map(|t| t.at).unwrap_or(r.created_at);
+                    (r.id, phase, at)
+                })
+            })
+            .collect();
+        for (id, phase, at) in mid {
+            s.update(id, |r| {
+                let _ = r.enter_retry(phase, at, "re-parked by crash recovery");
+            });
+            report.reparked.push(id);
+        }
+        report.id_base = s.id_base;
+        report.next_id = s.next_id;
+        (s, report)
+    }
+
+    /// Simulate a control-plane crash: drop all in-memory state, then
+    /// recover from the journal. Tolerates a torn/corrupt tail by
+    /// truncating it (see [`StateStore::recovered_from`]); the outcome
+    /// is described by the returned [`RecoveryReport`] and retained for
+    /// [`StateStore::recover_report`].
+    pub fn crash_and_recover(&mut self) -> RecoveryReport {
+        let journal = std::mem::take(&mut self.journal);
+        let (recovered, report) = StateStore::recovered_from(journal);
+        self.recos = recovered.recos;
+        self.next_id = recovered.next_id;
+        self.id_base = recovered.id_base;
+        self.journal = recovered.journal;
+        self.recoveries += 1;
+        self.truncated_total += report.truncated as u64;
+        self.reparked_total += report.reparked.len() as u64;
+        self.last_recovery = Some(report.clone());
+        report
     }
 
     /// Recommendations stuck in a non-terminal state since before
@@ -153,11 +324,7 @@ impl StateStore {
             .values()
             .filter(|r| {
                 !r.state.is_terminal()
-                    && r.history
-                        .last()
-                        .map(|t| t.at)
-                        .unwrap_or(r.created_at)
-                        < horizon
+                    && r.history.last().map(|t| t.at).unwrap_or(r.created_at) < horizon
             })
             .map(|r| r.id)
             .collect()
@@ -191,7 +358,8 @@ mod tests {
         let id = s.insert("db1", reco(1), Timestamp(0));
         assert_eq!(s.get(id).unwrap().state, RecoState::Active);
         s.update(id, |r| {
-            r.transition(RecoState::Implementing, Timestamp(5), "go").unwrap()
+            r.transition(RecoState::Implementing, Timestamp(5), "go")
+                .unwrap()
         })
         .unwrap();
         assert_eq!(s.get(id).unwrap().state, RecoState::Implementing);
@@ -204,11 +372,12 @@ mod tests {
         let a = s.insert("db1", reco(1), Timestamp(0));
         let b = s.insert("db2", reco(2), Timestamp(1));
         s.update(a, |r| {
-            r.transition(RecoState::Implementing, Timestamp(2), "").unwrap();
-            r.transition(RecoState::Validating, Timestamp(3), "").unwrap();
+            r.transition(RecoState::Implementing, Timestamp(2), "")
+                .unwrap();
+            r.transition(RecoState::Validating, Timestamp(3), "")
+                .unwrap();
         });
-        let before: Vec<(RecoId, RecoState)> =
-            s.all().map(|r| (r.id, r.state)).collect();
+        let before: Vec<(RecoId, RecoState)> = s.all().map(|r| (r.id, r.state)).collect();
         s.crash_and_recover();
         let after: Vec<(RecoId, RecoState)> = s.all().map(|r| (r.id, r.state)).collect();
         assert_eq!(before, after);
@@ -244,11 +413,93 @@ mod tests {
         assert!(!stuck.contains(&fresh));
         // Terminal records are never stuck.
         s.update(old, |r| {
-            r.transition(RecoState::Expired, Timestamp(20_000), "").unwrap()
+            r.transition(RecoState::Expired, Timestamp(20_000), "")
+                .unwrap()
         });
-        assert!(s.stuck_since(Timestamp(50_000)).is_empty() || !s
-            .stuck_since(Timestamp(50_000))
-            .contains(&old));
+        assert!(
+            s.stuck_since(Timestamp(50_000)).is_empty()
+                || !s.stuck_since(Timestamp(50_000)).contains(&old)
+        );
+    }
+
+    #[test]
+    fn journal_lines_are_framed_and_checksummed() {
+        let mut s = StateStore::new();
+        s.insert("db1", reco(1), Timestamp(0));
+        let line = &s.journal_lines()[0];
+        let payload = parse_frame(line).expect("fresh line validates");
+        assert!(payload.starts_with('{'), "payload is the JSON record");
+        // Any single-byte corruption is caught by the checksum.
+        let mut bad = line.clone();
+        let idx = bad.len() - 1;
+        bad.replace_range(idx.., "X");
+        assert!(parse_frame(&bad).is_none());
+        // A short (torn) line is caught by the length prefix.
+        let mut torn = line.clone();
+        torn.truncate(torn.len() / 2);
+        assert!(parse_frame(&torn).is_none());
+    }
+
+    #[test]
+    fn torn_tail_truncates_instead_of_panicking() {
+        let mut s = StateStore::new();
+        let a = s.insert("db1", reco(1), Timestamp(0));
+        s.insert("db2", reco(2), Timestamp(1));
+        s.corrupt_journal_tail();
+        let report = s.crash_and_recover();
+        assert!(report.torn_tail);
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(s.len(), 1, "only the intact prefix survives");
+        assert!(s.get(a).is_some());
+        assert_eq!(s.recovery_stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lost_tail_writes_are_tolerated() {
+        let mut s = StateStore::new();
+        let a = s.insert("db1", reco(1), Timestamp(0));
+        s.update(a, |r| {
+            r.transition(RecoState::Implementing, Timestamp(1), "")
+                .unwrap();
+            r.transition(RecoState::Validating, Timestamp(2), "")
+                .unwrap();
+        });
+        // The last durable write never happened.
+        s.tear_journal_tail(1);
+        let report = s.crash_and_recover();
+        // A clean-but-short journal is not a torn tail; the record simply
+        // rewinds to its last durable state.
+        assert!(!report.torn_tail);
+        assert_eq!(report.truncated, 0);
+        assert_eq!(s.get(a).unwrap().state, RecoState::Active);
+    }
+
+    #[test]
+    fn recovery_reparks_mid_flight_states() {
+        let mut s = StateStore::new();
+        let a = s.insert("db1", reco(1), Timestamp(0));
+        s.update(a, |r| {
+            r.transition(RecoState::Implementing, Timestamp(1), "")
+                .unwrap()
+        });
+        let report = s.crash_and_recover();
+        assert_eq!(report.reparked, vec![a]);
+        assert_eq!(s.get(a).unwrap().state, RecoState::Retry);
+        // The repark is journaled: a second crash finds Retry, not
+        // Implementing, and reparks nothing.
+        let second = s.crash_and_recover();
+        assert!(second.reparked.is_empty());
+        assert_eq!(s.get(a).unwrap().state, RecoState::Retry);
+    }
+
+    #[test]
+    fn id_base_survives_recovery_of_empty_journal() {
+        let mut s = StateStore::with_id_base(3_000_000);
+        let report = s.crash_and_recover();
+        assert_eq!(report.next_id, 3_000_000);
+        let id = s.insert("db1", reco(1), Timestamp(0));
+        assert_eq!(id.0, 3_000_000, "id block must survive recovery");
     }
 
     #[test]
@@ -257,7 +508,8 @@ mod tests {
         s.insert("db1", reco(1), Timestamp(0));
         let b = s.insert("db1", reco(2), Timestamp(0));
         s.update(b, |r| {
-            r.transition(RecoState::Implementing, Timestamp(1), "").unwrap()
+            r.transition(RecoState::Implementing, Timestamp(1), "")
+                .unwrap()
         });
         let counts = s.count_by_state();
         assert_eq!(counts.get("Active"), Some(&1));

@@ -32,6 +32,18 @@ pub enum EventKind {
     DropLockTimedOut,
     IncidentRaised,
     DtaSessionAborted,
+    /// The state store crashed and was rebuilt from its journal.
+    StoreRecovered,
+    /// A torn/corrupt journal record was dropped during recovery.
+    JournalEntryTruncated,
+    /// A mid-flight recommendation was re-parked into Retry by recovery.
+    RecommendationReparked,
+    /// A retry was deferred because its backoff window had not elapsed.
+    RetryBackoffWait,
+    /// A tenant tripped the fleet driver's fault circuit-breaker.
+    TenantQuarantined,
+    /// A tenant worker panicked and was isolated by the supervisor.
+    TenantPoisoned,
 }
 
 /// One anonymized event: kind + database *hash* + time. The database name
@@ -181,12 +193,22 @@ mod tests {
     #[test]
     fn anonymization_hashes_names() {
         let mut t = Telemetry::new();
-        t.emit(EventKind::AnalysisStarted, "secret_customer_db", "", Timestamp(0));
+        t.emit(
+            EventKind::AnalysisStarted,
+            "secret_customer_db",
+            "",
+            Timestamp(0),
+        );
         let e = &t.events()[0];
         assert_ne!(e.db_hash, 0);
         assert!(!format!("{e:?}").contains("secret_customer_db"));
         // Stable hash: same name, same hash.
-        t.emit(EventKind::AnalysisStarted, "secret_customer_db", "", Timestamp(1));
+        t.emit(
+            EventKind::AnalysisStarted,
+            "secret_customer_db",
+            "",
+            Timestamp(1),
+        );
         assert_eq!(t.events()[0].db_hash, t.events()[1].db_hash);
     }
 
@@ -227,7 +249,11 @@ mod tests {
             t.emit(EventKind::AnalysisStarted, "db", "", Timestamp(i));
         }
         assert_eq!(t.events().len(), 10);
-        assert_eq!(t.count(EventKind::AnalysisStarted), 25, "counters unbounded");
+        assert_eq!(
+            t.count(EventKind::AnalysisStarted),
+            25,
+            "counters unbounded"
+        );
         assert_eq!(t.events()[0].at, Timestamp(15));
     }
 }

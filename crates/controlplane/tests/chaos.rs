@@ -1,0 +1,482 @@
+//! Chaos harness for the control plane (§1.2, §4, §8.3).
+//!
+//! The paper's headline claim is that auto-indexing is safe to run
+//! unattended at the scale of millions of databases: the state machine
+//! is persisted durably, the service survives being killed mid-
+//! operation, and failures park in Retry/Error instead of corrupting
+//! tenants. These tests attack exactly that surface:
+//!
+//! - a **crash sweep** that crash-recovers every tenant's journaled
+//!   store throughout a fleet run and demands byte-identical end state
+//!   to the uncrashed run;
+//! - **torn-tail recovery** over every journal prefix and over
+//!   corrupted final records — never a panic, always a report;
+//! - a **poisoned tenant** whose worker panics mid-tick and must be
+//!   isolated without perturbing any other tenant;
+//! - the **quarantine circuit-breaker** and **backoff discipline**,
+//!   both replaying deterministically under parallelism.
+//!
+//! The stochastic parts are seeded from `CHAOS_SEED` (CI sweeps several
+//! values) with a fixed default for local runs.
+
+use controlplane::state::RecoSubState;
+use controlplane::{
+    ControlPlane, EventKind, FaultKind, FaultPoint, FleetDriver, FleetDriverConfig, ManagedDb,
+    PlanePolicy, RecoId, RecoState, RetryPolicy, StateStore, TenantScript,
+};
+use sqlmini::clock::{Duration, Timestamp};
+use sqlmini::engine::ServiceTier;
+use workload::fleet::{generate_tenant, Tenant, TenantConfig};
+
+/// Seed for the stochastic fault schedules. CI runs the suite under
+/// `CHAOS_SEED=1,2,3`; local runs get a fixed default.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn fast_policy() -> PlanePolicy {
+    PlanePolicy {
+        analysis_interval: Duration::from_hours(2),
+        validation_min_wait: Duration::from_hours(1),
+        ..PlanePolicy::default()
+    }
+}
+
+/// `n` small basic-tier tenants — enough workload to exercise the whole
+/// lifecycle, small enough that a 16-tenant × 20-tick sweep stays fast.
+fn small_fleet(n: usize, seed: u64) -> Vec<Tenant> {
+    (0..n)
+        .map(|i| {
+            let s = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 + 1);
+            let mut cfg = TenantConfig::new(format!("chaos{i:02}"), s, ServiceTier::Basic);
+            cfg.schema.min_tables = 1;
+            cfg.schema.max_tables = 2;
+            cfg.schema.min_rows = 1_000;
+            cfg.schema.max_rows = 3_000;
+            cfg.workload.base_rate_per_hour = 120.0;
+            generate_tenant(&cfg)
+        })
+        .collect()
+}
+
+fn reco(n: u32) -> autoindex::Recommendation {
+    use sqlmini::schema::{ColumnId, IndexDef, TableId};
+    autoindex::Recommendation {
+        action: autoindex::RecoAction::CreateIndex {
+            def: IndexDef::new(format!("ix{n}"), TableId(0), vec![ColumnId(1)], vec![]),
+        },
+        source: autoindex::RecoSource::MissingIndex,
+        estimated_benefit: n as f64,
+        estimated_improvement: 0.5,
+        estimated_size_bytes: 100,
+        impacted_queries: vec![],
+        generated_at: Timestamp(0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash sweep: the acceptance-criteria workhorse.
+// ---------------------------------------------------------------------
+
+/// For a 16-tenant fleet over 20 ticks, crashing + recovering every
+/// tenant's store after every journal write (taking effect at the next
+/// tick boundary — the process-restart point) must yield the same
+/// canonical fleet state as the uncrashed serial run.
+#[test]
+fn crash_sweep_after_every_write_matches_uncrashed_run() {
+    let seed = chaos_seed();
+    let base = FleetDriverConfig {
+        policy: fast_policy(),
+        fault_seed: Some(seed),
+        fault_transient_prob: 0.15,
+        fault_fatal_prob: 0.01,
+        ..FleetDriverConfig::default()
+    };
+    let fleet = small_fleet(16, seed);
+    let uncrashed = FleetDriver::new(base.clone()).run(fleet.clone(), 20, 1);
+    let swept = FleetDriver::new(FleetDriverConfig {
+        crash_every_writes: Some(1),
+        ..base.clone()
+    })
+    .run(fleet.clone(), 20, 1);
+    assert_eq!(
+        uncrashed.canonical_string(),
+        swept.canonical_string(),
+        "crash-recovery at every write must be invisible in the end state"
+    );
+    // Coarser cadences converge too, and the sweep replays identically
+    // under work-stealing parallelism.
+    let coarse = FleetDriver::new(FleetDriverConfig {
+        crash_every_writes: Some(5),
+        ..base.clone()
+    })
+    .run(fleet.clone(), 20, 1);
+    assert_eq!(uncrashed.canonical_string(), coarse.canonical_string());
+    let swept_parallel = FleetDriver::new(FleetDriverConfig {
+        crash_every_writes: Some(1),
+        ..base
+    })
+    .run(fleet, 20, 4);
+    assert_eq!(swept.canonical_string(), swept_parallel.canonical_string());
+}
+
+// ---------------------------------------------------------------------
+// Torn/corrupt journal tails.
+// ---------------------------------------------------------------------
+
+/// Build a store with a few records across the state machine, for the
+/// journal-surgery tests.
+fn seeded_store() -> StateStore {
+    let mut s = StateStore::with_id_base(0);
+    let a = s.insert("db1", reco(1), Timestamp(0));
+    let b = s.insert("db1", reco(2), Timestamp(1));
+    s.update(a, |r| {
+        r.transition(RecoState::Implementing, Timestamp(2), "go")
+            .unwrap();
+        r.transition(RecoState::Validating, Timestamp(3), "built")
+            .unwrap();
+    });
+    s.update(b, |r| {
+        r.transition(RecoState::Implementing, Timestamp(4), "go")
+            .unwrap();
+    });
+    s
+}
+
+#[test]
+fn corrupted_final_line_recovers_without_panicking() {
+    let mut s = seeded_store();
+    let before_len = s.journal_len();
+    s.corrupt_journal_tail();
+    let report = s.crash_and_recover();
+    assert!(report.torn_tail, "damage must be detected");
+    assert_eq!(report.truncated, 1, "exactly the torn record is dropped");
+    assert_eq!(report.replayed, before_len - 1);
+    // The torn record was b's Implementing hop: b rewinds to its prior
+    // journaled state (Active); nothing is mid-flight, nothing panics.
+    assert_eq!(s.get(RecoId(1)).unwrap().state, RecoState::Active);
+    assert_eq!(s.get(RecoId(0)).unwrap().state, RecoState::Validating);
+    assert_eq!(s.recover_report().unwrap(), &report);
+}
+
+/// Recovery from *every* journal prefix (the all-possible-crash-points
+/// sweep): never panics, mid-flight records are re-parked into Retry,
+/// and the re-park itself is journaled so a second crash is idempotent.
+#[test]
+fn every_journal_prefix_recovers_consistently() {
+    let s = seeded_store();
+    let lines = s.journal_lines().to_vec();
+    for k in 0..=lines.len() {
+        let (recovered, report) = StateStore::recovered_from(lines[..k].to_vec());
+        assert_eq!(report.replayed, k);
+        assert!(!report.torn_tail, "clean prefix, no tear");
+        for r in recovered.all() {
+            assert!(
+                r.state.retry_phase().is_none(),
+                "prefix {k}: {} left mid-flight in {:?}",
+                r.id,
+                r.state
+            );
+        }
+        for id in &report.reparked {
+            let r = recovered.get(*id).unwrap();
+            assert_eq!(r.state, RecoState::Retry, "prefix {k}");
+            assert!(matches!(r.substate, RecoSubState::RetryOf { .. }));
+        }
+        // Idempotence: recovering the recovered journal changes nothing.
+        let (again, second) = StateStore::recovered_from(recovered.journal_lines().to_vec());
+        assert!(
+            second.reparked.is_empty(),
+            "prefix {k}: repark must not repeat"
+        );
+        let snap = |st: &StateStore| -> Vec<String> {
+            st.all()
+                .map(|r| format!("{}{:?}{:?}", r.id, r.state, r.substate))
+                .collect()
+        };
+        assert_eq!(snap(&recovered), snap(&again), "prefix {k}");
+    }
+}
+
+#[test]
+fn mid_implementing_crash_reparks_to_retry() {
+    let mut s = StateStore::new();
+    let id = s.insert("db1", reco(1), Timestamp(0));
+    s.update(id, |r| {
+        r.transition(RecoState::Implementing, Timestamp(1), "go")
+            .unwrap()
+    });
+    let report = s.crash_and_recover();
+    assert_eq!(report.reparked, vec![id]);
+    let r = s.get(id).unwrap();
+    assert_eq!(r.state, RecoState::Retry);
+    assert!(matches!(
+        r.substate,
+        RecoSubState::RetryOf {
+            phase: controlplane::state::RetryPhase::Implement,
+            attempts: 1
+        }
+    ));
+}
+
+#[test]
+fn recovered_id_base_preserves_fleet_wide_stride() {
+    const BASE: u64 = 5_000_000;
+    let mut s = StateStore::with_id_base(BASE);
+    // Empty journal (only the meta record): the id block survives.
+    let report = s.crash_and_recover();
+    assert_eq!(report.id_base, BASE);
+    assert_eq!(report.next_id, BASE);
+    let first = s.insert("db1", reco(1), Timestamp(0));
+    assert_eq!(
+        first.0, BASE,
+        "recovered empty store must not allocate from 0"
+    );
+    // Short journal with its only upsert torn away: still in-stride.
+    s.corrupt_journal_tail();
+    s.crash_and_recover();
+    let replacement = s.insert("db1", reco(2), Timestamp(1));
+    assert_eq!(replacement.0, BASE);
+    assert!(s.recover_report().unwrap().torn_tail);
+}
+
+/// The control plane survives scripted journal tears mid-run: data loss
+/// is truncated away, mid-flight work is re-parked and re-driven, and
+/// the loop keeps converging to terminal states instead of wedging.
+#[test]
+fn journal_tears_during_live_run_park_in_retry_not_corruption() {
+    let seed = chaos_seed();
+    let driver = FleetDriver::new(FleetDriverConfig {
+        policy: fast_policy(),
+        scripts: vec![TenantScript {
+            tenant: 0,
+            point: FaultPoint::JournalTear,
+            count: 6,
+            kind: FaultKind::Transient,
+        }],
+        ..FleetDriverConfig::default()
+    });
+    let report = driver.run(small_fleet(2, seed), 24, 1);
+    assert_eq!(report.poisoned, 0);
+    assert!(report.telemetry.count(EventKind::StoreRecovered) >= 6);
+    // Every recommendation ends in a legal state; none is wedged
+    // mid-flight at end of run.
+    for t in &report.tenants {
+        for state in t.by_state.keys() {
+            assert_ne!(state, "Implementing");
+            assert_ne!(state, "Reverting");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervised workers: poisoned tenants and the quarantine breaker.
+// ---------------------------------------------------------------------
+
+/// One tenant's worker panics mid-tick. The run completes, the tenant is
+/// reported poisoned, and every other tenant's outcome is byte-identical
+/// to a run where the poisoned tenant never misbehaved.
+#[test]
+fn poisoned_tenant_is_isolated_from_the_fleet() {
+    let seed = chaos_seed();
+    let fleet = small_fleet(8, seed);
+    let clean_cfg = FleetDriverConfig {
+        policy: fast_policy(),
+        ..FleetDriverConfig::default()
+    };
+    let poisoned_cfg = FleetDriverConfig {
+        scripts: vec![TenantScript {
+            tenant: 3,
+            point: FaultPoint::TenantPanic,
+            count: 1,
+            kind: FaultKind::Fatal,
+        }],
+        ..clean_cfg.clone()
+    };
+    let clean = FleetDriver::new(clean_cfg).run(fleet.clone(), 10, 1);
+    let poisoned = FleetDriver::new(poisoned_cfg.clone()).run(fleet.clone(), 10, 1);
+
+    assert_eq!(poisoned.poisoned, 1);
+    assert!(poisoned.tenants[3].status.is_poisoned());
+    assert_eq!(poisoned.telemetry.count(EventKind::TenantPoisoned), 1);
+    for i in 0..8 {
+        if i == 3 {
+            continue;
+        }
+        assert_eq!(
+            serde_json::to_string(&clean.tenants[i]).unwrap(),
+            serde_json::to_string(&poisoned.tenants[i]).unwrap(),
+            "tenant {i} perturbed by tenant 3's panic"
+        );
+    }
+    // The poisoned run itself replays deterministically in parallel.
+    let poisoned_parallel = FleetDriver::new(poisoned_cfg).run(fleet, 10, 4);
+    assert_eq!(
+        poisoned.canonical_string(),
+        poisoned_parallel.canonical_string()
+    );
+}
+
+/// Three consecutive faulted ticks trip the breaker; the tenant's
+/// control plane sits out the cool-down (workload keeps running), and
+/// the whole episode replays byte-identically under parallelism.
+#[test]
+fn quarantine_breaker_trips_and_replays_deterministically() {
+    let seed = chaos_seed();
+    let cfg = FleetDriverConfig {
+        policy: fast_policy(),
+        quarantine_threshold: 3,
+        quarantine_cooldown: 4,
+        scripts: vec![TenantScript {
+            tenant: 1,
+            point: FaultPoint::JournalTear,
+            count: 3,
+            kind: FaultKind::Transient,
+        }],
+        ..FleetDriverConfig::default()
+    };
+    let fleet = small_fleet(4, seed);
+    let serial = FleetDriver::new(cfg.clone()).run(fleet.clone(), 12, 1);
+    assert_eq!(serial.quarantines, 1);
+    assert_eq!(serial.tenants[1].quarantines, 1);
+    assert_eq!(serial.tenants[1].quarantined_ticks, 4);
+    assert_eq!(serial.telemetry.count(EventKind::TenantQuarantined), 1);
+    // Untouched tenants never quarantine.
+    for i in [0usize, 2, 3] {
+        assert_eq!(serial.tenants[i].quarantines, 0);
+    }
+    let parallel = FleetDriver::new(cfg).run(fleet, 12, 3);
+    assert_eq!(serial.canonical_string(), parallel.canonical_string());
+}
+
+// ---------------------------------------------------------------------
+// Stuck detection end-to-end + backoff discipline.
+// ---------------------------------------------------------------------
+
+fn one_managed(seed: u64) -> (ManagedDb, workload::WorkloadModel, workload::WorkloadRunner) {
+    let mut cfg = TenantConfig::new(format!("stuck{seed}"), seed, ServiceTier::Basic);
+    cfg.schema.min_tables = 1;
+    cfg.schema.max_tables = 2;
+    cfg.schema.min_rows = 1_000;
+    cfg.schema.max_rows = 3_000;
+    cfg.workload.base_rate_per_hour = 120.0;
+    let t = generate_tenant(&cfg);
+    let model = t.model.clone();
+    let runner = t.runner.clone();
+    (
+        ManagedDb::new(
+            t.db,
+            controlplane::DbSettings::all_on(),
+            controlplane::ServerSettings::default(),
+        ),
+        model,
+        runner,
+    )
+}
+
+/// A recommendation wedged in a non-terminal state past `stuck_horizon`
+/// must surface as an incident and be parked terminally — the plane-
+/// level path over `StateStore::stuck_since` that previously only had a
+/// store-level unit test.
+#[test]
+fn stuck_recommendation_raises_incident_end_to_end() {
+    let (mut mdb, model, mut runner) = one_managed(11);
+    let mut plane = ControlPlane::new(PlanePolicy {
+        stuck_horizon: Duration::from_days(1),
+        ..fast_policy()
+    });
+    // Wedge: a Validating record with no `implemented_at`, which the
+    // validation micro-service can never pick up.
+    let now = mdb.db.clock().now();
+    let name = mdb.db.name.clone();
+    let id = plane.store.insert(&name, reco(1), now);
+    plane.store.update(id, |r| {
+        r.transition(RecoState::Implementing, now, "").unwrap();
+        r.transition(RecoState::Validating, now, "").unwrap();
+    });
+    // Drive past the horizon.
+    for _ in 0..30 {
+        runner.run_slice_into(
+            &mut mdb.db,
+            &model,
+            Duration::from_hours(1),
+            &mut Default::default(),
+        );
+        plane.tick(&mut mdb);
+    }
+    assert!(
+        plane
+            .telemetry
+            .incidents()
+            .iter()
+            .any(|i| i.summary.contains("stuck in Validating")),
+        "incidents: {:?}",
+        plane.telemetry.incidents()
+    );
+    assert_eq!(plane.store.get(id).unwrap().state, RecoState::Error);
+}
+
+/// Retries honor the exponential-backoff window: a parked retry must not
+/// fire on the next pass, must emit backoff-wait telemetry while it
+/// waits, and must dwell in Retry at least the un-jittered-minimum
+/// delay before resuming.
+#[test]
+fn retries_honor_backoff_windows() {
+    let (mut mdb, model, mut runner) = one_managed(12);
+    let retry = RetryPolicy {
+        base: Duration::from_hours(4),
+        multiplier: 2.0,
+        cap: Duration::from_hours(12),
+        jitter: 0.0,
+        seed: 7,
+    };
+    let mut plane = ControlPlane::new(PlanePolicy {
+        retry: retry.clone(),
+        ..fast_policy()
+    });
+    plane
+        .faults
+        .script(FaultPoint::IndexBuild, 1, FaultKind::Transient);
+    for _ in 0..48 {
+        runner.run_slice_into(
+            &mut mdb.db,
+            &model,
+            Duration::from_hours(1),
+            &mut Default::default(),
+        );
+        plane.tick(&mut mdb);
+    }
+    assert!(
+        plane.telemetry.count(EventKind::ImplementFailedTransient) >= 1,
+        "the scripted fault must fire"
+    );
+    assert!(
+        plane.telemetry.count(EventKind::RetryBackoffWait) >= 3,
+        "hourly ticks inside a 4h backoff window must report waits"
+    );
+    assert!(
+        plane.telemetry.count(EventKind::ImplementSucceeded) >= 1,
+        "the retry eventually fires and succeeds: {:?}",
+        plane.store.count_by_state()
+    );
+    // Every Retry dwell in every history respects the minimum delay.
+    for r in plane.store.all() {
+        let h = &r.history;
+        for w in h.windows(2) {
+            if w[0].to == RecoState::Retry {
+                let dwell = w[1].at.since(w[0].at);
+                assert!(
+                    dwell >= retry.base,
+                    "{}: left Retry after {dwell} < base {}",
+                    r.id,
+                    retry.base
+                );
+            }
+        }
+    }
+}
