@@ -1,48 +1,39 @@
 //! Regenerates the **operational statistics** of §8.1 — the paper's
-//! fleet-level snapshot of the running service:
+//! fleet-level snapshot of the running service — from the fleet
+//! driver's merged metrics registry:
 //!
 //! * create vs drop recommendations outstanding (paper: ~250K creates vs
 //!   ~3.4M drops — drops dominate by an order of magnitude);
 //! * actions implemented per week on the auto-implement fraction of the
-//!   fleet (~a quarter of databases; creates outnumber drops ~50K vs ~20K
-//!   weekly);
-//! * the **revert rate** of automated actions (paper: ~11%), with the
-//!   revert mix by recommender source;
-//! * queries whose CPU time improved by >2×, and databases whose
-//!   aggregate CPU consumption dropped by >50%.
+//!   fleet (~a quarter of databases; creates outnumber drops weekly);
+//! * the **revert rate** of automated actions (paper: ~11%), broken down
+//!   by trigger and by recommender source;
+//! * queries whose CPU time improved by ≥2×, and databases whose
+//!   aggregate CPU consumption at least halved.
 //!
-//! Absolute counts scale with `--databases` and `--weeks`; the paper's
-//! *shape* is the target: drops-recommended ≫ creates-recommended,
-//! revert rate ~10%, a meaningful population of >2× queries.
+//! The harness doubles as the observability determinism check: the fleet
+//! is generated and driven **twice** — once parallel, once serial — and
+//! the two rendered dashboards must be bit-for-bit identical, because
+//! the snapshot is a pure function of the merged (shard-owned,
+//! thread-independent) registries.
 //!
 //! ```text
+//! cargo run -p bench --release --bin ops_stats -- --seed 42
 //! cargo run -p bench --release --bin ops_stats -- --databases 40 --weeks 3
 //! ```
 
-use autoindex::RecoAction;
-use bench::{harness_tenant, Args};
-use controlplane::{
-    ControlPlane, DbSettings, EventKind, ManagedDb, PlanePolicy, RecoState, ServerSettings,
-    Setting,
-};
-use experiment::analysis::{per_query_cpu_means, workload_cost_fixed_counts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bench::Args;
+use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy};
 use sqlmini::clock::Duration;
-use sqlmini::engine::ServiceTier;
-use sqlmini::querystore::Metric;
-use std::collections::BTreeMap;
-use workload::generate_tenant;
+use workload::fleet::{generate_fleet, TierMix};
 
 fn main() {
     let args = Args::parse();
-    let n_dbs = args.get_usize("databases", 40);
-    let weeks = args.get_u64("weeks", 3);
-    let seed = args.get_u64("seed", 7);
+    let n_dbs = args.get_usize("databases", 12);
+    let weeks = args.get_u64("weeks", 2);
+    let seed = args.get_u64("seed", 42);
+    let threads = args.get_usize("threads", 4).max(2);
     let auto_frac = args.get_f64("auto-frac", 0.25);
-    let verbose = args.has("verbose");
-
-    println!("== §8.1 operational statistics: {n_dbs} databases, {weeks} weeks, {:.0}% auto-implement ==\n", auto_frac*100.0);
 
     // Scale the drop-analysis observation window to the simulation length
     // (the paper's 60 days of telemetry would never elapse in a short run).
@@ -52,176 +43,52 @@ fn main() {
         ..PlanePolicy::default()
     };
     policy.drops.observation_window = Duration::from_days((weeks * 7 / 2).max(2));
-    let mut plane = ControlPlane::new(policy);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let driver = FleetDriver::new(FleetDriverConfig {
+        policy,
+        tick_interval: Duration::from_hours(3),
+        auto_fraction: Some(auto_frac),
+        ..FleetDriverConfig::default()
+    });
+    let ticks = (weeks * 7 * 24 / 3) as u32;
 
-    let mut queries_2x = 0u64;
-    let mut queries_total = 0u64;
-    let mut dbs_halved = 0usize;
-    let mut auto_dbs = 0usize;
+    println!(
+        "== \u{a7}8.1 ops harness: {n_dbs} databases, {weeks} weeks, \
+         {:.0}% auto-implement, seed {seed} ==\n",
+        auto_frac * 100.0
+    );
 
-    for i in 0..n_dbs {
-        let tseed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64);
-        let tier = match i % 10 {
-            0..=2 => ServiceTier::Basic,
-            3..=7 => ServiceTier::Standard,
-            _ => ServiceTier::Premium,
-        };
-        let mut cfg = harness_tenant(format!("db{i:04}"), tseed, tier);
-        cfg.user_indexes.n_useful = 1; // mostly-untuned fleet: tuning headroom
-        cfg.user_indexes.n_unused = 2;
-        cfg.user_indexes.n_duplicate = 2;
-        // A quarter of the fleet is write-heavy — the population where
-        // MI's maintenance blindness causes the §8.1 write-regression
-        // reverts.
-        if i % 8 == 1 || i % 8 == 2 {
-            cfg.workload.write_fraction = 0.55;
-        }
-        let tenant = generate_tenant(&cfg);
-        // Deterministic quarter of the fleet auto-implements (i % 4 == 1),
-        // guaranteeing overlap with the write-heavy population; auto_frac
-        // widens it stochastically beyond the quarter when > 0.25.
-        let auto = i % 4 == 1 || rng.random::<f64>() < (auto_frac - 0.25).max(0.0);
-        if auto {
-            auto_dbs += 1;
-        }
-        let settings = if auto {
-            DbSettings {
-                auto_create: Setting::On,
-                auto_drop: Setting::On,
-            }
+    // Basic-only mix: standard/premium tenants run 10–33x the statement
+    // rate over 6–12x the rows, which turns a quick ops snapshot into an
+    // hour-long soak. The §8.1 *shape* (drop backlog, revert rate,
+    // auto-fraction) is tier-independent.
+    let mix = TierMix {
+        basic: 1.0,
+        standard: 0.0,
+        premium: 0.0,
+    };
+
+    // Same fleet, regenerated from the same seed, driven twice.
+    let mut renders = Vec::new();
+    for pass_threads in [threads, 1] {
+        let fleet = generate_fleet(n_dbs, mix, seed);
+        let report = driver.run(fleet, ticks, pass_threads);
+        let label = if pass_threads > 1 {
+            format!("parallel, {pass_threads} threads")
         } else {
-            DbSettings::default()
+            "serial replay".to_string()
         };
-        let model = tenant.model.clone();
-        let mut runner = tenant.runner.clone();
-        let mut mdb = ManagedDb::new(tenant.db, settings, ServerSettings::default());
-
-        // First day: baseline measurement window.
-        runner.run(&mut mdb.db, &model, Duration::from_hours(24));
-        let day1 = (
-            sqlmini::clock::Timestamp::EPOCH,
-            mdb.db.clock().now(),
+        println!(
+            "-- pass: {label} ({:.0} tenant-ticks/s) --",
+            report.throughput()
         );
-
-        // Weeks of managed operation (tick every 3 simulated hours).
-        let hours = weeks * 7 * 24;
-        let mut h = 24u64;
-        while h < hours {
-            runner.run(&mut mdb.db, &model, Duration::from_hours(3));
-            plane.tick(&mut mdb);
-            h += 3;
-        }
-
-        // Final day: after-tuning measurement window.
-        let final_start = mdb.db.clock().now();
-        runner.run(&mut mdb.db, &model, Duration::from_hours(24));
-        let final_day = (final_start, mdb.db.clock().now());
-
-        // >2x improved queries (among queries seen in both windows).
-        let before: BTreeMap<_, _> = per_query_cpu_means(&mdb.db, day1)
-            .into_iter()
-            .map(|(q, m, _)| (q, m))
-            .collect();
-        for (q, after_mean, _) in per_query_cpu_means(&mdb.db, final_day) {
-            if let Some(&before_mean) = before.get(&q) {
-                queries_total += 1;
-                if after_mean > 0.0 && before_mean / after_mean > 2.0 {
-                    queries_2x += 1;
-                }
-            }
-        }
-        // Aggregate CPU halved?
-        let base = workload_cost_fixed_counts(&mdb.db, Metric::CpuTime, day1, day1);
-        let fin = workload_cost_fixed_counts(&mdb.db, Metric::CpuTime, day1, final_day);
-        if base.total > 0.0 && fin.total < 0.5 * base.total {
-            dbs_halved += 1;
-        }
-        if verbose {
-            println!(
-                "  {}: tier={:?} auto={} cpu {:.0} -> {:.0} ({:+.0}%)",
-                mdb.db.name,
-                tier,
-                auto,
-                base.total,
-                fin.total,
-                (fin.total - base.total) / base.total.max(1e-9) * 100.0
-            );
-        }
+        let rendered = report.dashboard().render();
+        println!("{rendered}");
+        renders.push(rendered);
     }
 
-    // ---- Report --------------------------------------------------------
-    let mut create_recos = 0usize;
-    let mut drop_recos = 0usize;
-    let mut creates_implemented = 0usize;
-    let mut drops_implemented = 0usize;
-    let mut reverts_by_source: BTreeMap<String, usize> = BTreeMap::new();
-    for r in plane.store.all() {
-        match &r.recommendation.action {
-            RecoAction::CreateIndex { .. } => {
-                create_recos += 1;
-                if r.implemented_at.is_some() {
-                    creates_implemented += 1;
-                }
-            }
-            RecoAction::DropIndex { .. } => {
-                drop_recos += 1;
-                if r.implemented_at.is_some() {
-                    drops_implemented += 1;
-                }
-            }
-        }
-        if r.state == RecoState::Reverted {
-            *reverts_by_source
-                .entry(format!("{:?}", r.recommendation.source))
-                .or_default() += 1;
-        }
-    }
-
-    let implemented = plane.telemetry.count(EventKind::ImplementSucceeded);
-    let reverted = plane.telemetry.count(EventKind::RevertSucceeded);
-    let weeks_f = weeks as f64;
-
-    println!("\n-- Recommendation volume --");
-    println!("  create recommendations generated : {create_recos}");
-    println!("  drop   recommendations generated : {drop_recos}");
-    println!(
-        "  ratio (drops per create)          : {:.1}  (paper: ~13x — 3.4M drops vs 250K creates)",
-        drop_recos as f64 / create_recos.max(1) as f64
+    assert_eq!(
+        renders[0], renders[1],
+        "parallel and serial replays must render bit-identical dashboards"
     );
-    println!("\n-- Automated actions ({auto_dbs}/{n_dbs} databases auto-implement) --");
-    println!(
-        "  indexes created / week            : {:.1}",
-        creates_implemented as f64 / weeks_f
-    );
-    println!(
-        "  indexes dropped / week            : {:.1}  (paper shape: creates > drops weekly)",
-        drops_implemented as f64 / weeks_f
-    );
-    println!("\n-- Validation --");
-    println!(
-        "  actions implemented               : {implemented}"
-    );
-    println!(
-        "  actions reverted                  : {reverted}  ({:.1}% — paper: ~11%)",
-        plane.telemetry.revert_rate() * 100.0
-    );
-    println!("  reverts by source                 : {reverts_by_source:?}");
-    println!(
-        "  validations improved/inconclusive : {} / {}",
-        plane.telemetry.count(EventKind::ValidationImproved),
-        plane.telemetry.count(EventKind::ValidationInconclusive),
-    );
-    println!("\n-- Workload impact --");
-    println!(
-        "  queries with >2x CPU improvement  : {queries_2x} of {queries_total} tracked"
-    );
-    println!(
-        "  databases with >50% CPU reduction : {dbs_halved} of {n_dbs}"
-    );
-    println!("\n-- Control-plane state machine --");
-    for (state, count) in plane.store.count_by_state() {
-        println!("  {state:<14} {count}");
-    }
-    println!("\n  incidents raised: {}", plane.telemetry.incidents().len());
+    println!("determinism check: both passes rendered bit-identical \u{a7}8.1 tables");
 }

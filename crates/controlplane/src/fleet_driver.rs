@@ -22,12 +22,15 @@
 //! through the one tenant that misbehaved.
 
 use crate::faults::{FaultInjector, FaultKind, FaultPoint};
+use crate::metrics::MetricsRegistry;
 use crate::plane::{ControlPlane, ManagedDb, PlanePolicy};
-use crate::state::{DbSettings, ServerSettings};
+use crate::region::DashboardSnapshot;
+use crate::state::{effective, DbSettings, ServerSettings};
 use crate::store::StateStore;
 use crate::telemetry::{EventKind, Telemetry};
+use crate::trace::Tracer;
 use crossbeam::deque::{Injector, Stealer, Worker};
-use sqlmini::clock::Duration;
+use sqlmini::clock::{Duration, Timestamp};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -81,6 +84,16 @@ pub struct FleetDriverConfig {
     pub crash_every_writes: Option<u64>,
     /// Deterministic per-tenant fault scripts, applied at worker setup.
     pub scripts: Vec<TenantScript>,
+    /// When set, this fraction of tenants (chosen by a pure hash of the
+    /// fleet index — thread-independent) runs with auto-implementation
+    /// fully ON and the rest in recommend-only mode, overriding
+    /// `settings`. Models §8.1's "about a quarter of eligible databases
+    /// have auto-implementation enabled".
+    pub auto_fraction: Option<f64>,
+    /// Enable per-tenant tick tracing (span trees on each tenant's
+    /// control plane). Off by default: traces are a debugging surface,
+    /// not part of the canonical fleet state.
+    pub trace: bool,
 }
 
 impl Default for FleetDriverConfig {
@@ -97,8 +110,21 @@ impl Default for FleetDriverConfig {
             quarantine_cooldown: 0,
             crash_every_writes: None,
             scripts: Vec::new(),
+            auto_fraction: None,
+            trace: false,
         }
     }
+}
+
+/// Deterministic uniform draw in [0, 1) from a fleet index — splitmix64
+/// finalizer, so auto-implement assignment replays regardless of
+/// threading and of any fault seeding.
+fn index_uniform01(index: usize) -> f64 {
+    let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA070_F8AC;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// How a tenant's worker finished.
@@ -218,6 +244,9 @@ pub struct FleetReport {
     pub tenants: Vec<TenantOutcome>,
     /// All tenants' telemetry, merged in fleet order.
     pub telemetry: Telemetry,
+    /// All tenants' metrics registries, merged in fleet order (merge is
+    /// commutative, so the order is convention, not correctness).
+    pub metrics: MetricsRegistry,
     /// Fleet-wide recommendation count per state name.
     pub by_state: BTreeMap<String, usize>,
     pub statements: u64,
@@ -227,26 +256,33 @@ pub struct FleetReport {
     /// Circuit-breaker trips across the fleet.
     pub quarantines: u64,
     pub ticks: u32,
+    /// Simulated time each tenant was driven (ticks × tick interval).
+    pub sim_time: Duration,
     pub threads: usize,
     pub elapsed: std::time::Duration,
 }
 
+/// What one tenant's worker hands back at quiesce.
+type TenantResult = (TenantOutcome, Telemetry, MetricsRegistry);
+
 impl FleetReport {
     fn assemble(
-        results: Vec<(TenantOutcome, Telemetry)>,
+        results: Vec<TenantResult>,
         ticks: u32,
+        sim_time: Duration,
         threads: usize,
         elapsed: std::time::Duration,
     ) -> FleetReport {
         // Quiesce: fold the shard-owned sinks in fleet order.
-        let telemetry = Telemetry::merged(results.iter().map(|(_, tel)| tel));
+        let telemetry = Telemetry::merged(results.iter().map(|(_, tel, _)| tel));
+        let metrics = MetricsRegistry::merged(results.iter().map(|(_, _, m)| m));
         let mut by_state: BTreeMap<String, usize> = BTreeMap::new();
         let mut statements = 0u64;
         let mut errors = 0u64;
         let mut poisoned = 0usize;
         let mut quarantines = 0u64;
         let mut tenants = Vec::with_capacity(results.len());
-        for (outcome, _) in results {
+        for (outcome, _, _) in results {
             for (state, n) in &outcome.by_state {
                 *by_state.entry(state.clone()).or_default() += n;
             }
@@ -261,15 +297,22 @@ impl FleetReport {
         FleetReport {
             tenants,
             telemetry,
+            metrics,
             by_state,
             statements,
             errors,
             poisoned,
             quarantines,
             ticks,
+            sim_time,
             threads,
             elapsed,
         }
+    }
+
+    /// Roll the merged metrics into the §8.1 ops table.
+    pub fn dashboard(&self) -> DashboardSnapshot {
+        DashboardSnapshot::from_metrics(&self.metrics, self.sim_time)
     }
 
     /// Canonical serialization of the end-of-run fleet state: one JSON
@@ -345,7 +388,8 @@ impl FleetDriver {
                 .map(|(i, t)| self.run_tenant(i, t, ticks))
                 .collect()
         };
-        FleetReport::assemble(results, ticks, threads.max(1), start.elapsed())
+        let sim_time = Duration::from_millis(self.config.tick_interval.millis() * ticks as u64);
+        FleetReport::assemble(results, ticks, sim_time, threads.max(1), start.elapsed())
     }
 
     /// The per-tenant control loop: workload slice, then one
@@ -360,9 +404,12 @@ impl FleetDriver {
     /// the chaos `crash_every_writes` knob crash-recovers the journaled
     /// store at tick boundaries. All supervision decisions derive from
     /// per-tenant state only, so they replay deterministically.
-    fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> (TenantOutcome, Telemetry) {
+    fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> TenantResult {
         let mut plane = ControlPlane::new(self.config.policy.clone());
         plane.store = StateStore::with_id_base(index as u64 * self.config.id_stride);
+        if self.config.trace {
+            plane.tracer = Tracer::enabled();
+        }
         if let Some(seed) = self.config.fault_seed {
             // Seeded by fleet index, NOT by worker thread: replays the
             // same fault schedule wherever the tenant executes.
@@ -388,7 +435,23 @@ impl FleetDriver {
         // its time stream — otherwise driving one clone of a fleet would
         // advance time for every other clone and wreck replay.
         db.detach_clock();
-        let mut mdb = ManagedDb::new(db, self.config.settings, ServerSettings::default());
+        // Per-tenant settings: either the uniform config, or (§8.1) a
+        // hash-chosen fraction of the fleet on full auto and the rest in
+        // recommend-only mode.
+        let settings = match self.config.auto_fraction {
+            None => self.config.settings,
+            Some(f) if index_uniform01(index) < f => DbSettings::all_on(),
+            Some(_) => DbSettings::default(),
+        };
+        let mut mdb = ManagedDb::new(db, settings, ServerSettings::default());
+        // Population gauges: each shard reports itself; the fleet totals
+        // appear when the registries merge at quiesce.
+        plane.metrics.gauge_set("fleet.tenants", 1);
+        let (auto_create, auto_drop) = effective(settings, ServerSettings::default());
+        if auto_create || auto_drop {
+            plane.metrics.gauge_set("fleet.auto_tenants", 1);
+        }
+        let t_start = mdb.db.clock().now();
         let mut run = RunSummary::default();
         let mut supervision = SupervisionSummary {
             status: TenantStatus::Completed,
@@ -403,6 +466,7 @@ impl FleetDriver {
                 // Cool-down: the customer's workload keeps running, the
                 // tuner stays away from the tenant entirely.
                 supervision.quarantined_ticks += 1;
+                plane.metrics.inc("fleet.quarantined_ticks");
                 runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
                 continue;
             }
@@ -423,6 +487,7 @@ impl FleetDriver {
                     mdb.db.clock().now(),
                 );
                 supervision.status = TenantStatus::Poisoned { tick, note };
+                plane.metrics.inc("fleet.poisoned");
                 break;
             }
             // Chaos sweep: crash + recover at the tick boundary once
@@ -448,6 +513,7 @@ impl FleetDriver {
             {
                 consecutive_faulted = 0;
                 supervision.quarantines += 1;
+                plane.metrics.inc("fleet.quarantines");
                 quarantined_until = tick + 1 + self.config.quarantine_cooldown;
                 plane.telemetry.emit(
                     EventKind::TenantQuarantined,
@@ -457,8 +523,45 @@ impl FleetDriver {
                 );
             }
         }
+        // Workload-impact roll-up (§8.2 flavor): fixed-count CPU cost of
+        // the first observation window vs the last, per query. Counts
+        // are pinned to the first window so the comparison measures
+        // per-execution cost, not traffic shifts. Everything lands in
+        // integer counters so fleet merging stays exact.
+        let t_end = mdb.db.clock().now();
+        let horizon = t_end.0.saturating_sub(t_start.0);
+        let window = Duration::from_hours(24).millis().min(horizon / 2);
+        if window > 0 {
+            let qs = mdb.db.query_store();
+            let mut measured = 0u64;
+            let mut improved = 0u64;
+            let mut cost_first = 0.0f64;
+            let mut cost_last = 0.0f64;
+            for (qid, _) in qs.known_queries() {
+                let first = qs
+                    .query_stats(qid, t_start, Timestamp(t_start.0 + window))
+                    .cpu;
+                let last = qs.query_stats(qid, Timestamp(t_end.0 - window), t_end).cpu;
+                if first.count == 0 || last.count == 0 {
+                    continue;
+                }
+                measured += 1;
+                let mean_first = first.sum / first.count as f64;
+                let mean_last = last.sum / last.count as f64;
+                cost_first += first.count as f64 * mean_first;
+                cost_last += first.count as f64 * mean_last;
+                if mean_last > 0.0 && mean_first / mean_last >= 2.0 {
+                    improved += 1;
+                }
+            }
+            plane.metrics.add("workload.queries_measured", measured);
+            plane.metrics.add("workload.queries_improved_2x", improved);
+            if measured > 0 && cost_last <= 0.5 * cost_first {
+                plane.metrics.inc("workload.dbs_cpu_halved");
+            }
+        }
         let outcome = TenantOutcome::collect(name, &plane, &mdb, &run, supervision);
-        (outcome, plane.telemetry)
+        (outcome, plane.telemetry, plane.metrics)
     }
 
     /// Work-stealing execution: tenants start in a global injector,
@@ -472,14 +575,13 @@ impl FleetDriver {
         fleet: Vec<Tenant>,
         ticks: u32,
         threads: usize,
-    ) -> Vec<(TenantOutcome, Telemetry)> {
+    ) -> Vec<TenantResult> {
         let n = fleet.len();
         let injector = Injector::new();
         for (index, tenant) in fleet.into_iter().enumerate() {
             injector.push(TenantTask { index, tenant });
         }
-        let slots: Vec<Mutex<Option<(TenantOutcome, Telemetry)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<TenantResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers: Vec<Worker<TenantTask>> = (0..threads).map(|_| Worker::new_fifo()).collect();
         let stealers: Vec<Stealer<TenantTask>> = workers.iter().map(Worker::stealer).collect();
 

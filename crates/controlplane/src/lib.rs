@@ -12,20 +12,24 @@ pub mod api;
 pub mod faults;
 pub mod fleet_driver;
 pub mod lock_protocol;
+pub mod metrics;
 pub mod plane;
 pub mod region;
 pub mod scheduler;
 pub mod state;
 pub mod store;
 pub mod telemetry;
+pub mod trace;
 
 pub use api::ManagementApi;
 pub use faults::{FaultInjector, FaultKind, FaultPoint};
 pub use fleet_driver::{
     FleetDriver, FleetDriverConfig, FleetReport, TenantOutcome, TenantScript, TenantStatus,
 };
+pub use metrics::{Histogram, MetricsRegistry};
 pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy, RetryPolicy};
-pub use region::{GlobalDashboard, Region};
+pub use region::{DashboardSnapshot, GlobalDashboard, Region};
 pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};
 pub use store::{RecoveryReport, StateStore};
 pub use telemetry::{EventKind, Telemetry};
+pub use trace::{Span, Tracer};

@@ -17,12 +17,14 @@
 //!    taking automated corrective action where safe.
 
 use crate::faults::{FaultInjector, FaultKind, FaultPoint};
+use crate::metrics::MetricsRegistry;
 use crate::scheduler::{is_low_activity, SchedulerConfig};
 use crate::state::{
     effective, DbSettings, RecoId, RecoState, RecoSubState, RetryPhase, ServerSettings,
 };
 use crate::store::StateStore;
 use crate::telemetry::{EventKind, Telemetry};
+use crate::trace::Tracer;
 use autoindex::classifier::TrainingExample;
 use autoindex::drops::{recommend_drops, DropConfig};
 use autoindex::dta::{tune, DtaConfig};
@@ -164,6 +166,14 @@ impl Default for PlanePolicy {
     }
 }
 
+/// Short metric-name segment for a recommendation action.
+fn action_kind(action: &RecoAction) -> &'static str {
+    match action {
+        RecoAction::CreateIndex { .. } => "create_index",
+        RecoAction::DropIndex { .. } => "drop_index",
+    }
+}
+
 /// One database under management.
 #[derive(Debug)]
 pub struct ManagedDb {
@@ -195,6 +205,10 @@ impl ManagedDb {
 pub struct ControlPlane {
     pub store: StateStore,
     pub telemetry: Telemetry,
+    /// The shard-owned metrics registry the §8.1 dashboard rolls up.
+    pub metrics: MetricsRegistry,
+    /// Span collector over the tick pipeline; disabled by default.
+    pub tracer: Tracer,
     pub faults: FaultInjector,
     pub policy: PlanePolicy,
     /// The MI low-impact classifier, trained online from validation
@@ -207,6 +221,8 @@ impl ControlPlane {
         ControlPlane {
             store: StateStore::new(),
             telemetry: Telemetry::new(),
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
             faults: FaultInjector::disabled(),
             policy,
             classifier: ImpactClassifier::default(),
@@ -218,22 +234,70 @@ impl ControlPlane {
         self
     }
 
+    pub fn with_tracing(mut self) -> ControlPlane {
+        self.tracer = Tracer::enabled();
+        self
+    }
+
     /// One orchestration pass over one database. Call it periodically
     /// (e.g. hourly) as simulated time advances.
+    ///
+    /// Each pass emits one `tick` span with the four micro-service
+    /// phases as children (when tracing is on) and refreshes the
+    /// outstanding-recommendation gauges the dashboard reads.
     pub fn tick(&mut self, mdb: &mut ManagedDb) {
+        let started = mdb.db.clock().now();
+        self.tracer.start("tick", started);
+        self.tracer
+            .attr("db_hash", format!("{:016x}", crate::telemetry::db_hash(&mdb.db.name)));
         self.maybe_journal_tear(mdb);
         // MI snapshots are cheap and reset-sensitive: take one per tick.
         mdb.mi_store.take_snapshot(&mdb.db);
-        self.maybe_analyze(mdb);
-        self.drive_retries(mdb);
-        self.implement_due(mdb);
-        self.validate_due(mdb);
-        self.expire_stale(mdb);
-        self.health_check(mdb);
+        self.traced("recommend", mdb, Self::maybe_analyze);
+        self.traced("retry", mdb, Self::drive_retries);
+        self.traced("implement", mdb, Self::implement_due);
+        self.traced("validate", mdb, Self::validate_due);
+        self.traced("expire", mdb, Self::expire_stale);
+        self.traced("health", mdb, Self::health_check);
+        self.refresh_outstanding_gauges();
+        self.tracer.end(mdb.db.clock().now());
+    }
+
+    /// Run one tick phase inside its own span. A disabled tracer makes
+    /// this a plain call — one branch of overhead on the hot path.
+    fn traced(&mut self, phase: &str, mdb: &mut ManagedDb, f: fn(&mut Self, &mut ManagedDb)) {
+        self.tracer.start(phase, mdb.db.clock().now());
+        f(self, mdb);
+        self.tracer.end(mdb.db.clock().now());
+    }
+
+    /// Outstanding (Active, awaiting implementation) recommendations by
+    /// action — §8.1's backlog lines. Gauges, not counters: they track
+    /// the *current* level, re-measured at every tick boundary.
+    fn refresh_outstanding_gauges(&mut self) {
+        let mut creates = 0i64;
+        let mut drops = 0i64;
+        for r in self.store.all() {
+            if r.state == RecoState::Active {
+                match &r.recommendation.action {
+                    RecoAction::CreateIndex { .. } => creates += 1,
+                    RecoAction::DropIndex { .. } => drops += 1,
+                }
+            }
+        }
+        self.metrics.gauge_set("outstanding.create", creates);
+        self.metrics.gauge_set("outstanding.drop", drops);
     }
 
     fn effective_settings(&self, mdb: &ManagedDb) -> (bool, bool) {
         effective(mdb.settings, mdb.server)
+    }
+
+    /// Raise an incident through both sinks: the on-call incident stream
+    /// and the `incident.raised` dashboard counter.
+    fn incident(&mut self, db: &str, summary: String, now: Timestamp) {
+        self.telemetry.incident(db, summary, now);
+        self.metrics.inc("incident.raised");
     }
 
     // ------------------------------------------------------------------
@@ -278,8 +342,21 @@ impl ControlPlane {
                 now,
             );
         }
+        self.metrics.inc("recovery.runs");
+        self.metrics
+            .add("recovery.entries_replayed", report.replayed as u64);
+        self.metrics
+            .add("recovery.entries_truncated", report.truncated as u64);
+        self.metrics
+            .add("recovery.reparked", report.reparked.len() as u64);
+        self.metrics.observe_with(
+            "recovery.replayed_per_run",
+            report.replayed as u64,
+            &crate::metrics::Histogram::count_bounds(),
+        );
         if report.torn_tail {
-            self.telemetry.incident(
+            self.metrics.inc("recovery.torn_tail");
+            self.incident(
                 db_name,
                 format!(
                     "journal tail torn: {} entries lost, {} recommendations re-parked",
@@ -351,6 +428,10 @@ impl ControlPlane {
             if self.is_duplicate_reco(&mdb.db.name, &reco) {
                 continue;
             }
+            self.metrics
+                .inc(&format!("reco.created.{}", action_kind(&reco.action)));
+            self.metrics
+                .inc(&format!("reco.created.source.{:?}", reco.source));
             self.store.insert(&mdb.db.name, reco, now);
             self.telemetry
                 .emit(EventKind::RecommendationCreated, &mdb.db.name, "", now);
@@ -429,6 +510,7 @@ impl ControlPlane {
         });
         self.telemetry
             .emit(EventKind::ImplementStarted, &mdb.db.name, "", now);
+        self.metrics.inc("implement.started");
 
         let fault_point = match &action {
             RecoAction::CreateIndex { .. } => FaultPoint::IndexBuild,
@@ -468,6 +550,8 @@ impl ControlPlane {
                 });
                 self.telemetry
                     .emit(EventKind::ImplementSucceeded, &mdb.db.name, "", now);
+                self.metrics
+                    .inc(&format!("implement.succeeded.{}", action_kind(&action)));
                 self.telemetry
                     .emit(EventKind::ValidationStarted, &mdb.db.name, "", now);
                 true
@@ -482,6 +566,7 @@ impl ControlPlane {
                 });
                 self.telemetry
                     .emit(EventKind::ImplementFailedFatal, &mdb.db.name, e, now);
+                self.metrics.inc("implement.failed.fatal");
                 false
             }
         }
@@ -508,13 +593,14 @@ impl ControlPlane {
                     format!("attempt {attempts}"),
                     now,
                 );
+                self.metrics.inc("implement.failed.transient");
                 if attempts > self.policy.max_retry_attempts {
                     self.store.update(id, |r| {
                         r.transition(RecoState::Error, now, "retry budget exhausted")
                             .expect("Retry -> Error");
                     });
-                    self.telemetry
-                        .incident(&mdb.db.name, format!("{id}: retries exhausted"), now);
+                    self.metrics.inc("retry.exhausted");
+                    self.incident(&mdb.db.name, format!("{id}: retries exhausted"), now);
                 }
                 false
             }
@@ -525,8 +611,8 @@ impl ControlPlane {
                 });
                 self.telemetry
                     .emit(EventKind::ImplementFailedFatal, &mdb.db.name, "fault", now);
-                self.telemetry
-                    .incident(&mdb.db.name, format!("{id}: fatal fault"), now);
+                self.metrics.inc("implement.failed.fatal");
+                self.incident(&mdb.db.name, format!("{id}: fatal fault"), now);
                 false
             }
         }
@@ -560,8 +646,12 @@ impl ControlPlane {
                     format!("attempt {attempts}"),
                     now,
                 );
+                self.metrics.inc("retry.backoff_wait");
                 continue;
             }
+            self.metrics.inc("retry.resumed");
+            self.metrics
+                .observe_time("retry.delay_ms", self.policy.retry.delay(id, attempts).millis());
             match phase {
                 RetryPhase::Implement => {
                     // Re-enter the implementation path.
@@ -611,12 +701,14 @@ impl ControlPlane {
                             })
                             .and_then(Result::ok)
                             .unwrap_or(0);
+                        self.metrics.inc("validate.failed.transient");
                         if attempts > self.policy.max_retry_attempts {
                             self.store.update(id, |r| {
                                 r.transition(RecoState::Error, now, "validation retries exhausted")
                                     .expect("Retry -> Error");
                             });
-                            self.telemetry.incident(
+                            self.metrics.inc("retry.exhausted");
+                            self.incident(
                                 &mdb.db.name,
                                 format!("{id}: validation retries exhausted"),
                                 now,
@@ -628,6 +720,7 @@ impl ControlPlane {
                             r.transition(RecoState::Error, now, "validation fatal")
                                 .expect("Validating -> Error");
                         });
+                        self.metrics.inc("validate.failed.fatal");
                     }
                 }
                 continue;
@@ -664,6 +757,8 @@ impl ControlPlane {
                         self.finish_validation(mdb, id, "no qualifying data", true, now);
                         self.telemetry
                             .emit(EventKind::ValidationNoData, &mdb.db.name, "", now);
+                        self.metrics.inc("validate.nodata");
+                        self.metrics.observe_time("validation.wait_ms", waited.millis());
                     }
                     // else: keep waiting.
                 }
@@ -676,6 +771,8 @@ impl ControlPlane {
                         format!("{:.0}%", -outcome.aggregate_cpu_change * 100.0),
                         now,
                     );
+                    self.metrics.inc("validate.improved");
+                    self.metrics.observe_time("validation.wait_ms", waited.millis());
                 }
                 Verdict::Inconclusive => {
                     if waited >= self.policy.validation_max_wait {
@@ -687,6 +784,8 @@ impl ControlPlane {
                             "",
                             now,
                         );
+                        self.metrics.inc("validate.inconclusive");
+                        self.metrics.observe_time("validation.wait_ms", waited.millis());
                     }
                 }
                 Verdict::Regressed => {
@@ -705,8 +804,11 @@ impl ControlPlane {
                         format!("{:+.0}%", outcome.aggregate_cpu_change * 100.0),
                         now,
                     );
+                    self.metrics.inc("validate.regressed");
+                    self.metrics.observe_time("validation.wait_ms", waited.millis());
                     self.telemetry
                         .emit(EventKind::RevertStarted, &mdb.db.name, "", now);
+                    self.metrics.inc("revert.cause.validation_regression");
                     self.revert_one(mdb, id);
                 }
             }
@@ -762,8 +864,11 @@ impl ControlPlane {
         let now = mdb.db.clock().now();
         let Some(r) = self.store.get(id) else { return };
         let action = r.recommendation.action.clone();
+        let source = r.recommendation.source;
         let implemented_index = r.implemented_index;
         let dropped_def = r.dropped_def.clone();
+        self.tracer.start("revert", now);
+        self.tracer.attr("action", action_kind(&action));
 
         if let Some(kind) = self.faults.check(FaultPoint::IndexDrop) {
             match kind {
@@ -777,12 +882,14 @@ impl ControlPlane {
                         .unwrap_or(0);
                     self.telemetry
                         .emit(EventKind::RevertFailedTransient, &mdb.db.name, "", now);
+                    self.metrics.inc("revert.failed.transient");
                     if attempts > self.policy.max_retry_attempts {
                         self.store.update(id, |r| {
                             r.transition(RecoState::Error, now, "revert retries exhausted")
                                 .expect("Retry -> Error");
                         });
-                        self.telemetry.incident(
+                        self.metrics.inc("retry.exhausted");
+                        self.incident(
                             &mdb.db.name,
                             format!("{id}: revert retries exhausted"),
                             now,
@@ -794,10 +901,12 @@ impl ControlPlane {
                         r.transition(RecoState::Error, now, "revert fatal")
                             .expect("Reverting -> Error");
                     });
-                    self.telemetry
-                        .incident(&mdb.db.name, format!("{id}: revert fatal"), now);
+                    self.metrics.inc("revert.failed.fatal");
+                    self.incident(&mdb.db.name, format!("{id}: revert fatal"), now);
                 }
             }
+            self.tracer.attr("outcome", "faulted");
+            self.tracer.end(mdb.db.clock().now());
             return;
         }
 
@@ -813,6 +922,11 @@ impl ControlPlane {
             });
             self.telemetry
                 .emit(EventKind::RevertSucceeded, &mdb.db.name, "", now);
+            self.metrics.inc("revert.succeeded");
+            self.metrics
+                .inc(&format!("revert.action.{}", action_kind(&action)));
+            self.metrics.inc(&format!("revert.source.{source:?}"));
+            self.tracer.attr("outcome", "reverted");
         } else {
             // Index already gone / recreated externally: §4's well-known
             // error class, processed automatically.
@@ -820,14 +934,17 @@ impl ControlPlane {
                 r.transition(RecoState::Error, now, "revert target missing")
                     .expect("Reverting -> Error");
             });
+            self.metrics.inc("revert.target_missing");
+            self.tracer.attr("outcome", "target_missing");
         }
+        self.tracer.end(mdb.db.clock().now());
     }
 
     // ------------------------------------------------------------------
     // Expiry + health micro-service
     // ------------------------------------------------------------------
 
-    fn expire_stale(&mut self, mdb: &ManagedDb) {
+    fn expire_stale(&mut self, mdb: &mut ManagedDb) {
         let now = mdb.db.clock().now();
         let expiry = self.policy.reco_expiry;
         let stale: Vec<RecoId> = self
@@ -843,10 +960,11 @@ impl ControlPlane {
             });
             self.telemetry
                 .emit(EventKind::RecommendationExpired, &mdb.db.name, "", now);
+            self.metrics.inc("reco.expired");
         }
     }
 
-    fn health_check(&mut self, mdb: &ManagedDb) {
+    fn health_check(&mut self, mdb: &mut ManagedDb) {
         let now = mdb.db.clock().now();
         let horizon = Timestamp(
             now.millis()
@@ -865,8 +983,8 @@ impl ControlPlane {
                 continue;
             }
             let state = r.state;
-            self.telemetry
-                .incident(&mdb.db.name, format!("{id} stuck in {state:?}"), now);
+            self.incident(&mdb.db.name, format!("{id} stuck in {state:?}"), now);
+            self.metrics.inc("health.stuck_closed");
             // Automated corrective action where safe: park in a terminal
             // state so the pipeline doesn't wedge.
             self.store.update(id, |r| {

@@ -5,8 +5,10 @@
 //! *does* cross regions is anonymized aggregate telemetry, merged into
 //! the global dashboards on-call engineers use.
 
+use crate::metrics::MetricsRegistry;
 use crate::plane::{ControlPlane, ManagedDb, PlanePolicy};
 use crate::telemetry::{EventKind, Telemetry};
+use sqlmini::clock::Duration;
 use std::collections::BTreeMap;
 
 /// One region: a control plane plus its managed databases.
@@ -59,6 +61,196 @@ impl Region {
     pub fn export_telemetry(&self) -> &Telemetry {
         &self.plane.telemetry
     }
+
+    /// The region's metrics registry (counters/gauges/histograms).
+    pub fn export_metrics(&self) -> &MetricsRegistry {
+        &self.plane.metrics
+    }
+}
+
+/// The §8.1 operational-statistics table, rolled up from a merged
+/// [`MetricsRegistry`]. One snapshot summarizes a fleet (or region) at a
+/// point in simulated time: backlog levels, implementation throughput,
+/// revert rate with cause/source breakdowns, and chaos counters.
+///
+/// Built purely from the registry plus the simulated horizon, so a
+/// parallel fleet run — whose merged registry is byte-identical to the
+/// serial run's — yields a byte-identical snapshot and rendering.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DashboardSnapshot {
+    /// Databases the registry saw (`fleet.tenants` gauge).
+    pub databases: i64,
+    /// Databases with auto-implementation enabled (`fleet.auto_tenants`).
+    pub auto_databases: i64,
+    /// Simulated time the metrics cover, in milliseconds.
+    pub sim_millis: u64,
+    /// Backlog: Active CREATE INDEX recommendations awaiting action.
+    pub outstanding_creates: i64,
+    /// Backlog: Active DROP INDEX recommendations awaiting action.
+    pub outstanding_drops: i64,
+    pub implemented_creates: u64,
+    pub implemented_drops: u64,
+    pub reverts: u64,
+    /// Reverts by trigger (`revert.cause.*`).
+    pub revert_causes: BTreeMap<String, u64>,
+    /// Reverts by originating recommender (`revert.source.*`).
+    pub reverts_by_source: BTreeMap<String, u64>,
+    pub expired: u64,
+    /// Queries measured in both the first and last observation windows.
+    pub queries_measured: u64,
+    /// Of those, queries whose mean CPU improved by ≥2× (§8.1).
+    pub queries_improved_2x: u64,
+    /// Databases whose fixed-count CPU cost at least halved (§8.1).
+    pub dbs_cpu_halved: u64,
+    pub recoveries: u64,
+    pub quarantines: u64,
+    pub poisoned: u64,
+    pub incidents: u64,
+}
+
+impl DashboardSnapshot {
+    /// Roll a merged registry up into the ops table.
+    pub fn from_metrics(metrics: &MetricsRegistry, sim_time: Duration) -> DashboardSnapshot {
+        DashboardSnapshot {
+            databases: metrics.gauge("fleet.tenants"),
+            auto_databases: metrics.gauge("fleet.auto_tenants"),
+            sim_millis: sim_time.millis(),
+            outstanding_creates: metrics.gauge("outstanding.create"),
+            outstanding_drops: metrics.gauge("outstanding.drop"),
+            implemented_creates: metrics.counter("implement.succeeded.create_index"),
+            implemented_drops: metrics.counter("implement.succeeded.drop_index"),
+            reverts: metrics.counter("revert.succeeded"),
+            revert_causes: metrics.breakdown("revert.cause."),
+            reverts_by_source: metrics.breakdown("revert.source."),
+            expired: metrics.counter("reco.expired"),
+            queries_measured: metrics.counter("workload.queries_measured"),
+            queries_improved_2x: metrics.counter("workload.queries_improved_2x"),
+            dbs_cpu_halved: metrics.counter("workload.dbs_cpu_halved"),
+            recoveries: metrics.counter("recovery.runs"),
+            quarantines: metrics.counter("fleet.quarantines"),
+            poisoned: metrics.counter("fleet.poisoned"),
+            incidents: metrics.counter("incident.raised"),
+        }
+    }
+
+    /// Fraction of databases with auto-implementation on (§8.1 reports
+    /// roughly a quarter of the fleet).
+    pub fn auto_fraction(&self) -> f64 {
+        if self.databases <= 0 {
+            return 0.0;
+        }
+        self.auto_databases as f64 / self.databases as f64
+    }
+
+    fn sim_weeks(&self) -> f64 {
+        self.sim_millis as f64 / Duration::from_days(7).millis() as f64
+    }
+
+    /// Implemented creates per simulated week.
+    pub fn weekly_creates(&self) -> f64 {
+        let w = self.sim_weeks();
+        if w <= 0.0 {
+            return 0.0;
+        }
+        self.implemented_creates as f64 / w
+    }
+
+    /// Implemented drops per simulated week.
+    pub fn weekly_drops(&self) -> f64 {
+        let w = self.sim_weeks();
+        if w <= 0.0 {
+            return 0.0;
+        }
+        self.implemented_drops as f64 / w
+    }
+
+    /// Reverts ÷ implemented actions (§8.1 reports ~11%).
+    pub fn revert_rate(&self) -> f64 {
+        let implemented = self.implemented_creates + self.implemented_drops;
+        if implemented == 0 {
+            return 0.0;
+        }
+        self.reverts as f64 / implemented as f64
+    }
+
+    /// Outstanding drops per outstanding create (§8.1: drop backlog
+    /// dwarfs the create backlog, ~3.4M vs ~250K).
+    pub fn drop_backlog_ratio(&self) -> f64 {
+        if self.outstanding_creates <= 0 {
+            return 0.0;
+        }
+        self.outstanding_drops as f64 / self.outstanding_creates as f64
+    }
+
+    /// Render the §8.1 ops table. Pure function of the snapshot —
+    /// byte-identical across runs that produced equal snapshots.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== operational statistics (\u{a7}8.1) ==\n");
+        out.push_str(&format!(
+            "databases under management      {:>8}\n",
+            self.databases
+        ));
+        out.push_str(&format!(
+            "  auto-implement enabled        {:>8}  ({:.1}% of fleet)\n",
+            self.auto_databases,
+            self.auto_fraction() * 100.0
+        ));
+        out.push_str(&format!(
+            "simulated horizon               {:>8.2} weeks\n",
+            self.sim_weeks()
+        ));
+        out.push_str("outstanding recommendations\n");
+        out.push_str(&format!(
+            "  CREATE INDEX                  {:>8}\n",
+            self.outstanding_creates
+        ));
+        out.push_str(&format!(
+            "  DROP INDEX                    {:>8}  ({:.1}x create backlog)\n",
+            self.outstanding_drops,
+            self.drop_backlog_ratio()
+        ));
+        out.push_str("implemented actions\n");
+        out.push_str(&format!(
+            "  creates                       {:>8}  ({:.2}/week)\n",
+            self.implemented_creates,
+            self.weekly_creates()
+        ));
+        out.push_str(&format!(
+            "  drops                         {:>8}  ({:.2}/week)\n",
+            self.implemented_drops,
+            self.weekly_drops()
+        ));
+        out.push_str(&format!(
+            "reverted actions                {:>8}  ({:.1}% of implemented)\n",
+            self.reverts,
+            self.revert_rate() * 100.0
+        ));
+        for (cause, n) in &self.revert_causes {
+            out.push_str(&format!("  cause {cause:<24}{n:>8}\n"));
+        }
+        for (source, n) in &self.reverts_by_source {
+            out.push_str(&format!("  source {source:<23}{n:>8}\n"));
+        }
+        out.push_str(&format!(
+            "expired recommendations         {:>8}\n",
+            self.expired
+        ));
+        out.push_str("workload impact\n");
+        out.push_str(&format!(
+            "  queries improved >=2x         {:>8}  (of {} measured)\n",
+            self.queries_improved_2x, self.queries_measured
+        ));
+        out.push_str(&format!(
+            "  databases with CPU halved     {:>8}\n",
+            self.dbs_cpu_halved
+        ));
+        out.push_str(&format!(
+            "chaos: recoveries {} / quarantines {} / poisoned {} / incidents {}\n",
+            self.recoveries, self.quarantines, self.poisoned, self.incidents
+        ));
+        out
+    }
 }
 
 /// The global dashboard: merged counters across regions, health rollups,
@@ -66,6 +258,7 @@ impl Region {
 #[derive(Debug, Default)]
 pub struct GlobalDashboard {
     merged: Telemetry,
+    metrics: MetricsRegistry,
     per_region: BTreeMap<String, BTreeMap<EventKind, u64>>,
 }
 
@@ -73,6 +266,7 @@ impl GlobalDashboard {
     pub fn new() -> GlobalDashboard {
         GlobalDashboard {
             merged: Telemetry::new(),
+            metrics: MetricsRegistry::new(),
             per_region: BTreeMap::new(),
         }
     }
@@ -80,10 +274,21 @@ impl GlobalDashboard {
     /// Ingest one region's telemetry snapshot.
     pub fn ingest(&mut self, region: &Region) {
         self.merged.merge(region.export_telemetry());
+        self.metrics.merge(region.export_metrics());
         self.per_region.insert(
             region.name.clone(),
             region.export_telemetry().counters().clone(),
         );
+    }
+
+    /// Cross-region merged metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Roll the merged metrics into the §8.1 ops table.
+    pub fn snapshot(&self, sim_time: Duration) -> DashboardSnapshot {
+        DashboardSnapshot::from_metrics(&self.metrics, sim_time)
     }
 
     pub fn global_count(&self, kind: EventKind) -> u64 {

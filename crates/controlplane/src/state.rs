@@ -34,6 +34,36 @@ pub enum RecoState {
 }
 
 impl RecoState {
+    /// Every state in lifecycle order — the row order ops dashboards
+    /// use, so fleet tables render identically run to run.
+    pub const ALL: [RecoState; 9] = [
+        RecoState::Active,
+        RecoState::Implementing,
+        RecoState::Validating,
+        RecoState::Retry,
+        RecoState::Success,
+        RecoState::Reverting,
+        RecoState::Reverted,
+        RecoState::Expired,
+        RecoState::Error,
+    ];
+
+    /// Stable display name (matches the `Debug` rendering, which the
+    /// state-count maps key on).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoState::Active => "Active",
+            RecoState::Expired => "Expired",
+            RecoState::Implementing => "Implementing",
+            RecoState::Validating => "Validating",
+            RecoState::Success => "Success",
+            RecoState::Reverting => "Reverting",
+            RecoState::Reverted => "Reverted",
+            RecoState::Retry => "Retry",
+            RecoState::Error => "Error",
+        }
+    }
+
     /// Terminal states never transition further.
     pub fn is_terminal(self) -> bool {
         matches!(
@@ -305,6 +335,19 @@ mod tests {
             impacted_queries: vec![],
             generated_at: Timestamp(0),
         }
+    }
+
+    #[test]
+    fn state_names_match_debug_and_all_is_complete() {
+        assert_eq!(RecoState::ALL.len(), 9);
+        for s in RecoState::ALL {
+            assert_eq!(s.name(), format!("{s:?}"), "name/Debug drift for {s:?}");
+        }
+        // No duplicates: a dashboard iterating ALL renders each row once.
+        let mut names: Vec<&str> = RecoState::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
     }
 
     #[test]

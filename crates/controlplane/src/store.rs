@@ -389,6 +389,50 @@ mod tests {
     }
 
     #[test]
+    fn recovery_of_empty_journal_is_clean() {
+        // A store that never journaled anything (fresh process, crash
+        // before first write) must recover to an empty store without
+        // reporting a torn tail.
+        let (s, report) = StateStore::recovered_from(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.journal_len(), 0);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                replayed: 0,
+                truncated: 0,
+                torn_tail: false,
+                reparked: vec![],
+                id_base: 0,
+                next_id: 0,
+            }
+        );
+        // And an in-place crash of a never-written store is a no-op.
+        let mut fresh = StateStore::new();
+        let r = fresh.crash_and_recover();
+        assert!(!r.torn_tail);
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn recovery_when_only_frame_is_truncated() {
+        // The very first journal record is torn mid-write: recovery must
+        // drop it (empty durable prefix), flag the torn tail, and leave
+        // a usable empty store — not panic or resurrect half a record.
+        let mut s = StateStore::new();
+        s.insert("db1", reco(1), Timestamp(0));
+        assert_eq!(s.journal_len(), 1);
+        s.corrupt_journal_tail();
+        let journal = s.journal_lines().to_vec();
+        let (recovered, report) = StateStore::recovered_from(journal);
+        assert!(report.torn_tail);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.truncated, 1);
+        assert!(recovered.is_empty(), "no durable prefix to restore");
+        assert_eq!(recovered.journal_len(), 0, "torn record not re-journaled");
+    }
+
+    #[test]
     fn per_database_filtering() {
         let mut s = StateStore::new();
         s.insert("db1", reco(1), Timestamp(0));

@@ -59,7 +59,9 @@ pub struct Event {
     pub detail: String,
 }
 
-fn hash_db(name: &str) -> u64 {
+/// Stable anonymizing hash of a database name — the only tenant
+/// identifier that ever leaves a shard (events, incidents, span attrs).
+pub fn db_hash(name: &str) -> u64 {
     use std::collections::hash_map::DefaultHasher;
     use std::hash::{Hash, Hasher};
     let mut h = DefaultHasher::new();
@@ -98,7 +100,7 @@ impl Telemetry {
         self.events.push(Event {
             at,
             kind,
-            db_hash: hash_db(db),
+            db_hash: db_hash(db),
             detail: detail.into(),
         });
         if self.events.len() > self.retain_events {
@@ -112,7 +114,7 @@ impl Telemetry {
         self.emit(EventKind::IncidentRaised, db, summary.clone(), at);
         self.incidents.push(Incident {
             at,
-            db_hash: hash_db(db),
+            db_hash: db_hash(db),
             summary,
         });
     }

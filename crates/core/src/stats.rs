@@ -289,6 +289,46 @@ mod tests {
     }
 
     #[test]
+    fn welch_matches_hand_computed_reference() {
+        // a = [10,12,14,16,18]: mean 14, s² = 40/4 = 10, n = 5
+        // b = [20..=25]:        mean 22.5, s² = 17.5/5 = 3.5, n = 6
+        let a = Sample::from_values(&[10.0, 12.0, 14.0, 16.0, 18.0]);
+        let b = Sample::from_values(&[20.0, 21.0, 22.0, 23.0, 24.0, 25.0]);
+        assert_eq!(a.mean, 14.0);
+        assert_eq!(a.variance, 10.0);
+        assert_eq!(b.mean, 22.5);
+        assert!((b.variance - 3.5).abs() < 1e-12);
+
+        // se² = 10/5 + 3.5/6 = 31/12
+        // t   = 8.5 / sqrt(31/12)            = 5.28845…
+        // df  = (31/12)² / (1²/4 + (7/12)²/5) = 6.24838…  (Welch–Satterthwaite)
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!((r.t - 8.5 / (31.0f64 / 12.0).sqrt()).abs() < 1e-9);
+        let se2 = 31.0f64 / 12.0;
+        let df_ref = se2 * se2 / (1.0 + (7.0f64 / 12.0) * (7.0 / 12.0) / 5.0);
+        assert!((r.df - df_ref).abs() < 1e-9);
+        assert!((r.t - 5.28845).abs() < 1e-4, "t = {}", r.t);
+        assert!((r.df - 6.24838).abs() < 1e-4, "df = {}", r.df);
+        // Table value: two-sided p for t≈5.29 at df≈6.25 is ≈0.0016.
+        assert!(
+            (5e-4..3e-3).contains(&r.p_two_sided),
+            "p = {}",
+            r.p_two_sided
+        );
+        assert!((r.p_b_greater - r.p_two_sided / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_identical_samples_are_a_wash() {
+        let a = Sample::from_values(&[3.0, 4.0, 5.0, 6.0]);
+        let r = welch_t_test(&a, &a).unwrap();
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.df, 6.0, "equal n, equal variance → df = 2(n-1)");
+        assert!((r.p_two_sided - 1.0).abs() < 1e-9);
+        assert!((r.p_b_greater - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
     fn welch_detects_clear_difference() {
         let a = Sample::from_values(&[10.0, 11.0, 9.5, 10.2, 10.8, 9.9, 10.1, 10.4]);
         let b = Sample::from_values(&[15.0, 14.5, 15.5, 15.2, 14.8, 15.1, 14.9, 15.3]);

@@ -143,6 +143,18 @@ impl std::fmt::Display for Winner {
     }
 }
 
+/// CPU-cost improvement of `arm` relative to `baseline`, as a fraction
+/// of the baseline cost (negative when the arm regressed; `0.0` for a
+/// costless baseline). Shared by the winner analysis and the ops
+/// dashboards, so both report the same number for the same samples.
+pub fn improvement_fraction(baseline: &CostSample, arm: &CostSample) -> f64 {
+    if baseline.total > 0.0 {
+        (baseline.total - arm.total) / baseline.total
+    } else {
+        0.0
+    }
+}
+
 /// Improvements and the winner for one database's experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WinnerAnalysis {
@@ -165,16 +177,9 @@ pub fn determine_winner(
     alpha: f64,
     margin: f64,
 ) -> WinnerAnalysis {
-    let improvement = |s: &CostSample| {
-        if baseline.total > 0.0 {
-            (baseline.total - s.total) / baseline.total
-        } else {
-            0.0
-        }
-    };
-    let user_improvement = improvement(user);
-    let mi_improvement = improvement(mi);
-    let dta_improvement = improvement(dta);
+    let user_improvement = improvement_fraction(baseline, user);
+    let mi_improvement = improvement_fraction(baseline, mi);
+    let dta_improvement = improvement_fraction(baseline, dta);
 
     // X beats Y when X's total is significantly lower and the gap is a
     // meaningful fraction of the baseline workload cost.
@@ -250,6 +255,15 @@ mod tests {
         let dta = sample(850.0, 50.0);
         let a = determine_winner(&baseline, &user, &mi, &dta, 0.05, 0.05);
         assert_eq!(a.winner, Winner::User);
+    }
+
+    #[test]
+    fn improvement_fraction_signed_and_guarded() {
+        let baseline = sample(1000.0, 1.0);
+        assert!((improvement_fraction(&baseline, &sample(750.0, 1.0)) - 0.25).abs() < 1e-12);
+        assert!((improvement_fraction(&baseline, &sample(1100.0, 1.0)) + 0.1).abs() < 1e-12);
+        // A costless baseline yields 0, not NaN/inf.
+        assert_eq!(improvement_fraction(&sample(0.0, 1.0), &sample(5.0, 1.0)), 0.0);
     }
 
     #[test]

@@ -236,6 +236,18 @@ pub struct ConvoySummary {
     pub exclusive_succeeded: bool,
 }
 
+impl ConvoySummary {
+    /// Mean wait over the shared requests that actually blocked
+    /// (zero-wait grants excluded — they would wash out the convoy
+    /// signal the dashboards watch for).
+    pub fn mean_blocked_wait(&self) -> Duration {
+        if self.blocked_shared == 0 {
+            return Duration::ZERO;
+        }
+        Duration(self.total_shared_wait.millis() / self.blocked_shared as u64)
+    }
+}
+
 /// Summarize outcomes, classifying by the mode recorded in `requests`.
 pub fn summarize_convoy(requests: &[LockRequest], outcomes: &[LockOutcome]) -> ConvoySummary {
     let mode_of = |id: u64| requests.iter().find(|r| r.id == id).map(|r| r.mode);
@@ -369,6 +381,24 @@ mod tests {
         assert_eq!(drop_outcome.waited, Duration(500));
         // No shared request waited.
         assert!(out.iter().filter(|o| o.id >= 10).all(|o| o.waited == Duration::ZERO));
+    }
+
+    #[test]
+    fn mean_blocked_wait_averages_waiters_only() {
+        // Reader holds 1000ms; X at 100 convoys two later S requests
+        // (at 200 and 300) behind it while an early S (at 0..) rides
+        // free. Mean must average only the two that actually waited.
+        let reqs = vec![s(1, 0, 1000), x(2, 100, 10), s(3, 200, 50), s(4, 300, 50)];
+        let out = simulate(&reqs);
+        let summary = summarize_convoy(&reqs, &out);
+        assert_eq!(summary.blocked_shared, 2);
+        let expected = Duration(summary.total_shared_wait.millis() / 2);
+        assert_eq!(summary.mean_blocked_wait(), expected);
+        assert!(expected > Duration::ZERO);
+        // Degenerate case: nothing blocked → zero, not a division panic.
+        let free = simulate(&[s(1, 0, 10)]);
+        let none = summarize_convoy(&[s(1, 0, 10)], &free);
+        assert_eq!(none.mean_blocked_wait(), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Observability-layer invariants, spanning crates.
+//!
+//! The metrics registry's merge must be a commutative monoid — that is
+//! the algebraic fact that lets the fleet driver merge shard-owned
+//! registries in fleet order and still promise byte-identical results
+//! for any thread count. The dashboard snapshot is a pure function of
+//! the merged registry, so the §8.1 ops table inherits the same
+//! parallel-equals-serial guarantee; and turning tracing on must never
+//! perturb the canonical fleet state.
+
+use controlplane::{
+    FleetDriver, FleetDriverConfig, Histogram, MetricsRegistry, PlanePolicy, Tracer,
+};
+use proptest::prelude::*;
+use sqlmini::clock::Duration;
+use workload::fleet::{generate_fleet, TierMix};
+
+// ---------------------------------------------------------------------
+// Registry algebra
+// ---------------------------------------------------------------------
+
+/// One random mutation of a registry: a counter bump, a gauge move, or
+/// a histogram observation — over a small key space so merges collide.
+#[derive(Debug, Clone)]
+enum MetricOp {
+    Inc(u8, u16),
+    Gauge(u8, i16),
+    Observe(u8, u32),
+}
+
+fn metric_op() -> impl Strategy<Value = MetricOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MetricOp::Inc(k % 5, v)),
+        (any::<u8>(), any::<i16>()).prop_map(|(k, v)| MetricOp::Gauge(k % 3, v)),
+        (any::<u8>(), any::<u32>()).prop_map(|(k, v)| MetricOp::Observe(k % 2, v)),
+    ]
+}
+
+fn registry_from(ops: &[MetricOp]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    for op in ops {
+        match op {
+            MetricOp::Inc(k, v) => m.add(&format!("c{k}"), *v as u64),
+            MetricOp::Gauge(k, v) => m.gauge_add(&format!("g{k}"), *v as i64),
+            MetricOp::Observe(k, v) => {
+                m.observe_with(&format!("h{k}"), *v as u64, &Histogram::count_bounds())
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge is commutative: a ⊕ b == b ⊕ a for random registries.
+    #[test]
+    fn metrics_merge_commutes(
+        a in proptest::collection::vec(metric_op(), 0..40),
+        b in proptest::collection::vec(metric_op(), 0..40),
+    ) {
+        let (ra, rb) = (registry_from(&a), registry_from(&b));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and the empty
+    /// registry is the identity on both sides.
+    #[test]
+    fn metrics_merge_associates_with_identity(
+        a in proptest::collection::vec(metric_op(), 0..30),
+        b in proptest::collection::vec(metric_op(), 0..30),
+        c in proptest::collection::vec(metric_op(), 0..30),
+    ) {
+        let (ra, rb, rc) = (registry_from(&a), registry_from(&b), registry_from(&c));
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut bc = rb.clone();
+        bc.merge(&rc);
+        let mut right = ra.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        let mut with_empty = ra.clone();
+        with_empty.merge(&MetricsRegistry::new());
+        prop_assert_eq!(&with_empty, &ra);
+        let mut empty = MetricsRegistry::new();
+        empty.merge(&ra);
+        prop_assert_eq!(&empty, &ra);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet-level determinism of the dashboard
+// ---------------------------------------------------------------------
+
+fn observability_driver(fault_seed: u64, trace: bool) -> FleetDriver {
+    FleetDriver::new(FleetDriverConfig {
+        policy: PlanePolicy {
+            analysis_interval: Duration::from_hours(2),
+            validation_min_wait: Duration::from_hours(1),
+            ..PlanePolicy::default()
+        },
+        fault_seed: Some(fault_seed),
+        fault_transient_prob: 0.1,
+        fault_fatal_prob: 0.01,
+        auto_fraction: Some(0.5),
+        trace,
+        ..FleetDriverConfig::default()
+    })
+}
+
+fn basic_fleet(n: usize, seed: u64) -> Vec<workload::fleet::Tenant> {
+    generate_fleet(
+        n,
+        TierMix {
+            basic: 1.0,
+            standard: 0.0,
+            premium: 0.0,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For random fleets, seeds, and thread counts, the parallel run's
+    /// merged metrics and §8.1 snapshot are identical to the serial
+    /// run's — the observability layer obeys the same determinism
+    /// contract as the fleet state itself.
+    #[test]
+    fn parallel_dashboard_matches_serial(
+        n_tenants in 2usize..=5,
+        ticks in 2u32..=5,
+        threads in 2usize..=4,
+        seed in any::<u16>(),
+    ) {
+        let driver = observability_driver(seed as u64 ^ 0x0B5E7, false);
+        let serial = driver.run(basic_fleet(n_tenants, seed as u64), ticks, 1);
+        let parallel = driver.run(basic_fleet(n_tenants, seed as u64), ticks, threads);
+        prop_assert_eq!(serial.metrics.clone(), parallel.metrics.clone());
+        prop_assert_eq!(serial.dashboard(), parallel.dashboard());
+        prop_assert_eq!(serial.dashboard().render(), parallel.dashboard().render());
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_fleet_state() {
+    // Same fleet, tracing off vs on: canonical state, metrics, and the
+    // rendered dashboard must not move by a byte.
+    let plain = observability_driver(0xFEED, false).run(basic_fleet(4, 99), 4, 2);
+    let traced = observability_driver(0xFEED, true).run(basic_fleet(4, 99), 4, 2);
+    assert_eq!(plain.canonical_string(), traced.canonical_string());
+    assert_eq!(plain.metrics, traced.metrics);
+    assert_eq!(plain.dashboard().render(), traced.dashboard().render());
+}
+
+#[test]
+fn dashboard_foots_with_telemetry() {
+    use controlplane::EventKind;
+    let report = observability_driver(0xACE, false).run(basic_fleet(5, 7), 5, 3);
+    let dash = report.dashboard();
+    assert_eq!(dash.databases, 5);
+    assert_eq!(
+        dash.implemented_creates + dash.implemented_drops,
+        report.telemetry.count(EventKind::ImplementSucceeded),
+        "metrics and telemetry must agree on implemented actions"
+    );
+    assert_eq!(
+        dash.reverts,
+        report.telemetry.count(EventKind::RevertSucceeded)
+    );
+    assert_eq!(dash.incidents as usize, report.telemetry.incidents().len());
+    assert_eq!(
+        dash.expired,
+        report.telemetry.count(EventKind::RecommendationExpired)
+    );
+    // Revert causes decompose the revert total.
+    assert_eq!(dash.revert_causes.values().sum::<u64>(), dash.reverts);
+    assert_eq!(dash.reverts_by_source.values().sum::<u64>(), dash.reverts);
+    // The auto-fraction gauge summed over shards stays within the fleet.
+    assert!(dash.auto_databases <= dash.databases);
+}
+
+#[test]
+fn trace_spans_cover_the_tick_pipeline() {
+    use controlplane::plane::{ControlPlane, ManagedDb};
+    use controlplane::{DbSettings, ServerSettings};
+    use sqlmini::clock::SimClock;
+    use sqlmini::engine::{Database, DbConfig};
+    use sqlmini::schema::{ColumnDef, TableDef};
+    use sqlmini::types::ValueType;
+
+    let mut db = Database::new("tracedb", DbConfig::default(), SimClock::new());
+    db.create_table(TableDef::new(
+        "t",
+        vec![ColumnDef::new("id", ValueType::Int)],
+    ))
+    .unwrap();
+    let mut mdb = ManagedDb::new(db, DbSettings::all_on(), ServerSettings::default());
+    let mut plane = ControlPlane::new(PlanePolicy::default()).with_tracing();
+    mdb.db.clock().advance(Duration::from_hours(1));
+    plane.tick(&mut mdb);
+    let roots = plane.tracer.roots();
+    assert_eq!(roots.len(), 1, "one root span per tick");
+    let tick = &roots[0];
+    assert_eq!(tick.name, "tick");
+    assert!(tick.attr("db_hash").is_some(), "tick is tagged anonymously");
+    let phases: Vec<&str> = tick.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        phases,
+        [
+            "recommend",
+            "retry",
+            "implement",
+            "validate",
+            "expire",
+            "health"
+        ],
+        "pipeline phases in execution order"
+    );
+    // Spans are sim-clock timestamped and exportable.
+    let json = plane.tracer.export_json();
+    assert!(json.contains("\"recommend\""), "{json}");
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let mut t = Tracer::disabled();
+    t.start("x", sqlmini::clock::Timestamp(0));
+    t.end(sqlmini::clock::Timestamp(5));
+    assert!(t.roots().is_empty());
+    assert!(!t.is_enabled());
+}
