@@ -1,0 +1,302 @@
+//! DTA what-if budget benchmark: optimizer-call counts, wall time, and
+//! cache hit rate with the cost cache + relevance pruning on vs. off, at
+//! several workload scales, on seeded (fully deterministic) workloads.
+//!
+//! For every scale the harness tunes the *same* database twice — cache
+//! off, then cache on — and asserts the recommendations are byte-equal
+//! (the equivalence invariant DESIGN.md documents). Results are written
+//! to `BENCH_dta.json` to seed the perf trajectory.
+//!
+//! ```text
+//! cargo run -p bench --release --bin dta_bench               # all scales
+//! cargo run -p bench --release --bin dta_bench -- --smoke    # small only (CI)
+//! cargo run -p bench --release --bin dta_bench -- --out PATH --seed 7
+//! ```
+
+use autoindex::dta::{tune, DtaConfig, DtaReport};
+use bench::Args;
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::query::{
+    CmpOp, JoinSpec, OrderKey, Predicate, QueryTemplate, Scalar, SelectQuery, Statement,
+};
+use sqlmini::schema::{ColumnDef, ColumnId, TableDef, TableId};
+use sqlmini::types::{Value, ValueType};
+use std::time::Instant;
+
+/// One benchmark scale: `tables` tables, ~`templates_per_table` distinct
+/// statements each, plus cross-table joins.
+struct Scale {
+    name: &'static str,
+    tables: usize,
+    rows_per_table: i64,
+    reps: usize,
+}
+
+const SCALES: &[Scale] = &[
+    Scale {
+        name: "small",
+        tables: 2,
+        rows_per_table: 6_000,
+        reps: 12,
+    },
+    Scale {
+        name: "mid",
+        tables: 5,
+        rows_per_table: 8_000,
+        reps: 16,
+    },
+    Scale {
+        name: "large",
+        tables: 8,
+        rows_per_table: 10_000,
+        reps: 20,
+    },
+];
+
+/// Build a seeded multi-table database and drive a mixed workload through
+/// it so Query Store has top-K statements to select. Deterministic: same
+/// seed, same database, same recommendations.
+fn seeded_db(scale: &Scale, seed: u64) -> Database {
+    let mut db = Database::new(
+        format!("dta_bench_{}_{}", scale.name, seed),
+        DbConfig {
+            seed,
+            ..DbConfig::default()
+        },
+        SimClock::new(),
+    );
+    let mut tables: Vec<TableId> = Vec::new();
+    for ti in 0..scale.tables {
+        let t = db
+            .create_table(TableDef::new(
+                format!("t{ti}"),
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("fk", ValueType::Int),
+                    ColumnDef::new("cat", ValueType::Int),
+                    ColumnDef::new("rank", ValueType::Int),
+                    ColumnDef::new("amount", ValueType::Float),
+                ],
+            ))
+            .unwrap();
+        let stride = 37 + (seed as i64 % 11) + ti as i64;
+        db.load_rows(
+            t,
+            (0..scale.rows_per_table).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int((i * stride) % 500),
+                    Value::Int(i % 23),
+                    Value::Int((i * 7) % 400),
+                    Value::Float(((i * stride) % 1000) as f64),
+                ]
+            }),
+        );
+        db.rebuild_stats(t);
+        tables.push(t);
+    }
+
+    // Per-table statement shapes: point lookup, range scan, ordered page,
+    // and a maintenance-bearing write.
+    for (ti, &t) in tables.iter().enumerate() {
+        let mut point = SelectQuery::new(t);
+        point.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        point.projection = vec![ColumnId(0), ColumnId(4)];
+        let point = QueryTemplate::new(Statement::Select(point), 1);
+
+        let mut range = SelectQuery::new(t);
+        range.predicates = vec![
+            Predicate::param(ColumnId(2), CmpOp::Eq, 0),
+            Predicate::param(ColumnId(3), CmpOp::Ge, 1),
+        ];
+        range.projection = vec![ColumnId(0)];
+        let range = QueryTemplate::new(Statement::Select(range), 2);
+
+        let mut ordered = SelectQuery::new(t);
+        ordered.predicates = vec![Predicate::param(ColumnId(2), CmpOp::Eq, 0)];
+        ordered.order_by = vec![OrderKey {
+            column: ColumnId(3),
+            asc: true,
+        }];
+        ordered.projection = vec![ColumnId(0), ColumnId(3)];
+        ordered.limit = Some(50);
+        let ordered = QueryTemplate::new(Statement::Select(ordered), 1);
+
+        let insert = QueryTemplate::new(
+            Statement::Insert {
+                table: t,
+                values: (0..5u16).map(Scalar::Param).collect(),
+            },
+            5,
+        );
+
+        for r in 0..scale.reps {
+            let v = (r as i64 * 13 + ti as i64 * 5 + seed as i64) % 500;
+            db.execute(&point, &[Value::Int(v)]).unwrap();
+            db.execute(&range, &[Value::Int(v % 23), Value::Int(v % 400)])
+                .unwrap();
+            db.execute(&ordered, &[Value::Int((v + 3) % 23)]).unwrap();
+            db.execute(
+                &insert,
+                &[
+                    Value::Int(1_000_000 + r as i64),
+                    Value::Int(v),
+                    Value::Int(v % 23),
+                    Value::Int(v % 400),
+                    Value::Float(v as f64),
+                ],
+            )
+            .unwrap();
+        }
+    }
+
+    // Cross-table joins so relevance sets span two tables.
+    for w in tables.windows(2) {
+        let (outer, inner) = (w[0], w[1]);
+        let mut q = SelectQuery::new(outer);
+        q.predicates = vec![Predicate::param(ColumnId(2), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(0)];
+        q.join = Some(JoinSpec {
+            table: inner,
+            outer_col: ColumnId(1),
+            inner_col: ColumnId(0),
+            predicates: vec![],
+            projection: vec![ColumnId(4)],
+        });
+        let tpl = QueryTemplate::new(Statement::Select(q), 1);
+        for r in 0..scale.reps {
+            db.execute(&tpl, &[Value::Int((r as i64 + seed as i64) % 23)])
+                .unwrap();
+        }
+    }
+
+    db.clock().advance(Duration::from_hours(2));
+    db
+}
+
+fn dta_cfg(scale: &Scale, cache: bool) -> DtaConfig {
+    DtaConfig {
+        window: Duration::from_hours(4),
+        // Cover the whole statement population at every scale.
+        top_k: scale.tables * 5 + 8,
+        // Ample budget: this harness measures savings, not abort behavior.
+        optimizer_call_budget: 5_000_000,
+        what_if_cache: cache,
+        ..DtaConfig::default()
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ScaleResult {
+    scale: String,
+    tables: usize,
+    statements: usize,
+    recommendations: usize,
+    calls_uncached: u64,
+    calls_cached: u64,
+    call_reduction: f64,
+    saved_by_cache: u64,
+    saved_by_pruning: u64,
+    cache_hit_rate: f64,
+    wall_ms_uncached: f64,
+    wall_ms_cached: f64,
+    identical_recommendations: bool,
+}
+
+fn run_scale(scale: &Scale, seed: u64) -> ScaleResult {
+    let db = seeded_db(scale, seed);
+
+    let mut db_off = db.clone();
+    let t0 = Instant::now();
+    let off: DtaReport = tune(&mut db_off, &dta_cfg(scale, false));
+    let wall_off = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut db_on = db.clone();
+    let t1 = Instant::now();
+    let on: DtaReport = tune(&mut db_on, &dta_cfg(scale, true));
+    let wall_on = t1.elapsed().as_secs_f64() * 1e3;
+
+    let identical = on.recommendations == off.recommendations
+        && on.baseline_cost.to_bits() == off.baseline_cost.to_bits()
+        && on.final_cost.to_bits() == off.final_cost.to_bits();
+    assert!(
+        identical,
+        "{}: cache-on recommendations diverged from cache-off\n on: {:?}\noff: {:?}",
+        scale.name, on.recommendations, off.recommendations
+    );
+    assert!(
+        !on.aborted && !off.aborted,
+        "{}: budget too small",
+        scale.name
+    );
+
+    ScaleResult {
+        scale: scale.name.to_string(),
+        tables: scale.tables,
+        statements: on.analyzed.len(),
+        recommendations: on.recommendations.len(),
+        calls_uncached: off.optimizer_calls,
+        calls_cached: on.optimizer_calls,
+        call_reduction: off.optimizer_calls as f64 / on.optimizer_calls.max(1) as f64,
+        saved_by_cache: on.what_if.saved_cache,
+        saved_by_pruning: on.what_if.saved_pruning,
+        cache_hit_rate: on.cache_hit_rate(),
+        wall_ms_uncached: wall_off,
+        wall_ms_cached: wall_on,
+        identical_recommendations: identical,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let seed = args.get_u64("seed", 42);
+    let out_path = args.get_str("out", "BENCH_dta.json");
+
+    println!("== DTA what-if cache benchmark (seed {seed}) ==");
+    println!(
+        "{:>6} {:>6} {:>6} {:>10} {:>10} {:>7} {:>9} {:>10} {:>10}",
+        "scale",
+        "tables",
+        "stmts",
+        "calls-off",
+        "calls-on",
+        "x-less",
+        "hit-rate",
+        "ms-off",
+        "ms-on"
+    );
+
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for scale in SCALES {
+        if smoke && scale.name != "small" {
+            continue;
+        }
+        let r = run_scale(scale, seed);
+        println!(
+            "{:>6} {:>6} {:>6} {:>10} {:>10} {:>6.1}x {:>8.1}% {:>10.1} {:>10.1}",
+            r.scale,
+            r.tables,
+            r.statements,
+            r.calls_uncached,
+            r.calls_cached,
+            r.call_reduction,
+            r.cache_hit_rate * 100.0,
+            r.wall_ms_uncached,
+            r.wall_ms_cached
+        );
+        if r.scale == "mid" {
+            assert!(
+                r.call_reduction >= 5.0,
+                "mid scale must cut what-if calls >=5x, got {:.2}x",
+                r.call_reduction
+            );
+        }
+        results.push(r);
+    }
+
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    std::fs::write(out_path, json).expect("write BENCH_dta.json");
+    println!("wrote {out_path}");
+}

@@ -408,7 +408,14 @@ impl ControlPlane {
                 );
             } else {
                 let report = tune(&mut mdb.db, &self.policy.dta);
+                self.metrics.inc("dta.sessions");
+                self.metrics.add("dta.whatif.issued", report.what_if.issued);
+                self.metrics
+                    .add("dta.whatif.saved.cache", report.what_if.saved_cache);
+                self.metrics
+                    .add("dta.whatif.saved.pruning", report.what_if.saved_pruning);
                 if report.aborted {
+                    self.metrics.inc("dta.sessions.aborted");
                     self.telemetry
                         .emit(EventKind::DtaSessionAborted, &mdb.db.name, "budget", now);
                 }
@@ -1136,6 +1143,41 @@ mod tests {
         assert!(success, "states: {:?}", plane.store.count_by_state());
         assert!(plane.telemetry.count(EventKind::ValidationImproved) >= 1);
         assert_eq!(plane.telemetry.count(EventKind::RevertSucceeded), 0);
+    }
+
+    #[test]
+    fn dta_session_metrics_feed_dashboard() {
+        let (mut mdb, tpl, _) = managed_db(6);
+        let mut plane = ControlPlane::new(PlanePolicy {
+            recommender: RecommenderPolicy::DtaOnly,
+            analysis_interval: Duration::from_hours(4),
+            ..PlanePolicy::default()
+        });
+        drive(&mut plane, &mut mdb, &tpl, 24);
+        let sessions = plane.metrics.counter("dta.sessions");
+        let issued = plane.metrics.counter("dta.whatif.issued");
+        let saved_cache = plane.metrics.counter("dta.whatif.saved.cache");
+        assert!(sessions >= 1, "DtaOnly policy must run DTA sessions");
+        assert!(issued > 0, "sessions must issue what-if calls");
+        // Every session re-costs the first greedy round against configs
+        // the single-benefit pass already cached.
+        assert!(saved_cache > 0, "cost cache must absorb repeat configs");
+        assert_eq!(plane.metrics.counter("dta.sessions.aborted"), 0);
+
+        let snap = crate::region::DashboardSnapshot::from_metrics(
+            &plane.metrics,
+            Duration::from_hours(24),
+        );
+        assert_eq!(snap.dta_sessions, sessions);
+        assert_eq!(snap.what_if_issued, issued);
+        assert_eq!(snap.what_if_saved_cache, saved_cache);
+        assert!(snap.what_if_cache_hit_rate() > 0.0);
+        assert!(snap.what_if_saved_fraction() > 0.0);
+        let rendered = snap.render();
+        assert!(
+            rendered.contains("DTA what-if budget"),
+            "dashboard must render the what-if block once sessions ran:\n{rendered}"
+        );
     }
 
     #[test]

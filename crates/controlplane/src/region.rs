@@ -106,6 +106,15 @@ pub struct DashboardSnapshot {
     pub quarantines: u64,
     pub poisoned: u64,
     pub incidents: u64,
+    /// DTA sessions run (`dta.sessions`) / aborted on budget.
+    pub dta_sessions: u64,
+    pub dta_sessions_aborted: u64,
+    /// What-if optimizer calls DTA actually issued (`dta.whatif.issued`).
+    pub what_if_issued: u64,
+    /// What-if calls answered from the cost cache (`dta.whatif.saved.cache`).
+    pub what_if_saved_cache: u64,
+    /// What-if calls skipped by relevance pruning (`dta.whatif.saved.pruning`).
+    pub what_if_saved_pruning: u64,
 }
 
 impl DashboardSnapshot {
@@ -130,7 +139,31 @@ impl DashboardSnapshot {
             quarantines: metrics.counter("fleet.quarantines"),
             poisoned: metrics.counter("fleet.poisoned"),
             incidents: metrics.counter("incident.raised"),
+            dta_sessions: metrics.counter("dta.sessions"),
+            dta_sessions_aborted: metrics.counter("dta.sessions.aborted"),
+            what_if_issued: metrics.counter("dta.whatif.issued"),
+            what_if_saved_cache: metrics.counter("dta.whatif.saved.cache"),
+            what_if_saved_pruning: metrics.counter("dta.whatif.saved.pruning"),
         }
+    }
+
+    /// Fraction of DTA what-if lookups served by the cost cache.
+    pub fn what_if_cache_hit_rate(&self) -> f64 {
+        let lookups = self.what_if_saved_cache + self.what_if_issued;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.what_if_saved_cache as f64 / lookups as f64
+    }
+
+    /// Fraction of would-be what-if calls avoided (cache + pruning).
+    pub fn what_if_saved_fraction(&self) -> f64 {
+        let saved = self.what_if_saved_cache + self.what_if_saved_pruning;
+        let total = saved + self.what_if_issued;
+        if total == 0 {
+            return 0.0;
+        }
+        saved as f64 / total as f64
     }
 
     /// Fraction of databases with auto-implementation on (§8.1 reports
@@ -245,6 +278,25 @@ impl DashboardSnapshot {
             "  databases with CPU halved     {:>8}\n",
             self.dbs_cpu_halved
         ));
+        if self.dta_sessions > 0 {
+            out.push_str("DTA what-if budget (\u{a7}5.3.1)\n");
+            out.push_str(&format!(
+                "  sessions                      {:>8}  ({} aborted on budget)\n",
+                self.dta_sessions, self.dta_sessions_aborted
+            ));
+            out.push_str(&format!(
+                "  optimizer calls issued        {:>8}\n",
+                self.what_if_issued
+            ));
+            out.push_str(&format!(
+                "  calls saved (cache/pruning)   {:>8}  ({} / {}, {:.1}% avoided, hit rate {:.1}%)\n",
+                self.what_if_saved_cache + self.what_if_saved_pruning,
+                self.what_if_saved_cache,
+                self.what_if_saved_pruning,
+                self.what_if_saved_fraction() * 100.0,
+                self.what_if_cache_hit_rate() * 100.0
+            ));
+        }
         out.push_str(&format!(
             "chaos: recoveries {} / quarantines {} / poisoned {} / incidents {}\n",
             self.recoveries, self.quarantines, self.poisoned, self.incidents

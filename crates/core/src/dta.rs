@@ -25,12 +25,13 @@
 use crate::candidate::{IndexCandidate, RecoAction, RecoSource, Recommendation};
 use crate::coverage::workload_coverage;
 use crate::merging::merge_candidates;
+use crate::whatif_cache::{WhatIfCache, WhatIfStats};
 use sqlmini::clock::{Duration, Timestamp};
-use sqlmini::engine::Database;
+use sqlmini::engine::{Database, WhatIfSession};
 use sqlmini::index::SecondaryIndex;
 use sqlmini::query::{CmpOp, QueryId, QueryTemplate, Statement};
 use sqlmini::querystore::Metric;
-use sqlmini::schema::{ColumnId, IndexDef};
+use sqlmini::schema::{ColumnId, IndexDef, TableId};
 use sqlmini::types::Value;
 
 /// DTA session configuration.
@@ -53,6 +54,12 @@ pub struct DtaConfig {
     pub augment_with_mi: bool,
     /// Metric used for workload selection.
     pub selection_metric: Metric,
+    /// Memoize what-if costs on (statement, per-table configuration
+    /// fingerprint) and skip statements a candidate's table cannot
+    /// affect. Recommendations are byte-identical either way (pinned by
+    /// the `dta_cache` proptest); `false` exists to benchmark the
+    /// savings, not to change results.
+    pub what_if_cache: bool,
 }
 
 impl Default for DtaConfig {
@@ -66,6 +73,7 @@ impl Default for DtaConfig {
             min_improvement_frac: 0.02,
             augment_with_mi: true,
             selection_metric: Metric::CpuTime,
+            what_if_cache: true,
         }
     }
 }
@@ -97,6 +105,9 @@ pub struct DtaReport {
     /// Estimated workload cost before / after the recommendation.
     pub baseline_cost: f64,
     pub final_cost: f64,
+    /// What-if calls issued / avoided by the session (§5.3.1 budget
+    /// accounting; `what_if.issued == optimizer_calls`).
+    pub what_if: WhatIfStats,
 }
 
 impl DtaReport {
@@ -107,6 +118,11 @@ impl DtaReport {
         } else {
             ((self.baseline_cost - self.final_cost) / self.baseline_cost).max(0.0)
         }
+    }
+
+    /// Fraction of what-if lookups answered from the cost cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.what_if.cache_hit_rate()
     }
 }
 
@@ -255,6 +271,10 @@ fn rewrite_for_costing(template: &QueryTemplate) -> Option<(QueryTemplate, f64)>
 }
 
 /// Run one DTA tuning session against a database.
+/// One greedy-round winner: (remaining-pool index, new total workload
+/// cost, index size, per-statement re-costs under that configuration).
+type RoundPick = (usize, f64, u64, Vec<(usize, f64)>);
+
 pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
     let now = db.clock().now();
     let from = Timestamp(now.millis().saturating_sub(cfg.window.millis()));
@@ -308,14 +328,10 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
             if existing.iter().any(|ix| cand.served_by(ix)) {
                 continue;
             }
-            match pool.iter_mut().find(|c| {
-                c.table == cand.table
-                    && c.key_columns == cand.key_columns
-                    && c.included_columns == cand.included_columns
-            }) {
-                Some(c) => {
-                    if !c.impacted_queries.contains(&item.qid) {
-                        c.impacted_queries.push(item.qid);
+            match pool_position(&pool, &cand) {
+                Some(i) => {
+                    if !pool[i].impacted_queries.contains(&item.qid) {
+                        pool[i].impacted_queries.push(item.qid);
                     }
                 }
                 None => pool.push(cand),
@@ -333,9 +349,11 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
             if existing.iter().any(|ix| cand.served_by(ix)) {
                 continue;
             }
-            let idx = match pool.iter().position(|c| {
-                c.table == cand.table && c.key_columns == cand.key_columns
-            }) {
+            // Match on the full (table, keys, includes) identity — an MI
+            // candidate with different includes is a *different* index and
+            // must not be merged into (nor credit its impact score to) a
+            // structurally distinct pool entry.
+            let idx = match pool_position(&pool, &cand) {
                 Some(i) => i,
                 None => {
                     pool.push(cand);
@@ -351,37 +369,101 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
         }
     }
 
-    // Baseline workload cost.
+    // Per-statement tables-touched sets: the relevance filter. A
+    // hypothetical index can only change the estimate of a statement
+    // whose touched set contains its table.
+    let touched: Vec<Vec<TableId>> = work
+        .iter()
+        .map(|w| w.template.statement.tables_touched())
+        .collect();
+
+    // Every what-if estimate flows through `costed`, which consults the
+    // cache first and enforces the call budget strictly (a session never
+    // exceeds `optimizer_call_budget`, it aborts instead).
+    let mut cache = WhatIfCache::new();
+    let mut stats = WhatIfStats::default();
     let mut budget_left = cfg.optimizer_call_budget as i64;
     let mut aborted = false;
+
+    // Baseline workload cost. Seeds the cache under the empty
+    // hypothetical configuration; an abort here means nothing can be
+    // scored at all, so the session ends with no recommendations.
     let mut session = db.what_if();
     let mut baseline_per_query: Vec<f64> = Vec::with_capacity(work.len());
-    for item in &work {
-        let (_, est) = session.cost(&item.template, &item.params);
-        baseline_per_query.push(est.cpu_us);
-        budget_left -= 1;
+    for (wi, item) in work.iter().enumerate() {
+        match costed(
+            &mut session,
+            &mut cache,
+            cfg.what_if_cache,
+            wi,
+            item,
+            &touched[wi],
+            &mut budget_left,
+            &mut stats,
+        ) {
+            Some(c) => baseline_per_query.push(c),
+            None => {
+                aborted = true;
+                break;
+            }
+        }
     }
     let baseline_cost: f64 = work
         .iter()
         .zip(&baseline_per_query)
         .map(|(w, c)| w.weight * c)
         .sum();
+    if aborted {
+        return DtaReport {
+            analyzed,
+            skipped,
+            rewritten,
+            coverage,
+            recommendations: Vec::new(),
+            optimizer_calls: db.optimizer_calls - calls_at_start,
+            aborted,
+            baseline_cost,
+            final_cost: baseline_cost,
+            what_if: stats,
+        };
+    }
 
     // Per-candidate single-index benefit (candidate selection scoring).
+    // Statements the candidate's table cannot touch are pruned: their
+    // estimate equals the baseline bit-for-bit, contributing zero.
     let mut single_benefit: Vec<f64> = vec![0.0; pool.len()];
     'cands: for (ci, cand) in pool.iter().enumerate() {
         session.clear();
         session.add_hypothetical(named_def(cand, ci));
+        let mut benefit = 0.0;
         for (wi, item) in work.iter().enumerate() {
-            if budget_left <= 0 {
-                aborted = true;
-                break 'cands;
+            if cfg.what_if_cache && !touched[wi].contains(&cand.table) {
+                stats.saved_pruning += 1;
+                continue;
             }
-            let (_, est) = session.cost(&item.template, &item.params);
-            budget_left -= 1;
-            single_benefit[ci] += item.weight * (baseline_per_query[wi] - est.cpu_us);
+            match costed(
+                &mut session,
+                &mut cache,
+                cfg.what_if_cache,
+                wi,
+                item,
+                &touched[wi],
+                &mut budget_left,
+                &mut stats,
+            ) {
+                Some(c) => benefit += item.weight * (baseline_per_query[wi] - c),
+                None => {
+                    // Budget ran out mid-candidate: the accumulated score
+                    // covers only a prefix of the workload — discard it
+                    // rather than let a partial score enter merging.
+                    aborted = true;
+                    break 'cands;
+                }
+            }
         }
+        single_benefit[ci] = benefit;
     }
+    drop(session);
     for (ci, bonus) in &mi_bonus {
         single_benefit[*ci] += bonus;
     }
@@ -402,24 +484,32 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
         merge_candidates(indexed.drain(..).map(|(_, c)| c).collect());
 
     // ---- Greedy workload-level enumeration ----------------------------
+    // Sizes are pure catalog arithmetic; estimate once per candidate
+    // instead of once per (round × candidate) and again at emission.
+    let mut remaining: Vec<(IndexCandidate, u64)> = merged
+        .into_iter()
+        .map(|c| {
+            let size = estimate_size(db, &c);
+            (c, size)
+        })
+        .collect();
     let mut chosen: Vec<IndexCandidate> = Vec::new();
     let mut chosen_benefit: Vec<f64> = Vec::new();
-    let mut remaining: Vec<IndexCandidate> = merged;
+    let mut chosen_sizes: Vec<u64> = Vec::new();
+    // Per-statement costs of the currently chosen configuration, carried
+    // across rounds: a candidate evaluation re-costs only the statements
+    // its table can affect and reuses these for the rest.
+    let mut current_per_stmt: Vec<f64> = baseline_per_query.clone();
     let mut current_cost = baseline_cost;
     let mut chosen_size: u64 = 0;
 
     while chosen.len() < cfg.max_indexes && !remaining.is_empty() && !aborted {
-        let mut best: Option<(usize, f64, f64)> = None; // (idx, new_cost, size)
-        for (ri, cand) in remaining.iter().enumerate() {
-            let size = estimate_size(db, cand);
+        let mut best: Option<RoundPick> = None;
+        'round: for (ri, (cand, size)) in remaining.iter().enumerate() {
             if let Some(budget) = cfg.storage_budget_bytes {
                 if chosen_size + size > budget {
                     continue;
                 }
-            }
-            if budget_left < work.len() as i64 {
-                aborted = true;
-                break;
             }
             let mut session = db.what_if();
             for (i, c) in chosen.iter().enumerate() {
@@ -427,20 +517,51 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
             }
             session.add_hypothetical(named_def(cand, 2000 + ri));
             let mut cost = 0.0;
-            for item in &work {
-                let (_, est) = session.cost(&item.template, &item.params);
-                cost += item.weight * est.cpu_us;
+            let mut recosted: Vec<(usize, f64)> = Vec::new();
+            for (wi, item) in work.iter().enumerate() {
+                if cfg.what_if_cache && !touched[wi].contains(&cand.table) {
+                    stats.saved_pruning += 1;
+                    cost += item.weight * current_per_stmt[wi];
+                    continue;
+                }
+                match costed(
+                    &mut session,
+                    &mut cache,
+                    cfg.what_if_cache,
+                    wi,
+                    item,
+                    &touched[wi],
+                    &mut budget_left,
+                    &mut stats,
+                ) {
+                    Some(c) => {
+                        cost += item.weight * c;
+                        recosted.push((wi, c));
+                    }
+                    None => {
+                        // Budget ran out mid-round: later candidates were
+                        // never evaluated, so a previously found `best`
+                        // is a half-swept selection — drop the round's
+                        // pick entirely.
+                        aborted = true;
+                        best = None;
+                        break 'round;
+                    }
+                }
             }
-            budget_left -= work.len() as i64;
-            if cost < current_cost && best.as_ref().map_or(true, |(_, bc, _)| cost < *bc) {
-                best = Some((ri, cost, size as f64));
+            if cost < current_cost && best.as_ref().is_none_or(|(_, bc, _, _)| cost < *bc) {
+                best = Some((ri, cost, *size, recosted));
             }
         }
         match best {
-            Some((ri, new_cost, size)) => {
-                let cand = remaining.remove(ri);
+            Some((ri, new_cost, size, recosted)) => {
+                let (cand, _) = remaining.remove(ri);
                 chosen_benefit.push(current_cost - new_cost);
-                chosen_size += size as u64;
+                chosen_sizes.push(size);
+                chosen_size += size;
+                for (wi, c) in recosted {
+                    current_per_stmt[wi] = c;
+                }
                 current_cost = new_cost;
                 chosen.push(cand);
             }
@@ -458,19 +579,17 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
         chosen
             .iter()
             .zip(&chosen_benefit)
-            .map(|(c, b)| {
-                let size = estimate_size(db, c);
-                Recommendation {
-                    action: RecoAction::CreateIndex {
-                        def: c.to_index_def(),
-                    },
-                    source: RecoSource::Dta,
-                    estimated_benefit: *b,
-                    estimated_improvement: (*b / baseline_cost.max(1e-9)).clamp(0.0, 1.0),
-                    estimated_size_bytes: size,
-                    impacted_queries: c.impacted_queries.clone(),
-                    generated_at: now,
-                }
+            .zip(&chosen_sizes)
+            .map(|((c, b), size)| Recommendation {
+                action: RecoAction::CreateIndex {
+                    def: c.to_index_def(),
+                },
+                source: RecoSource::Dta,
+                estimated_benefit: *b,
+                estimated_improvement: (*b / baseline_cost.max(1e-9)).clamp(0.0, 1.0),
+                estimated_size_bytes: *size,
+                impacted_queries: c.impacted_queries.clone(),
+                generated_at: now,
             })
             .collect()
     } else {
@@ -487,7 +606,61 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
         aborted,
         baseline_cost,
         final_cost: current_cost,
+        what_if: stats,
     }
+}
+
+/// Position of a structurally identical candidate in the pool — all
+/// three identity fields must match. (Matching on table + keys alone
+/// silently merges distinct-include candidates; see the MI-augmentation
+/// dedup fix.)
+fn pool_position(pool: &[IndexCandidate], cand: &IndexCandidate) -> Option<usize> {
+    pool.iter().position(|c| {
+        c.table == cand.table
+            && c.key_columns == cand.key_columns
+            && c.included_columns == cand.included_columns
+    })
+}
+
+/// One budget-governed, cache-aware what-if estimate for work item `wi`
+/// under `session`'s current hypothetical configuration.
+///
+/// Lookup order: cache (keyed by the configuration fingerprint restricted
+/// to the statement's touched tables) → budget check → real optimizer
+/// call, memoized. Returns `None` — without consuming budget — when the
+/// budget is exhausted; the caller aborts. With `use_cache` off every
+/// call goes to the optimizer, reproducing the uncached session exactly.
+#[allow(clippy::too_many_arguments)]
+fn costed(
+    session: &mut WhatIfSession<'_>,
+    cache: &mut WhatIfCache,
+    use_cache: bool,
+    wi: usize,
+    item: &WorkItem,
+    touched: &[TableId],
+    budget_left: &mut i64,
+    stats: &mut WhatIfStats,
+) -> Option<f64> {
+    let fp = if use_cache {
+        let fp = session.config_fingerprint(touched);
+        if let Some(c) = cache.get(wi, fp) {
+            stats.saved_cache += 1;
+            return Some(c);
+        }
+        Some(fp)
+    } else {
+        None
+    };
+    if *budget_left <= 0 {
+        return None;
+    }
+    let (_, est) = session.cost(&item.template, &item.params);
+    *budget_left -= 1;
+    stats.issued += 1;
+    if let Some(fp) = fp {
+        cache.insert(wi, fp, est.cpu_us);
+    }
+    Some(est.cpu_us)
 }
 
 /// The candidate's IndexDef with a session-unique name, so several
@@ -654,16 +827,142 @@ mod tests {
 
     #[test]
     fn aborts_on_call_budget() {
+        // Uncached: 3 calls cannot finish baseline + per-candidate passes.
         let (mut db, t) = orders_db();
         run_select(&mut db, t, 50);
         db.clock().advance(Duration::from_hours(1));
         let cfg = DtaConfig {
             optimizer_call_budget: 3,
+            what_if_cache: false,
             ..DtaConfig::default()
         };
         let report = tune(&mut db, &cfg);
         assert!(report.aborted);
-        assert!(report.optimizer_calls <= 10, "{}", report.optimizer_calls);
+        assert!(report.optimizer_calls <= 3, "{}", report.optimizer_calls);
+
+        // Cached: the same 3-call budget suffices for this one-statement
+        // workload (reuse is the point), but an even tighter budget still
+        // aborts gracefully and never overspends.
+        let cfg = DtaConfig {
+            optimizer_call_budget: 3,
+            ..DtaConfig::default()
+        };
+        let report = tune(&mut db, &cfg);
+        assert!(report.optimizer_calls <= 3, "{}", report.optimizer_calls);
+        let cfg = DtaConfig {
+            optimizer_call_budget: 1,
+            ..DtaConfig::default()
+        };
+        let report = tune(&mut db, &cfg);
+        assert!(report.aborted);
+        assert!(report.optimizer_calls <= 1, "{}", report.optimizer_calls);
+    }
+
+    #[test]
+    fn pool_position_matches_all_three_identity_fields() {
+        let mk = |keys: Vec<u32>, incl: Vec<u32>| IndexCandidate {
+            table: TableId(1),
+            key_columns: keys.into_iter().map(ColumnId).collect(),
+            included_columns: incl.into_iter().map(ColumnId).collect(),
+            benefit: 0.0,
+            avg_impact_pct: 0.0,
+            demand: 0,
+            impacted_queries: vec![],
+        };
+        let pool = vec![mk(vec![1], vec![2]), mk(vec![1], vec![3])];
+        // Same table + keys but different includes is a different entry.
+        assert_eq!(pool_position(&pool, &mk(vec![1], vec![2])), Some(0));
+        assert_eq!(pool_position(&pool, &mk(vec![1], vec![3])), Some(1));
+        assert_eq!(pool_position(&pool, &mk(vec![1], vec![])), None);
+        assert_eq!(pool_position(&pool, &mk(vec![1, 2], vec![2])), None);
+    }
+
+    #[test]
+    fn mi_candidates_with_distinct_includes_not_merged() {
+        // Two MI DMV entries sharing table+keys but with different include
+        // sets must survive as two pool entries: run a workload whose MI
+        // observations differ only in includes, then check both shapes can
+        // be recommended independently of cross-credited impact scores.
+        let (mut db, t) = orders_db();
+        // Query A: predicate on c1, projecting c0 → MI include {c0}.
+        run_select(&mut db, t, 40);
+        // Query B: predicate on c1, projecting c3 → MI include {c3} (and
+        // an uncostable statement so MI bonuses apply at all).
+        let mut q = SelectQuery::new(t);
+        q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(3)];
+        let bad = QueryTemplate::new(Statement::Select(q), 1)
+            .with_fidelity(TextFidelity::Incomplete);
+        for i in 0..40 {
+            db.execute(&bad, &[Value::Int(i % 500)]).unwrap();
+        }
+        db.clock().advance(Duration::from_hours(1));
+        let report = tune(&mut db, &DtaConfig::default());
+        // The merged recommendation must cover the skipped query's
+        // projected column — possible only if B's MI candidate entered
+        // the pool as its own entry instead of vanishing into A's.
+        assert!(!report.recommendations.is_empty());
+        let covers_c3 = report.recommendations.iter().any(|r| match &r.action {
+            RecoAction::CreateIndex { def } => {
+                def.key_columns.contains(&ColumnId(3)) || def.included_columns.contains(&ColumnId(3))
+            }
+            _ => false,
+        });
+        assert!(covers_c3, "{:?}", report.recommendations);
+    }
+
+    #[test]
+    fn cache_equivalence_on_multi_table_workload() {
+        // Cache on vs off must produce byte-identical recommendations and
+        // costs; the cached run must issue strictly fewer optimizer calls.
+        let (mut db, t) = orders_db();
+        let t2 = db
+            .create_table(TableDef::new(
+                "lines",
+                vec![
+                    ColumnDef::new("order_id", ValueType::Int),
+                    ColumnDef::new("sku", ValueType::Int),
+                    ColumnDef::new("qty", ValueType::Int),
+                ],
+            ))
+            .unwrap();
+        db.load_rows(
+            t2,
+            (0..30_000i64).map(|i| vec![Value::Int(i % 20_000), Value::Int(i % 900), Value::Int(i % 7)]),
+        );
+        db.rebuild_stats(t2);
+        run_select(&mut db, t, 40);
+        let mut q = SelectQuery::new(t2);
+        q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(0), ColumnId(2)];
+        let tpl = QueryTemplate::new(Statement::Select(q), 1);
+        for i in 0..40 {
+            db.execute(&tpl, &[Value::Int(i % 900)]).unwrap();
+        }
+        db.clock().advance(Duration::from_hours(1));
+
+        let mut db_off = db.clone();
+        let on = tune(&mut db, &DtaConfig::default());
+        let off = tune(
+            &mut db_off,
+            &DtaConfig {
+                what_if_cache: false,
+                ..DtaConfig::default()
+            },
+        );
+        assert_eq!(on.recommendations, off.recommendations);
+        assert_eq!(on.baseline_cost.to_bits(), off.baseline_cost.to_bits());
+        assert_eq!(on.final_cost.to_bits(), off.final_cost.to_bits());
+        assert!(
+            on.optimizer_calls < off.optimizer_calls,
+            "cached {} vs uncached {}",
+            on.optimizer_calls,
+            off.optimizer_calls
+        );
+        assert_eq!(on.what_if.issued, on.optimizer_calls);
+        assert!(on.what_if.saved() > 0);
+        assert_eq!(off.what_if.saved(), 0);
+        assert!(on.cache_hit_rate() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! The what-if cache + relevance-pruning invariants (ISSUE 4 tentpole):
+//!
+//! 1. **Equivalence** — for any workload, a DTA session with the cost
+//!    cache on emits recommendations byte-identical to the same session
+//!    with the cache off (and bitwise-equal cost estimates), while
+//!    issuing no more optimizer calls. Pinned by a proptest over random
+//!    multi-table workloads.
+//! 2. **Budget discipline** — `optimizer_calls` never exceeds
+//!    `optimizer_call_budget`, for any budget, cache on or off.
+//! 3. **Abort hygiene** — an aborted report is deterministic, contains
+//!    no partially-scored candidates, and any recommendations it does
+//!    carry are a prefix of the unconstrained session's (only complete
+//!    greedy rounds commit picks).
+
+use autoindex::dta::{tune, DtaConfig, DtaReport};
+use proptest::prelude::*;
+use sqlmini::clock::{Duration, SimClock};
+use sqlmini::engine::{Database, DbConfig};
+use sqlmini::query::{
+    CmpOp, JoinSpec, OrderKey, Predicate, QueryTemplate, Scalar, SelectQuery, Statement,
+};
+use sqlmini::schema::{ColumnDef, ColumnId, TableDef, TableId};
+use sqlmini::types::{Value, ValueType};
+
+/// Parameters of one randomized workload.
+#[derive(Debug, Clone)]
+struct WorkloadSpec {
+    seed: u64,
+    tables: usize,
+    rows: i64,
+    reps: usize,
+    with_join: bool,
+    with_writes: bool,
+}
+
+fn workload_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        any::<u64>(),
+        1usize..=3,
+        500i64..2_000,
+        3usize..12,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, tables, rows, reps, with_join, with_writes)| WorkloadSpec {
+                seed,
+                tables,
+                rows,
+                reps,
+                with_join,
+                with_writes,
+            },
+        )
+}
+
+/// Deterministically build and exercise a database from a spec.
+fn build_db(spec: &WorkloadSpec) -> Database {
+    let mut db = Database::new(
+        format!("prop{}", spec.seed),
+        DbConfig {
+            seed: spec.seed,
+            ..DbConfig::default()
+        },
+        SimClock::new(),
+    );
+    let mut tables: Vec<TableId> = Vec::new();
+    for ti in 0..spec.tables {
+        let t = db
+            .create_table(TableDef::new(
+                format!("t{ti}"),
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("fk", ValueType::Int),
+                    ColumnDef::new("cat", ValueType::Int),
+                    ColumnDef::new("val", ValueType::Float),
+                ],
+            ))
+            .unwrap();
+        let stride = 11 + (spec.seed % 7) as i64 + ti as i64;
+        db.load_rows(
+            t,
+            (0..spec.rows).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int((i * stride) % 100),
+                    Value::Int(i % 13),
+                    Value::Float((i % 500) as f64),
+                ]
+            }),
+        );
+        db.rebuild_stats(t);
+        tables.push(t);
+    }
+    for (ti, &t) in tables.iter().enumerate() {
+        let mut point = SelectQuery::new(t);
+        point.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
+        point.projection = vec![ColumnId(0), ColumnId(3)];
+        let point = QueryTemplate::new(Statement::Select(point), 1);
+        let mut ordered = SelectQuery::new(t);
+        ordered.predicates = vec![Predicate::param(ColumnId(2), CmpOp::Eq, 0)];
+        ordered.order_by = vec![OrderKey {
+            column: ColumnId(1),
+            asc: true,
+        }];
+        ordered.projection = vec![ColumnId(0)];
+        let ordered = QueryTemplate::new(Statement::Select(ordered), 1);
+        for r in 0..spec.reps {
+            let v = (r as i64 * 17 + ti as i64 + spec.seed as i64) % 100;
+            db.execute(&point, &[Value::Int(v)]).unwrap();
+            db.execute(&ordered, &[Value::Int(v % 13)]).unwrap();
+        }
+        if spec.with_writes {
+            let ins = QueryTemplate::new(
+                Statement::Insert {
+                    table: t,
+                    values: (0..4u16).map(Scalar::Param).collect(),
+                },
+                4,
+            );
+            for r in 0..spec.reps {
+                db.execute(
+                    &ins,
+                    &[
+                        Value::Int(100_000 + r as i64),
+                        Value::Int(r as i64 % 100),
+                        Value::Int(r as i64 % 13),
+                        Value::Float(0.0),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+    }
+    if spec.with_join && tables.len() >= 2 {
+        let mut q = SelectQuery::new(tables[0]);
+        q.predicates = vec![Predicate::param(ColumnId(2), CmpOp::Eq, 0)];
+        q.projection = vec![ColumnId(0)];
+        q.join = Some(JoinSpec {
+            table: tables[1],
+            outer_col: ColumnId(1),
+            inner_col: ColumnId(0),
+            predicates: vec![],
+            projection: vec![ColumnId(3)],
+        });
+        let tpl = QueryTemplate::new(Statement::Select(q), 1);
+        for r in 0..spec.reps {
+            db.execute(&tpl, &[Value::Int(r as i64 % 13)]).unwrap();
+        }
+    }
+    db.clock().advance(Duration::from_hours(1));
+    db
+}
+
+fn cfg(cache: bool, budget: u64) -> DtaConfig {
+    DtaConfig {
+        window: Duration::from_hours(2),
+        optimizer_call_budget: budget,
+        what_if_cache: cache,
+        ..DtaConfig::default()
+    }
+}
+
+/// Full-report equality, with costs compared bitwise.
+fn assert_reports_identical(a: &DtaReport, b: &DtaReport) {
+    assert_eq!(a.recommendations, b.recommendations);
+    assert_eq!(a.analyzed, b.analyzed);
+    assert_eq!(a.skipped, b.skipped);
+    assert_eq!(a.aborted, b.aborted);
+    assert_eq!(a.baseline_cost.to_bits(), b.baseline_cost.to_bits());
+    assert_eq!(a.final_cost.to_bits(), b.final_cost.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole invariant: cached == uncached, byte for byte, while the
+    /// cached session issues no more (in practice: strictly fewer, once
+    /// there is more than one candidate) optimizer calls.
+    #[test]
+    fn cache_on_equals_cache_off(spec in workload_spec()) {
+        let db = build_db(&spec);
+        let mut db_on = db.clone();
+        let mut db_off = db;
+        let on = tune(&mut db_on, &cfg(true, 5_000_000));
+        let off = tune(&mut db_off, &cfg(false, 5_000_000));
+        prop_assert_eq!(&on.recommendations, &off.recommendations);
+        prop_assert_eq!(on.baseline_cost.to_bits(), off.baseline_cost.to_bits());
+        prop_assert_eq!(on.final_cost.to_bits(), off.final_cost.to_bits());
+        prop_assert_eq!(on.aborted, off.aborted);
+        prop_assert!(on.optimizer_calls <= off.optimizer_calls,
+            "cached {} > uncached {}", on.optimizer_calls, off.optimizer_calls);
+        prop_assert_eq!(on.what_if.issued, on.optimizer_calls);
+        prop_assert_eq!(off.what_if.saved(), 0);
+    }
+
+    /// Budget discipline: whatever the budget, the session never issues
+    /// more optimizer calls than it, cache on or off — and a re-run on an
+    /// identical database produces an identical (possibly aborted) report.
+    #[test]
+    fn budget_is_strict_and_aborts_deterministic(
+        spec in workload_spec(),
+        budget in 0u64..120,
+        cache in any::<bool>(),
+    ) {
+        let db = build_db(&spec);
+        let mut db_a = db.clone();
+        let mut db_b = db;
+        let a = tune(&mut db_a, &cfg(cache, budget));
+        let b = tune(&mut db_b, &cfg(cache, budget));
+        prop_assert!(a.optimizer_calls <= budget,
+            "calls {} exceed budget {budget}", a.optimizer_calls);
+        assert_reports_identical(&a, &b);
+        // A session that aborted during scoring must not ship scores
+        // accumulated over a prefix of the workload: every emitted
+        // recommendation carries a strictly positive complete-round benefit.
+        for r in &a.recommendations {
+            prop_assert!(r.estimated_benefit > 0.0, "{r:?}");
+        }
+    }
+}
+
+/// Build a deterministic two-table workload used by the non-prop tests.
+fn fixed_db() -> Database {
+    build_db(&WorkloadSpec {
+        seed: 7,
+        tables: 2,
+        rows: 1_500,
+        reps: 8,
+        with_join: true,
+        with_writes: true,
+    })
+}
+
+/// Sweeping every budget from zero to "ample" must show: strict budget
+/// adherence, deterministic reports, and aborted sessions whose
+/// recommendations are a prefix of the unconstrained session's (aborts
+/// discard half-swept greedy rounds rather than committing them).
+#[test]
+fn budget_sweep_aborts_cleanly() {
+    let db = fixed_db();
+    let mut db_full = db.clone();
+    let full = tune(&mut db_full, &cfg(false, 5_000_000));
+    assert!(!full.aborted);
+    let full_calls = full.optimizer_calls;
+
+    for budget in (0..full_calls).step_by(7).chain([full_calls]) {
+        for cache in [false, true] {
+            let mut d = db.clone();
+            let report = tune(&mut d, &cfg(cache, budget));
+            assert!(
+                report.optimizer_calls <= budget,
+                "budget {budget} cache {cache}: {} calls",
+                report.optimizer_calls
+            );
+            assert!(
+                report.recommendations.len() <= full.recommendations.len(),
+                "budget {budget} cache {cache}"
+            );
+            // Completed greedy rounds replay the unconstrained pick
+            // sequence; an aborted round must not commit a pick.
+            for (got, want) in report.recommendations.iter().zip(&full.recommendations) {
+                assert_eq!(got.action, want.action, "budget {budget} cache {cache}");
+            }
+            if !report.aborted {
+                // Only a binding budget may change the outcome.
+                assert_eq!(report.recommendations, full.recommendations);
+            }
+        }
+    }
+}
+
+/// The uncached session at exactly the unconstrained call count must
+/// finish un-aborted (the strict check never spends, then aborts).
+#[test]
+fn exact_budget_finishes() {
+    let db = fixed_db();
+    let mut db_full = db.clone();
+    let full = tune(&mut db_full, &cfg(false, 5_000_000));
+    let mut d = db.clone();
+    let exact = tune(&mut d, &cfg(false, full.optimizer_calls));
+    assert!(!exact.aborted);
+    assert_eq!(exact.recommendations, full.recommendations);
+    assert_eq!(exact.optimizer_calls, full.optimizer_calls);
+}
+
+/// Serial repetition equivalence across cache modes on the fixed
+/// workload (the cheap stand-in the proptest generalizes).
+#[test]
+fn fixed_workload_equivalence_and_savings() {
+    let db = fixed_db();
+    let mut db_on = db.clone();
+    let mut db_off = db;
+    let on = tune(&mut db_on, &cfg(true, 5_000_000));
+    let off = tune(&mut db_off, &cfg(false, 5_000_000));
+    assert_reports_identical(&on, &off);
+    assert!(
+        on.optimizer_calls * 2 <= off.optimizer_calls,
+        "expected >=2x savings on a two-table workload: {} vs {}",
+        on.optimizer_calls,
+        off.optimizer_calls
+    );
+    assert!(on.cache_hit_rate() > 0.0);
+    assert_eq!(
+        on.what_if.saved(),
+        off.optimizer_calls.saturating_sub(on.optimizer_calls),
+        "every avoided call is accounted to cache or pruning"
+    );
+}

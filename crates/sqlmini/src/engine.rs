@@ -26,7 +26,7 @@ use crate::optimizer::{optimize, CostModel, IndexGeom, MissingIndexObservation, 
 use crate::plan::{Access, IndexRef, JoinStrategy, Plan, PlanEstimates, PlanId};
 use crate::query::{QueryId, QueryTemplate, Statement};
 use crate::querystore::QueryStore;
-use crate::schema::{IndexDef, IndexId, TableDef, TableId};
+use crate::schema::{ColumnId, IndexDef, IndexId, TableDef, TableId};
 use crate::stats::TableStats;
 use crate::types::{Row, Value};
 use rand::rngs::StdRng;
@@ -751,6 +751,49 @@ impl WhatIfSession<'_> {
         self.removed.clear();
     }
 
+    /// Stable fingerprint of the configuration under test, **restricted
+    /// to the given tables** (callers pass a statement's
+    /// [`tables_touched`](crate::query::Statement::tables_touched)).
+    ///
+    /// The fingerprint hashes, per table in the order given: the identity
+    /// of every visible real index (id + keys + includes), minus the
+    /// session's removals, plus every hypothetical index on that table as
+    /// its *structural* identity `(key_columns, included_columns)` —
+    /// deliberately **not** its name, so salted display names never
+    /// perturb the fingerprint — sorted so insertion order is irrelevant.
+    ///
+    /// Two sessions with the same fingerprint over a statement's touched
+    /// tables produce bit-identical `cost()` estimates for it (costing is
+    /// a pure function of the visible per-table configuration), which is
+    /// what licenses a (statement, fingerprint)-keyed what-if cost cache.
+    pub fn config_fingerprint(&self, tables: &[TableId]) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for t in tables {
+            t.hash(&mut h);
+            // Visible real indexes, in catalog (id) order.
+            for (id, def) in self.db.catalog.indexes_on(*t) {
+                if self.removed.contains(&id) {
+                    continue;
+                }
+                id.hash(&mut h);
+                def.key_columns.hash(&mut h);
+                def.included_columns.hash(&mut h);
+            }
+            // Hypothetical indexes, by sorted structural identity.
+            let mut hypo: Vec<(&[ColumnId], &[ColumnId])> = self
+                .added
+                .iter()
+                .filter(|d| d.table == *t)
+                .map(|d| (d.key_columns.as_slice(), d.included_columns.as_slice()))
+                .collect();
+            hypo.sort_unstable();
+            hypo.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Cost a statement under the hypothetical configuration. Returns the
     /// plan (may reference hypothetical indexes — not executable) and its
     /// estimates.
@@ -925,6 +968,52 @@ mod tests {
         assert_eq!(db.optimizer_calls, baseline_calls + 2);
         // Nothing was created.
         assert_eq!(db.catalog().n_indexes(), 0);
+    }
+
+    #[test]
+    fn config_fingerprint_stable_and_name_blind() {
+        let (mut db, t) = orders_db();
+        let other = TableId(t.0 + 1);
+        let mut session = db.what_if();
+        let empty = session.config_fingerprint(&[t]);
+        assert_eq!(empty, session.config_fingerprint(&[t]), "deterministic");
+
+        session.add_hypothetical(IndexDef::new("a_0", t, vec![ColumnId(1)], vec![ColumnId(3)]));
+        let one = session.config_fingerprint(&[t]);
+        assert_ne!(empty, one, "adding an index changes the fingerprint");
+        // A second hypothetical on an unrelated table leaves `t`'s view alone.
+        session.add_hypothetical(IndexDef::new("b_0", other, vec![ColumnId(0)], vec![]));
+        assert_eq!(one, session.config_fingerprint(&[t]));
+
+        // Same structure under different salted names and insertion order
+        // fingerprints identically.
+        session.clear();
+        session.add_hypothetical(IndexDef::new("b_99", other, vec![ColumnId(0)], vec![]));
+        session.add_hypothetical(IndexDef::new("a_42", t, vec![ColumnId(1)], vec![ColumnId(3)]));
+        assert_eq!(one, session.config_fingerprint(&[t]));
+
+        // Different includes are a different configuration.
+        session.clear();
+        session.add_hypothetical(IndexDef::new("a_0", t, vec![ColumnId(1)], vec![]));
+        assert_ne!(one, session.config_fingerprint(&[t]));
+    }
+
+    #[test]
+    fn config_fingerprint_sees_real_indexes_and_removals() {
+        let (mut db, t) = orders_db();
+        let before = db.what_if().config_fingerprint(&[t]);
+        let (id, _) = db
+            .create_index(IndexDef::new("real", t, vec![ColumnId(2)], vec![]))
+            .unwrap();
+        let with_real = db.what_if().config_fingerprint(&[t]);
+        assert_ne!(before, with_real, "real index is part of the config");
+        let mut session = db.what_if();
+        session.remove_real(id);
+        assert_eq!(
+            before,
+            session.config_fingerprint(&[t]),
+            "hiding the only real index restores the empty-config fingerprint"
+        );
     }
 
     #[test]

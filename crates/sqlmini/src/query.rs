@@ -273,6 +273,23 @@ impl Statement {
         !self.is_select()
     }
 
+    /// Every table whose physical configuration can influence this
+    /// statement's plan or cost: the primary table plus, for joins, the
+    /// inner table. Sorted and deduplicated, so the result is a stable
+    /// part of a what-if cache key — an index on any *other* table can
+    /// never change this statement's optimizer estimate.
+    pub fn tables_touched(&self) -> Vec<TableId> {
+        let mut out = vec![self.table()];
+        if let Statement::Select(q) = self {
+            if let Some(j) = &q.join {
+                out.push(j.table);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Predicates usable for index qualification (none for inserts).
     pub fn predicates(&self) -> &[Predicate] {
         match self {
@@ -437,6 +454,32 @@ mod tests {
         assert!(!frag.costable());
         let in_cache = sel.with_fidelity(TextFidelity::FragmentInPlanCache);
         assert!(in_cache.costable());
+    }
+
+    #[test]
+    fn tables_touched_primary_and_join() {
+        let mut q = SelectQuery::new(TableId(3));
+        assert_eq!(Statement::Select(q.clone()).tables_touched(), vec![TableId(3)]);
+        q.join = Some(JoinSpec {
+            table: TableId(1),
+            outer_col: ColumnId(0),
+            inner_col: ColumnId(0),
+            predicates: vec![],
+            projection: vec![],
+        });
+        assert_eq!(
+            Statement::Select(q.clone()).tables_touched(),
+            vec![TableId(1), TableId(3)],
+            "sorted primary + join inner table"
+        );
+        // Self-join collapses to one entry.
+        q.join.as_mut().unwrap().table = TableId(3);
+        assert_eq!(Statement::Select(q).tables_touched(), vec![TableId(3)]);
+        let del = Statement::Delete {
+            table: TableId(9),
+            predicates: vec![],
+        };
+        assert_eq!(del.tables_touched(), vec![TableId(9)]);
     }
 
     #[test]
