@@ -52,21 +52,25 @@ fn bench_session_vs_budget(c: &mut Criterion) {
     g.sample_size(10);
     for budget in [100u64, 1_000, 100_000] {
         let db = tenant_db(4);
-        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter_batched(
-                || db.clone(),
-                |mut db| {
-                    let cfg = DtaConfig {
-                        optimizer_call_budget: budget,
-                        window: Duration::from_hours(12),
-                        ..DtaConfig::default()
-                    };
-                    let r = tune(&mut db, &cfg);
-                    black_box((r.aborted, r.optimizer_calls))
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter_batched(
+                    || db.clone(),
+                    |mut db| {
+                        let cfg = DtaConfig {
+                            optimizer_call_budget: budget,
+                            window: Duration::from_hours(12),
+                            ..DtaConfig::default()
+                        };
+                        let r = tune(&mut db, &cfg);
+                        black_box((r.aborted, r.optimizer_calls))
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     g.finish();
 }

@@ -64,7 +64,13 @@ fn bench_mi_pipeline(c: &mut Criterion) {
         let (db, store) = db_with_mi_history(n);
         let clf = ImpactClassifier::default();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(recommend(&db, &store, &MiConfig::default(), &clf).recommendations.len()));
+            b.iter(|| {
+                black_box(
+                    recommend(&db, &store, &MiConfig::default(), &clf)
+                        .recommendations
+                        .len(),
+                )
+            });
         });
     }
     g.finish();
@@ -108,7 +114,9 @@ fn bench_merging(c: &mut Criterion) {
 }
 
 fn bench_slope_test(c: &mut Criterion) {
-    let pts: Vec<(f64, f64)> = (0..48).map(|i| (i as f64, 120.0 * i as f64 + 7.0)).collect();
+    let pts: Vec<(f64, f64)> = (0..48)
+        .map(|i| (i as f64, 120.0 * i as f64 + 7.0))
+        .collect();
     c.bench_function("stats/slope_test_48_points", |b| {
         b.iter(|| black_box(slope_above_threshold(&pts, 10.0)));
     });

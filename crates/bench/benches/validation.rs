@@ -12,7 +12,11 @@ use sqlmini::schema::{ColumnDef, ColumnId, IndexDef, TableDef};
 use sqlmini::types::{Value, ValueType};
 use std::hint::black_box;
 
-fn validated_db() -> (Database, (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp), (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp)) {
+fn validated_db() -> (
+    Database,
+    (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp),
+    (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp),
+) {
     let mut db = Database::new("val", DbConfig::default(), SimClock::new());
     let t = db
         .create_table(TableDef::new(
@@ -50,8 +54,13 @@ fn validated_db() -> (Database, (sqlmini::clock::Timestamp, sqlmini::clock::Time
         (start, db.clock().now())
     };
     let before = run(&mut db, 30);
-    db.create_index(IndexDef::new("ix", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(2)]))
-        .unwrap();
+    db.create_index(IndexDef::new(
+        "ix",
+        t,
+        vec![ColumnId(1)],
+        vec![ColumnId(0), ColumnId(2)],
+    ))
+    .unwrap();
     let after = run(&mut db, 30);
     (db, before, after)
 }

@@ -78,7 +78,8 @@ fn mi_stage_ablation() {
     let tpl2 = QueryTemplate::new(Statement::Select(q2), 3);
     for h in 0..8i64 {
         for i in 0..15 {
-            db.execute(&tpl1, &[Value::Int((h * 15 + i) % 400)]).unwrap();
+            db.execute(&tpl1, &[Value::Int((h * 15 + i) % 400)])
+                .unwrap();
             db.execute(
                 &tpl2,
                 &[
@@ -164,7 +165,9 @@ fn stale_stats_ablation() {
         let max = errs.iter().cloned().fold(0.0f64, f64::max);
         println!("{label:>24} {mean:>21.2}x {max:>21.2}x");
     }
-    println!("  (stale stats estimate ~0 rows for post-build values; the validator absorbs this)\n");
+    println!(
+        "  (stale stats estimate ~0 rows for post-build values; the validator absorbs this)\n"
+    );
 }
 
 /// Ablation 3: maintenance awareness, MI vs DTA.
@@ -205,7 +208,12 @@ fn maintenance_ablation() {
         db.clock().advance(Duration::from_hours(1));
         store.take_snapshot(&db);
     }
-    let mi = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+    let mi = recommend(
+        &db,
+        &store,
+        &MiConfig::default(),
+        &ImpactClassifier::default(),
+    );
     let dta = tune(
         &mut db,
         &DtaConfig {
@@ -222,7 +230,9 @@ fn maintenance_ablation() {
         dta.recommendations.len(),
         dta.improvement_frac() * 100.0
     );
-    println!("  paper: exactly this asymmetry drives MI's revert skew toward write regressions (§8.1)");
+    println!(
+        "  paper: exactly this asymmetry drives MI's revert skew toward write regressions (§8.1)"
+    );
 }
 
 fn main() {

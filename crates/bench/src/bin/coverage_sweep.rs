@@ -35,12 +35,16 @@ fn main() {
         let mut cfg = harness_tenant(format!("cov{i:02}"), tseed, ServiceTier::Standard);
         cfg.workload.incomplete_text_frac = 0.15;
         let mut t = generate_tenant(&cfg);
-        t.runner.run(&mut t.db, &t.model, Duration::from_hours(hours));
+        t.runner
+            .run(&mut t.db, &t.model, Duration::from_hours(hours));
         tenants.push(t);
     }
 
     println!("-- DTA coverage vs top-K statement budget (window = {hours}h) --");
-    println!("{:>6} {:>12} {:>14} {:>14}", "K", "coverage", "skipped", "optimizer calls");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "K", "coverage", "skipped", "optimizer calls"
+    );
     for k in [1usize, 2, 5, 10, 25, 50] {
         let mut cov = 0.0;
         let mut skipped = 0usize;
@@ -87,6 +91,9 @@ fn main() {
         let now = t.db.clock().now();
         cov += mi_coverage(&t.db, Metric::CpuTime, Timestamp::EPOCH, now);
     }
-    println!("  average MI coverage: {:.1}%", cov / tenants.len() as f64 * 100.0);
+    println!(
+        "  average MI coverage: {:.1}%",
+        cov / tenants.len() as f64 * 100.0
+    );
     println!("\npaper target: > 80% coverage for the analyzed workload");
 }

@@ -55,16 +55,26 @@ fn run_tier(tier: ServiceTier, databases: usize, seed: u64, phase_hours: u64, ve
         if !out.run.succeeded() {
             infeasible += 1;
             if verbose {
-                println!("  {}: infeasible ({})", tenant.name, out.run.error.unwrap_or_default());
+                println!(
+                    "  {}: infeasible ({})",
+                    tenant.name,
+                    out.run.error.unwrap_or_default()
+                );
             }
             continue;
         }
         completed += 1;
         let a = out.analysis.expect("analysis on success");
         *wins.entry(a.winner).or_default() += 1;
-        improvements.entry("User").or_default().push(a.user_improvement);
+        improvements
+            .entry("User")
+            .or_default()
+            .push(a.user_improvement);
         improvements.entry("MI").or_default().push(a.mi_improvement);
-        improvements.entry("DTA").or_default().push(a.dta_improvement);
+        improvements
+            .entry("DTA")
+            .or_default()
+            .push(a.dta_improvement);
         if verbose {
             println!(
                 "  {}: winner={} user={:+.1}% mi={:+.1}% dta={:+.1}% divergence={:.1}%",

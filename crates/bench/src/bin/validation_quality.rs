@@ -58,7 +58,11 @@ fn scenario_db(seed: u64, noise: f64) -> (Database, TableId, QueryTemplate) {
     (db, t, QueryTemplate::new(Statement::Select(q), 1))
 }
 
-fn run_phase(db: &mut Database, tpl: &QueryTemplate, execs: usize) -> (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp) {
+fn run_phase(
+    db: &mut Database,
+    tpl: &QueryTemplate,
+    execs: usize,
+) -> (sqlmini::clock::Timestamp, sqlmini::clock::Timestamp) {
     let start = db.clock().now();
     for i in 0..execs {
         db.execute(tpl, &[Value::Int((i % 200) as i64)]).unwrap();
@@ -115,7 +119,8 @@ fn trial(seed: u64, noise: f64, good: bool, policy: RevertPolicy, execs: usize) 
             .unwrap();
             // The rare read that generated the MI demand.
             if i % 20 == 0 {
-                db.execute(&read_tpl, &[Value::Int((i % 200) as i64)]).unwrap();
+                db.execute(&read_tpl, &[Value::Int((i % 200) as i64)])
+                    .unwrap();
             }
             db.clock().advance(Duration::from_mins(3));
         }
@@ -139,7 +144,9 @@ fn main() {
     let trials = args.get_usize("trials", 10);
     let execs = args.get_usize("execs", 60);
 
-    println!("== Validation quality (§6): {trials} trials per cell, {execs} executions per phase ==\n");
+    println!(
+        "== Validation quality (§6): {trials} trials per cell, {execs} executions per phase ==\n"
+    );
     println!("-- Detection rates vs concurrency noise (per-statement policy) --");
     println!(
         "{:>8} {:>22} {:>22}",

@@ -2,6 +2,7 @@
 
 use sqlmini::engine::ServiceTier;
 use std::collections::BTreeMap;
+use workload::fleet::{generate_tenant, Tenant, UserIndexPolicy};
 use workload::TenantConfig;
 
 /// Minimal `--key value` argument parsing (no external CLI crates).
@@ -14,6 +15,7 @@ impl Args {
         Self::from_iter(std::env::args().skip(1))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
         let mut map = BTreeMap::new();
         let argv: Vec<String> = iter.into_iter().collect();
@@ -39,15 +41,21 @@ impl Args {
     }
 
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
@@ -91,6 +99,52 @@ pub fn harness_tenant(name: String, seed: u64, tier: ServiceTier) -> TenantConfi
         }
     }
     cfg
+}
+
+/// A mostly-idle fleet for scheduler benchmarks: `active_pct` of the
+/// tenants run the Basic-tier harness workload; the rest are *provably*
+/// idle — no statements, no user indexes (so the drop analyzer finds
+/// nothing and no validation window ever opens), a one-table schema.
+/// Which tenants are active is a pure hash of the fleet index, so the
+/// same `(n, active_pct, seed)` always yields the same fleet.
+pub fn sparse_fleet(n: usize, active_pct: f64, seed: u64) -> Vec<Tenant> {
+    (0..n)
+        .map(|i| {
+            let mut s = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            s ^= s >> 31;
+            let active = (s % 10_000) as f64 / 10_000.0 < active_pct;
+            let mut cfg = if active {
+                harness_tenant(format!("sf{i:05}"), s, ServiceTier::Basic)
+            } else {
+                let mut cfg = TenantConfig::new(format!("sf{i:05}"), s, ServiceTier::Basic);
+                cfg.schema.min_tables = 1;
+                cfg.schema.max_tables = 1;
+                cfg.schema.min_rows = 50;
+                cfg.schema.max_rows = 100;
+                cfg.workload.base_rate_per_hour = 0.0;
+                cfg.workload.reads_per_table = 0;
+                cfg.workload.write_fraction = 0.0;
+                cfg.workload.with_joins = false;
+                cfg.workload.with_report = false;
+                cfg
+            };
+            if !active {
+                cfg.user_indexes = UserIndexPolicy {
+                    n_useful: 0,
+                    n_duplicate: 0,
+                    n_unused: 0,
+                    hint_prob: 0.0,
+                };
+            }
+            let mut t = generate_tenant(&cfg);
+            if !active {
+                t.model.templates.clear();
+            }
+            t
+        })
+        .collect()
 }
 
 /// Render a labelled percentage bar (terminal pie-chart stand-in).

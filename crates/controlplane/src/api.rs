@@ -106,12 +106,15 @@ impl ManagementApi {
     // Recommendations (Figures 2 & 3)
     // ------------------------------------------------------------------
 
-    pub fn list_recommendations(plane: &ControlPlane, mdb: &ManagedDb) -> Vec<RecommendationSummary> {
+    pub fn list_recommendations(
+        plane: &ControlPlane,
+        mdb: &ManagedDb,
+    ) -> Vec<RecommendationSummary> {
         plane
             .store
             .for_database(&mdb.db.name)
             .filter(|r| r.state == RecoState::Active)
-            .map(|r| Self::summarize(r))
+            .map(Self::summarize)
             .collect()
     }
 
@@ -232,8 +235,11 @@ impl ManagementApi {
             }
             match &r.recommendation.action {
                 RecoAction::CreateIndex { def } => {
-                    let keys: Vec<String> =
-                        def.key_columns.iter().map(|c| format!("c{}", c.0)).collect();
+                    let keys: Vec<String> = def
+                        .key_columns
+                        .iter()
+                        .map(|c| format!("c{}", c.0))
+                        .collect();
                     let incl: Vec<String> = def
                         .included_columns
                         .iter()
@@ -368,18 +374,23 @@ mod tests {
         drive(&mut plane, &mut mdb, &tpl, 10);
 
         let hist = ManagementApi::history(&plane, &mdb);
-        assert!(hist.iter().any(|h| h.id == id && h.final_state == "Success"),
-            "{hist:?}");
+        assert!(
+            hist.iter()
+                .any(|h| h.id == id && h.final_state == "Success"),
+            "{hist:?}"
+        );
     }
 
     #[test]
     fn details_scoped_to_database() {
         let (mut plane, mut mdb, tpl) = setup();
-        drive(&mut plane, &mut mdb, &tpl, 8);
+        drive(&mut plane, &mut mdb, &tpl, 10);
         let id = ManagementApi::list_recommendations(&plane, &mdb)[0].id;
         // A different database name can't read it.
         let (_, other, _) = setup();
-        assert!(ManagementApi::recommendation_details(&plane, &other, id).is_none()
-            || other.db.name == mdb.db.name);
+        assert!(
+            ManagementApi::recommendation_details(&plane, &other, id).is_none()
+                || other.db.name == mdb.db.name
+        );
     }
 }

@@ -20,6 +20,28 @@
 //! matter how tasks were stolen. That property is what makes fleet-scale
 //! failures replayable: re-run serially with the same seeds and step
 //! through the one tenant that misbehaved.
+//!
+//! # Sparse scheduling
+//!
+//! A fleet is mostly idle: at any instant only a few percent of tenants
+//! have due control-plane work (an analysis interval elapsing, a retry
+//! backoff expiring, a validation window closing). Under
+//! [`SchedulingMode::Sparse`] each control pass returns a
+//! [`WakeSchedule`](crate::stages::WakeSchedule) naming the next instant
+//! any stage could act, the driver maps it onto the tick grid, and ticks
+//! before that wake run only the tenant's workload slice — the control
+//! pass is skipped entirely. The serial driver indexes wakes in a
+//! [`WakeupHeap`] keyed `(due_tick, tenant_index)` so a fleet step pops
+//! exactly the due tenants; the parallel driver, which owns one tenant
+//! per task, compares the tick against the tenant's recorded wake. A
+//! skipped pass is unobservable — a dense control pass with no due work
+//! changes no state, emits no telemetry, and draws no fault randomness —
+//! so sparse and dense runs produce byte-identical
+//! [`FleetReport::canonical_string`] output. Dense mode is kept as the
+//! replay oracle for exactly that property. (One documented exception:
+//! *scripted* [`FaultPoint::JournalTear`] faults are consumed per
+//! control pass, so their firing tick shifts when passes are skipped;
+//! stochastic injectors never arm that point.)
 
 use crate::faults::{FaultInjector, FaultKind, FaultPoint};
 use crate::metrics::MetricsRegistry;
@@ -29,13 +51,15 @@ use crate::state::{effective, DbSettings, ServerSettings};
 use crate::store::StateStore;
 use crate::telemetry::{EventKind, Telemetry};
 use crate::trace::Tracer;
+use crate::wakeup::{WakeupHeap, NEVER};
 use crossbeam::deque::{Injector, Stealer, Worker};
 use sqlmini::clock::{Duration, Timestamp};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use workload::fleet::Tenant;
-use workload::runner::RunSummary;
+use workload::model::WorkloadModel;
+use workload::runner::{RunSummary, WorkloadRunner};
 
 /// A deterministic fault script targeting one tenant of the fleet: the
 /// next `count` checks at `point` on that tenant's injector fail with
@@ -48,6 +72,30 @@ pub struct TenantScript {
     pub point: FaultPoint,
     pub count: u32,
     pub kind: FaultKind,
+}
+
+/// How the fleet driver decides which ticks take a control-plane pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedulingMode {
+    /// Every non-quarantined tick takes a control pass. The replay
+    /// oracle: trivially correct, O(fleet) control work per tick.
+    Dense,
+    /// Control passes run only when the tenant's
+    /// [`WakeSchedule`](crate::stages::WakeSchedule) says work could be
+    /// due — O(active) control work per tick, byte-identical end state
+    /// to `Dense`.
+    Sparse,
+}
+
+impl Default for SchedulingMode {
+    /// Sparse ships as the default: it is byte-equivalent to the dense
+    /// oracle (pinned by `tests/sparse_dense.rs`) and does O(active)
+    /// control work per tick instead of O(fleet). Dense remains
+    /// available as the oracle for equivalence tests and for the one
+    /// documented divergence (scripted `JournalTear` timing).
+    fn default() -> SchedulingMode {
+        SchedulingMode::Sparse
+    }
 }
 
 /// Knobs for a fleet run. Everything that influences tenant behavior
@@ -94,6 +142,8 @@ pub struct FleetDriverConfig {
     /// control plane). Off by default: traces are a debugging surface,
     /// not part of the canonical fleet state.
     pub trace: bool,
+    /// Dense (oracle) vs sparse (due-time-indexed) control scheduling.
+    pub scheduling: SchedulingMode,
 }
 
 impl Default for FleetDriverConfig {
@@ -112,6 +162,7 @@ impl Default for FleetDriverConfig {
             scripts: Vec::new(),
             auto_fraction: None,
             trace: false,
+            scheduling: SchedulingMode::default(),
         }
     }
 }
@@ -236,8 +287,9 @@ struct SupervisionSummary {
 }
 
 /// Merged end-of-run state of the whole fleet. Everything except
-/// `threads` and `elapsed` is identical between serial and parallel
-/// runs of the same fleet + config.
+/// `threads`, `elapsed`, `scheduling`, and `scheduler_metrics` is
+/// identical between serial and parallel runs — and between dense and
+/// sparse runs — of the same fleet + config.
 #[derive(Debug)]
 pub struct FleetReport {
     /// Per-tenant outcomes, in fleet order.
@@ -247,6 +299,12 @@ pub struct FleetReport {
     /// All tenants' metrics registries, merged in fleet order (merge is
     /// commutative, so the order is convention, not correctness).
     pub metrics: MetricsRegistry,
+    /// Scheduler bookkeeping (control passes executed vs skipped),
+    /// merged from per-tenant shards. Kept out of `metrics` so the
+    /// canonical surface stays mode-independent.
+    pub scheduler_metrics: MetricsRegistry,
+    /// Which scheduling mode produced this report.
+    pub scheduling: SchedulingMode,
     /// Fleet-wide recommendation count per state name.
     pub by_state: BTreeMap<String, usize>,
     pub statements: u64,
@@ -262,27 +320,30 @@ pub struct FleetReport {
     pub elapsed: std::time::Duration,
 }
 
-/// What one tenant's worker hands back at quiesce.
-type TenantResult = (TenantOutcome, Telemetry, MetricsRegistry);
+/// What one tenant's worker hands back at quiesce: outcome, telemetry,
+/// canonical metrics, and the (non-canonical) scheduler counters.
+type TenantResult = (TenantOutcome, Telemetry, MetricsRegistry, MetricsRegistry);
 
 impl FleetReport {
     fn assemble(
         results: Vec<TenantResult>,
+        scheduling: SchedulingMode,
         ticks: u32,
         sim_time: Duration,
         threads: usize,
         elapsed: std::time::Duration,
     ) -> FleetReport {
         // Quiesce: fold the shard-owned sinks in fleet order.
-        let telemetry = Telemetry::merged(results.iter().map(|(_, tel, _)| tel));
-        let metrics = MetricsRegistry::merged(results.iter().map(|(_, _, m)| m));
+        let telemetry = Telemetry::merged(results.iter().map(|(_, tel, _, _)| tel));
+        let metrics = MetricsRegistry::merged(results.iter().map(|(_, _, m, _)| m));
+        let scheduler_metrics = MetricsRegistry::merged(results.iter().map(|(_, _, _, s)| s));
         let mut by_state: BTreeMap<String, usize> = BTreeMap::new();
         let mut statements = 0u64;
         let mut errors = 0u64;
         let mut poisoned = 0usize;
         let mut quarantines = 0u64;
         let mut tenants = Vec::with_capacity(results.len());
-        for (outcome, _, _) in results {
+        for (outcome, _, _, _) in results {
             for (state, n) in &outcome.by_state {
                 *by_state.entry(state.clone()).or_default() += n;
             }
@@ -298,6 +359,8 @@ impl FleetReport {
             tenants,
             telemetry,
             metrics,
+            scheduler_metrics,
+            scheduling,
             by_state,
             statements,
             errors,
@@ -315,11 +378,30 @@ impl FleetReport {
         DashboardSnapshot::from_metrics(&self.metrics, self.sim_time)
     }
 
+    /// The §8.1 ops table plus the fleet-scheduler block (control passes
+    /// executed vs skipped). Mode-dependent by construction — use
+    /// [`FleetReport::dashboard`] when comparing runs across modes.
+    pub fn dashboard_with_scheduler(&self) -> DashboardSnapshot {
+        self.dashboard()
+            .with_scheduler(self.control_ticks_executed(), self.control_ticks_skipped())
+    }
+
+    /// Control-plane passes that actually ran.
+    pub fn control_ticks_executed(&self) -> u64 {
+        self.scheduler_metrics.counter("scheduler.ticks_executed")
+    }
+
+    /// Control-plane passes the sparse scheduler proved unnecessary.
+    pub fn control_ticks_skipped(&self) -> u64 {
+        self.scheduler_metrics.counter("scheduler.ticks_skipped")
+    }
+
     /// Canonical serialization of the end-of-run fleet state: one JSON
     /// line per tenant (in fleet order) plus the merged counters.
     /// Serial and parallel runs of the same fleet + config produce
     /// byte-identical output — the determinism contract the property
-    /// and integration tests pin down.
+    /// and integration tests pin down. Sparse and dense runs do too:
+    /// scheduler bookkeeping deliberately lives outside this surface.
     pub fn canonical_string(&self) -> String {
         let mut out = String::new();
         for t in &self.tenants {
@@ -362,6 +444,35 @@ struct TenantTask {
     tenant: Tenant,
 }
 
+/// One tenant's live control loop: everything [`FleetDriver::step_tenant`]
+/// needs to run one tick, owned by exactly one executor at a time. All
+/// supervision and scheduling state derives from these per-tenant fields
+/// only, which is the determinism argument.
+struct TenantWorker {
+    index: usize,
+    name: String,
+    plane: ControlPlane,
+    mdb: ManagedDb,
+    model: WorkloadModel,
+    runner: WorkloadRunner,
+    run: RunSummary,
+    supervision: SupervisionSummary,
+    consecutive_faulted: u32,
+    quarantined_until: u32,
+    writes_at_last_crash: u64,
+    t_start: Timestamp,
+    /// First tick on which control work could be due ([`NEVER`] parks
+    /// the tenant). Starts at 0: the first pass must run, there is no
+    /// schedule yet.
+    next_wake: u64,
+    /// Scheduler counters, shard-owned like every other sink but merged
+    /// into [`FleetReport::scheduler_metrics`], not the canonical
+    /// registry.
+    sched: MetricsRegistry,
+    /// Poisoned: the worker is frozen, no further ticks run.
+    done: bool,
+}
+
 /// The parallel fleet driver. See the module docs for the sharding and
 /// determinism story.
 #[derive(Debug, Clone, Default)]
@@ -381,6 +492,8 @@ impl FleetDriver {
         let start = std::time::Instant::now();
         let results = if threads > 1 && fleet.len() > 1 {
             self.run_parallel(fleet, ticks, threads)
+        } else if self.config.scheduling == SchedulingMode::Sparse {
+            self.run_serial_sparse(fleet, ticks)
         } else {
             fleet
                 .into_iter()
@@ -389,22 +502,20 @@ impl FleetDriver {
                 .collect()
         };
         let sim_time = Duration::from_millis(self.config.tick_interval.millis() * ticks as u64);
-        FleetReport::assemble(results, ticks, sim_time, threads.max(1), start.elapsed())
+        FleetReport::assemble(
+            results,
+            self.config.scheduling,
+            ticks,
+            sim_time,
+            threads.max(1),
+            start.elapsed(),
+        )
     }
 
-    /// The per-tenant control loop: workload slice, then one
-    /// control-plane pass, `ticks` times. All state is owned here —
-    /// nothing is shared with other tenants, which is the whole
-    /// determinism argument.
-    ///
-    /// The loop is *supervised*: each tick runs under `catch_unwind`, so
-    /// a panicking tenant is frozen and reported as
-    /// [`TenantStatus::Poisoned`] instead of aborting the whole fleet;
-    /// consecutive faulted ticks trip a quarantine circuit-breaker; and
-    /// the chaos `crash_every_writes` knob crash-recovers the journaled
-    /// store at tick boundaries. All supervision decisions derive from
-    /// per-tenant state only, so they replay deterministically.
-    fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> TenantResult {
+    /// Set up one tenant's worker: journaled store with a disjoint id
+    /// block, index-seeded fault injector, scripts, per-tenant settings,
+    /// and a detached clock.
+    fn worker(&self, index: usize, tenant: Tenant) -> TenantWorker {
         let mut plane = ControlPlane::new(self.config.policy.clone());
         plane.store = StateStore::with_id_base(index as u64 * self.config.id_stride);
         if self.config.trace {
@@ -427,7 +538,7 @@ impl FleetDriver {
             name,
             mut db,
             model,
-            mut runner,
+            runner,
             ..
         } = tenant;
         // A cloned tenant shares its ancestor's SimClock (clone shares
@@ -443,7 +554,7 @@ impl FleetDriver {
             Some(f) if index_uniform01(index) < f => DbSettings::all_on(),
             Some(_) => DbSettings::default(),
         };
-        let mut mdb = ManagedDb::new(db, settings, ServerSettings::default());
+        let mdb = ManagedDb::new(db, settings, ServerSettings::default());
         // Population gauges: each shard reports itself; the fleet totals
         // appear when the registries merge at quiesce.
         plane.metrics.gauge_set("fleet.tenants", 1);
@@ -452,77 +563,175 @@ impl FleetDriver {
             plane.metrics.gauge_set("fleet.auto_tenants", 1);
         }
         let t_start = mdb.db.clock().now();
-        let mut run = RunSummary::default();
-        let mut supervision = SupervisionSummary {
-            status: TenantStatus::Completed,
-            quarantines: 0,
-            quarantined_ticks: 0,
-        };
-        let mut consecutive_faulted = 0u32;
-        let mut quarantined_until = 0u32;
-        let mut writes_at_last_crash = 0u64;
-        for tick in 0..ticks {
-            if tick < quarantined_until {
-                // Cool-down: the customer's workload keeps running, the
-                // tuner stays away from the tenant entirely.
-                supervision.quarantined_ticks += 1;
-                plane.metrics.inc("fleet.quarantined_ticks");
-                runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
-                continue;
-            }
-            let injected_before = plane.faults.injected;
+        TenantWorker {
+            index,
+            name,
+            plane,
+            mdb,
+            model,
+            runner,
+            run: RunSummary::default(),
+            supervision: SupervisionSummary {
+                status: TenantStatus::Completed,
+                quarantines: 0,
+                quarantined_ticks: 0,
+            },
+            consecutive_faulted: 0,
+            quarantined_until: 0,
+            writes_at_last_crash: 0,
+            t_start,
+            next_wake: 0,
+            sched: MetricsRegistry::new(),
+            done: false,
+        }
+    }
+
+    /// Freeze a panicked worker: emit the poison event, record the
+    /// status, and mark the worker done so no further ticks run.
+    fn poison(&self, w: &mut TenantWorker, tick: u32, payload: Box<dyn std::any::Any + Send>) {
+        let note = panic_note(payload.as_ref());
+        w.plane.telemetry.emit(
+            EventKind::TenantPoisoned,
+            &w.mdb.db.name,
+            note.clone(),
+            w.mdb.db.clock().now(),
+        );
+        w.supervision.status = TenantStatus::Poisoned { tick, note };
+        w.plane.metrics.inc("fleet.poisoned");
+        w.done = true;
+    }
+
+    /// One tick of one tenant. `control_due` is the scheduler's verdict
+    /// (always true in dense mode); quarantine takes precedence either
+    /// way. The workload slice runs on every path — only the control
+    /// pass is ever skipped.
+    ///
+    /// The tick is *supervised*: it runs under `catch_unwind`, so a
+    /// panicking tenant is frozen and reported as
+    /// [`TenantStatus::Poisoned`] instead of aborting the whole fleet;
+    /// consecutive faulted ticks trip a quarantine circuit-breaker; and
+    /// the chaos `crash_every_writes` knob crash-recovers the journaled
+    /// store at tick boundaries. All supervision decisions derive from
+    /// per-tenant state only, so they replay deterministically.
+    fn step_tenant(&self, w: &mut TenantWorker, tick: u32, control_due: bool) {
+        let interval = self.config.tick_interval;
+        if tick < w.quarantined_until {
+            // Cool-down: the customer's workload keeps running, the
+            // tuner stays away from the tenant entirely.
+            w.supervision.quarantined_ticks += 1;
+            w.plane.metrics.inc("fleet.quarantined_ticks");
+            w.runner
+                .run_slice_into(&mut w.mdb.db, &w.model, interval, &mut w.run);
+            return;
+        }
+        if !control_due {
+            // Sparse skip: the schedule proves no stage has due work, so
+            // the control pass would be a no-op — run only the workload.
+            // The TenantPanic probe still fires (it is a per-tick fault
+            // point, not a control-plane one), and the skip resets the
+            // breaker exactly as a dense no-op pass would (a no-op pass
+            // injects nothing).
+            w.sched.inc("scheduler.ticks_skipped");
             let unwound = catch_unwind(AssertUnwindSafe(|| {
-                runner.run_slice_into(&mut mdb.db, &model, self.config.tick_interval, &mut run);
-                if plane.faults.check(FaultPoint::TenantPanic).is_some() {
+                w.runner
+                    .run_slice_into(&mut w.mdb.db, &w.model, interval, &mut w.run);
+                if w.plane.faults.check(FaultPoint::TenantPanic).is_some() {
                     panic!("injected tenant panic");
                 }
-                plane.tick(&mut mdb);
             }));
             if let Err(payload) = unwound {
-                let note = panic_note(payload.as_ref());
-                plane.telemetry.emit(
-                    EventKind::TenantPoisoned,
-                    &mdb.db.name,
-                    note.clone(),
-                    mdb.db.clock().now(),
-                );
-                supervision.status = TenantStatus::Poisoned { tick, note };
-                plane.metrics.inc("fleet.poisoned");
-                break;
+                self.poison(w, tick, payload);
+                return;
             }
-            // Chaos sweep: crash + recover at the tick boundary once
-            // enough journal writes accumulated. Recovery stays out of
-            // telemetry here so an intact-journal sweep replays
-            // byte-identically to an uncrashed run; the recovery stats
-            // remain inspectable via `StateStore::recovery_stats`.
-            if let Some(k) = self.config.crash_every_writes {
-                let written = plane.store.journal_len() as u64;
-                if written >= writes_at_last_crash.saturating_add(k.max(1)) {
-                    plane.store.crash_and_recover();
-                    writes_at_last_crash = plane.store.journal_len() as u64;
-                }
+            if self.config.trace {
+                let now = w.mdb.db.clock().now();
+                w.plane.tracer.start("tick.skipped", now);
+                w.plane.tracer.end(now);
             }
-            // Circuit breaker on consecutive faulted ticks.
-            if plane.faults.injected > injected_before {
-                consecutive_faulted += 1;
-            } else {
-                consecutive_faulted = 0;
+            w.consecutive_faulted = 0;
+            return;
+        }
+        w.sched.inc("scheduler.ticks_executed");
+        let injected_before = w.plane.faults.injected;
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            w.runner
+                .run_slice_into(&mut w.mdb.db, &w.model, interval, &mut w.run);
+            if w.plane.faults.check(FaultPoint::TenantPanic).is_some() {
+                panic!("injected tenant panic");
             }
-            if self.config.quarantine_threshold > 0
-                && consecutive_faulted >= self.config.quarantine_threshold
-            {
-                consecutive_faulted = 0;
-                supervision.quarantines += 1;
-                plane.metrics.inc("fleet.quarantines");
-                quarantined_until = tick + 1 + self.config.quarantine_cooldown;
-                plane.telemetry.emit(
-                    EventKind::TenantQuarantined,
-                    &mdb.db.name,
-                    format!("cool-down {} ticks", self.config.quarantine_cooldown),
-                    mdb.db.clock().now(),
-                );
+            w.plane.tick(&mut w.mdb)
+        }));
+        match unwound {
+            Err(payload) => {
+                self.poison(w, tick, payload);
+                return;
+            }
+            Ok(schedule) => {
+                let now = w.mdb.db.clock().now();
+                w.next_wake = schedule
+                    .next_wake_tick(now, tick as u64, interval)
+                    .unwrap_or(NEVER);
             }
         }
+        // Chaos sweep: crash + recover at the tick boundary once
+        // enough journal writes accumulated. Recovery stays out of
+        // telemetry here so an intact-journal sweep replays
+        // byte-identically to an uncrashed run; the recovery stats
+        // remain inspectable via `StateStore::recovery_stats`.
+        if let Some(k) = self.config.crash_every_writes {
+            let written = w.plane.store.journal_len() as u64;
+            if written >= w.writes_at_last_crash.saturating_add(k.max(1)) {
+                w.plane.store.crash_and_recover();
+                w.writes_at_last_crash = w.plane.store.journal_len() as u64;
+                // Re-derive the wake from the *recovered* schedule.
+                // Recovery may have reparked mid-flight recommendations
+                // (which invalidates the recorded schedule for this db);
+                // wake conservatively on the next tick then — over-waking
+                // is a no-op, under-waking would diverge from dense.
+                let now = w.mdb.db.clock().now();
+                w.next_wake = match w.plane.store.schedule(&w.mdb.db.name) {
+                    Some(s) => s
+                        .next_wake_tick(now, tick as u64, interval)
+                        .unwrap_or(NEVER),
+                    None => tick as u64 + 1,
+                };
+            }
+        }
+        // Circuit breaker on consecutive faulted ticks.
+        if w.plane.faults.injected > injected_before {
+            w.consecutive_faulted += 1;
+        } else {
+            w.consecutive_faulted = 0;
+        }
+        if self.config.quarantine_threshold > 0
+            && w.consecutive_faulted >= self.config.quarantine_threshold
+        {
+            w.consecutive_faulted = 0;
+            w.supervision.quarantines += 1;
+            w.plane.metrics.inc("fleet.quarantines");
+            w.quarantined_until = tick + 1 + self.config.quarantine_cooldown;
+            w.plane.telemetry.emit(
+                EventKind::TenantQuarantined,
+                &w.mdb.db.name,
+                format!("cool-down {} ticks", self.config.quarantine_cooldown),
+                w.mdb.db.clock().now(),
+            );
+        }
+    }
+
+    /// End-of-run accounting for one worker: the §8.2-flavor
+    /// workload-impact roll-up plus the serialized outcome.
+    fn finish_tenant(&self, w: TenantWorker) -> TenantResult {
+        let TenantWorker {
+            name,
+            mut plane,
+            mdb,
+            run,
+            supervision,
+            t_start,
+            sched,
+            ..
+        } = w;
         // Workload-impact roll-up (§8.2 flavor): fixed-count CPU cost of
         // the first observation window vs the last, per query. Counts
         // are pinned to the first window so the comparison measures
@@ -561,7 +770,65 @@ impl FleetDriver {
             }
         }
         let outcome = TenantOutcome::collect(name, &plane, &mdb, &run, supervision);
-        (outcome, plane.telemetry, plane.metrics)
+        (outcome, plane.telemetry, plane.metrics, sched)
+    }
+
+    /// The per-tenant control loop used by the parallel pool (both
+    /// modes) and the dense serial path: workload slice, then — when due
+    /// — one control-plane pass, `ticks` times. All state is owned here;
+    /// nothing is shared with other tenants.
+    fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> TenantResult {
+        let mut w = self.worker(index, tenant);
+        let sparse = self.config.scheduling == SchedulingMode::Sparse;
+        for tick in 0..ticks {
+            if w.done {
+                break;
+            }
+            let control_due = !sparse || tick as u64 >= w.next_wake;
+            self.step_tenant(&mut w, tick, control_due);
+        }
+        self.finish_tenant(w)
+    }
+
+    /// Sparse serial execution, tick-major: a [`WakeupHeap`] keyed
+    /// `(due_tick, tenant_index)` pops exactly the tenants whose control
+    /// pass is due this tick; everyone else gets only a workload slice.
+    /// Equivalent to the per-tenant `tick >= next_wake` comparison the
+    /// parallel pool uses (each tenant's decisions read only its own
+    /// state), but a fleet step here does O(due) scheduling work instead
+    /// of scanning every tenant's schedule.
+    fn run_serial_sparse(&self, fleet: Vec<Tenant>, ticks: u32) -> Vec<TenantResult> {
+        let mut workers: Vec<TenantWorker> = fleet
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| self.worker(i, t))
+            .collect();
+        let mut heap = WakeupHeap::new(workers.len());
+        let mut due = vec![false; workers.len()];
+        for tick in 0..ticks {
+            for i in heap.pop_due(tick as u64) {
+                due[i] = true;
+            }
+            for w in workers.iter_mut() {
+                if w.done {
+                    continue;
+                }
+                let claimed = due[w.index];
+                self.step_tenant(w, tick, claimed);
+                if claimed && !w.done {
+                    // The pop released the tenant; re-arm it. A pass
+                    // suppressed by quarantine resumes at the cool-down
+                    // boundary — unless the schedule says later, or the
+                    // tenant is parked for good.
+                    let resume = w.next_wake.max(w.quarantined_until as u64);
+                    if resume != NEVER {
+                        heap.schedule(w.index, resume);
+                    }
+                }
+            }
+            due.iter_mut().for_each(|d| *d = false);
+        }
+        workers.into_iter().map(|w| self.finish_tenant(w)).collect()
     }
 
     /// Work-stealing execution: tenants start in a global injector,
@@ -570,12 +837,7 @@ impl FleetDriver {
     /// tenant therefore pins one worker while the rest drain everything
     /// else; results land in a per-tenant slot so assembly order is
     /// fleet order regardless of completion order.
-    fn run_parallel(
-        &self,
-        fleet: Vec<Tenant>,
-        ticks: u32,
-        threads: usize,
-    ) -> Vec<TenantResult> {
+    fn run_parallel(&self, fleet: Vec<Tenant>, ticks: u32, threads: usize) -> Vec<TenantResult> {
         let n = fleet.len();
         let injector = Injector::new();
         for (index, tenant) in fleet.into_iter().enumerate() {
@@ -721,5 +983,58 @@ mod tests {
         });
         let report = driver.run(fleet, 2, 2);
         assert_eq!(report.tenants.len(), 4);
+    }
+
+    #[test]
+    fn sparse_matches_dense_byte_for_byte() {
+        let dense = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            scheduling: SchedulingMode::Dense,
+            ..FleetDriverConfig::default()
+        });
+        let sparse = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            scheduling: SchedulingMode::Sparse,
+            ..FleetDriverConfig::default()
+        });
+        let a = dense.run(tiny_fleet(4, 31), 12, 1);
+        let b = sparse.run(tiny_fleet(4, 31), 12, 1);
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        assert_eq!(
+            a.dashboard().render(),
+            b.dashboard().render(),
+            "mode-independent dashboards must match"
+        );
+        assert!(
+            b.control_ticks_skipped() > 0,
+            "a 2h-analysis fleet over 12 hourly ticks must skip some passes"
+        );
+        assert_eq!(
+            b.control_ticks_executed() + b.control_ticks_skipped(),
+            4 * 12,
+            "every non-quarantined tick is either executed or skipped"
+        );
+    }
+
+    #[test]
+    fn sparse_serial_heap_matches_sparse_parallel() {
+        let driver = FleetDriver::new(FleetDriverConfig {
+            policy: small_policy(),
+            scheduling: SchedulingMode::Sparse,
+            fault_seed: Some(9),
+            fault_transient_prob: 0.2,
+            fault_fatal_prob: 0.02,
+            quarantine_threshold: 2,
+            quarantine_cooldown: 3,
+            ..FleetDriverConfig::default()
+        });
+        let serial = driver.run(tiny_fleet(5, 13), 10, 1);
+        let parallel = driver.run(tiny_fleet(5, 13), 10, 4);
+        assert_eq!(serial.canonical_string(), parallel.canonical_string());
+        assert_eq!(
+            serial.control_ticks_executed(),
+            parallel.control_ticks_executed(),
+            "the heap and the per-tenant comparison pick the same ticks"
+        );
     }
 }

@@ -16,20 +16,25 @@ pub mod metrics;
 pub mod plane;
 pub mod region;
 pub mod scheduler;
+pub mod stages;
 pub mod state;
 pub mod store;
 pub mod telemetry;
 pub mod trace;
+pub mod wakeup;
 
 pub use api::ManagementApi;
 pub use faults::{FaultInjector, FaultKind, FaultPoint};
 pub use fleet_driver::{
-    FleetDriver, FleetDriverConfig, FleetReport, TenantOutcome, TenantScript, TenantStatus,
+    FleetDriver, FleetDriverConfig, FleetReport, SchedulingMode, TenantOutcome, TenantScript,
+    TenantStatus,
 };
 pub use metrics::{Histogram, MetricsRegistry};
 pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy, RetryPolicy};
 pub use region::{DashboardSnapshot, GlobalDashboard, Region};
+pub use stages::{NextDue, Stage, WakeSchedule};
 pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};
 pub use store::{RecoveryReport, StateStore};
 pub use telemetry::{EventKind, Telemetry};
 pub use trace::{Span, Tracer};
+pub use wakeup::WakeupHeap;

@@ -138,7 +138,14 @@ pub fn run_drop_protocol_observed(
         if !drop_outcome.timed_out {
             let convoy = summarize_convoy(&reqs, &outcomes);
             let granted_at = drop_outcome.granted_at.unwrap_or(attempt_at);
-            record_attempt(tracer, metrics, attempts, attempt_at, &drop_outcome, granted_at);
+            record_attempt(
+                tracer,
+                metrics,
+                attempts,
+                attempt_at,
+                &drop_outcome,
+                granted_at,
+            );
             metrics.add("lock.convoy_blocked", convoy.blocked_shared as u64);
             tracer.end(granted_at);
             return DropProtocolOutcome {
@@ -149,7 +156,14 @@ pub fn run_drop_protocol_observed(
             };
         }
         let aborted_at = attempt_at + cfg.attempt_timeout;
-        record_attempt(tracer, metrics, attempts, attempt_at, &drop_outcome, aborted_at);
+        record_attempt(
+            tracer,
+            metrics,
+            attempts,
+            attempt_at,
+            &drop_outcome,
+            aborted_at,
+        );
         attempt_at = aborted_at + backoff;
         backoff = backoff.saturating_mul(2);
     }
@@ -237,7 +251,12 @@ mod tests {
     use super::*;
 
     fn workload_with_long_reader() -> Vec<LockRequest> {
-        let mut w = steady_workload(50, Timestamp(2_000), Duration::from_millis(500), Duration::from_millis(200));
+        let mut w = steady_workload(
+            50,
+            Timestamp(2_000),
+            Duration::from_millis(500),
+            Duration::from_millis(200),
+        );
         w.push(LockRequest {
             id: 900,
             mode: LockMode::Shared,
@@ -383,7 +402,10 @@ mod tests {
         });
         let out = run_drop_protocol(&w, Timestamp(0), &DropProtocolConfig::default());
         assert!(out.succeeded);
-        assert!(out.attempts >= 4, "the 300s reader aborts the early windows");
+        assert!(
+            out.attempts >= 4,
+            "the 300s reader aborts the early windows"
+        );
         assert_eq!(
             out.convoy.blocked_shared, 0,
             "aborted low-priority waits must not convoy anyone: {:?}",
@@ -454,7 +476,12 @@ mod tests {
 
     #[test]
     fn uncontended_drop_succeeds_first_try() {
-        let w = steady_workload(5, Timestamp(100_000), Duration::from_secs(10), Duration::from_millis(10));
+        let w = steady_workload(
+            5,
+            Timestamp(100_000),
+            Duration::from_secs(10),
+            Duration::from_millis(10),
+        );
         let out = run_drop_protocol(&w, Timestamp(0), &DropProtocolConfig::default());
         assert!(out.succeeded);
         assert_eq!(out.attempts, 1);

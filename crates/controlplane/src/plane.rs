@@ -1,8 +1,8 @@
 //! The control plane proper: the micro-services of §4, driving each
 //! managed database's auto-indexing lifecycle.
 //!
-//! The four micro-services the paper enumerates are the four phases of
-//! [`ControlPlane::tick`]:
+//! The four micro-services the paper enumerates run as the six explicit
+//! pipeline stages of [`crate::stages`], looped by [`ControlPlane::tick`]:
 //!
 //! 1. **Analysis** — invoke the recommender (MI or DTA per the tier
 //!    policy) plus the drop analyzer, and register new recommendations;
@@ -15,24 +15,27 @@
 //!    the MI classifier online;
 //! 4. **Health** — detect stuck recommendations and raise incidents,
 //!    taking automated corrective action where safe.
+//!
+//! Each stage also knows when it next has work
+//! ([`crate::stages::Stage::due`]); `tick` returns the resulting
+//! [`WakeSchedule`] so a fleet driver can skip databases with nothing
+//! due instead of dense-polling every tenant every simulated hour.
 
-use crate::faults::{FaultInjector, FaultKind, FaultPoint};
+use crate::faults::{FaultInjector, FaultPoint};
 use crate::metrics::MetricsRegistry;
-use crate::scheduler::{is_low_activity, SchedulerConfig};
-use crate::state::{
-    effective, DbSettings, RecoId, RecoState, RecoSubState, RetryPhase, ServerSettings,
-};
+use crate::scheduler::SchedulerConfig;
+use crate::stages::{Stage, WakeSchedule};
+use crate::state::{effective, DbSettings, RecoId, RecoState, ServerSettings};
 use crate::store::StateStore;
 use crate::telemetry::{EventKind, Telemetry};
 use crate::trace::Tracer;
-use autoindex::classifier::TrainingExample;
-use autoindex::drops::{recommend_drops, DropConfig};
-use autoindex::dta::{tune, DtaConfig};
-use autoindex::mi::{recommend as mi_recommend, MiConfig, MiSnapshotStore};
-use autoindex::validator::{validate, ChangeKind, ValidatorConfig, Verdict};
-use autoindex::{CandidateFeatures, ImpactClassifier, RecoAction, RecoSource, Recommendation};
+use autoindex::drops::DropConfig;
+use autoindex::dta::DtaConfig;
+use autoindex::mi::{MiConfig, MiSnapshotStore};
+use autoindex::validator::ValidatorConfig;
+use autoindex::{ImpactClassifier, RecoAction, Recommendation};
 use sqlmini::clock::{Duration, Timestamp};
-use sqlmini::engine::{Database, ServiceTier};
+use sqlmini::engine::Database;
 
 /// Which recommender the per-region policy assigns (§5.1.1: "a
 /// pre-configured policy in the control plane determines which
@@ -54,7 +57,8 @@ pub enum RecommenderPolicy {
 /// *early* by up to `jitter` so co-failing tenants de-synchronize. The
 /// jitter draw is a pure hash of `(seed, recommendation id, attempt)` —
 /// no RNG state — so replays are byte-identical regardless of thread
-/// interleaving.
+/// interleaving, and the retry stage can compute a parked reco's exact
+/// wake instant up front.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RetryPolicy {
     /// Delay before the first retry.
@@ -104,7 +108,8 @@ impl RetryPolicy {
     }
 
     /// Is a retry that entered Retry at `entered` (attempt `attempts`)
-    /// eligible to resume at `now`?
+    /// eligible to resume at `now`? Equivalent to `now >= entered +
+    /// delay`, phrased saturating so clock edge cases cannot overflow.
     pub fn eligible(&self, id: RecoId, attempts: u32, entered: Timestamp, now: Timestamp) -> bool {
         now.since(entered) >= self.delay(id, attempts)
     }
@@ -167,7 +172,7 @@ impl Default for PlanePolicy {
 }
 
 /// Short metric-name segment for a recommendation action.
-fn action_kind(action: &RecoAction) -> &'static str {
+pub(crate) fn action_kind(action: &RecoAction) -> &'static str {
     match action {
         RecoAction::CreateIndex { .. } => "create_index",
         RecoAction::DropIndex { .. } => "drop_index",
@@ -240,35 +245,34 @@ impl ControlPlane {
     }
 
     /// One orchestration pass over one database. Call it periodically
-    /// (e.g. hourly) as simulated time advances.
+    /// (e.g. hourly) as simulated time advances — or, sparsely, only at
+    /// the instants the returned [`WakeSchedule`] marks as due: a pass
+    /// where no stage has due work changes no state, emits nothing, and
+    /// draws no fault randomness, so skipping it is unobservable.
     ///
-    /// Each pass emits one `tick` span with the four micro-service
-    /// phases as children (when tracing is on) and refreshes the
-    /// outstanding-recommendation gauges the dashboard reads.
-    pub fn tick(&mut self, mdb: &mut ManagedDb) {
+    /// Each pass emits one `tick` span with the pipeline stages as
+    /// children (when tracing is on), refreshes the
+    /// outstanding-recommendation gauges the dashboard reads, and
+    /// records the recomputed wake schedule in the journaled store so
+    /// crash recovery restores it.
+    pub fn tick(&mut self, mdb: &mut ManagedDb) -> WakeSchedule {
         let started = mdb.db.clock().now();
         self.tracer.start("tick", started);
-        self.tracer
-            .attr("db_hash", format!("{:016x}", crate::telemetry::db_hash(&mdb.db.name)));
+        self.tracer.attr(
+            "db_hash",
+            format!("{:016x}", crate::telemetry::db_hash(&mdb.db.name)),
+        );
         self.maybe_journal_tear(mdb);
-        // MI snapshots are cheap and reset-sensitive: take one per tick.
-        mdb.mi_store.take_snapshot(&mdb.db);
-        self.traced("recommend", mdb, Self::maybe_analyze);
-        self.traced("retry", mdb, Self::drive_retries);
-        self.traced("implement", mdb, Self::implement_due);
-        self.traced("validate", mdb, Self::validate_due);
-        self.traced("expire", mdb, Self::expire_stale);
-        self.traced("health", mdb, Self::health_check);
+        for stage in Stage::ALL {
+            self.tracer.start(stage.name(), mdb.db.clock().now());
+            stage.run(self, mdb);
+            self.tracer.end(mdb.db.clock().now());
+        }
         self.refresh_outstanding_gauges();
         self.tracer.end(mdb.db.clock().now());
-    }
-
-    /// Run one tick phase inside its own span. A disabled tracer makes
-    /// this a plain call — one branch of overhead on the hot path.
-    fn traced(&mut self, phase: &str, mdb: &mut ManagedDb, f: fn(&mut Self, &mut ManagedDb)) {
-        self.tracer.start(phase, mdb.db.clock().now());
-        f(self, mdb);
-        self.tracer.end(mdb.db.clock().now());
+        let schedule = WakeSchedule::compute(self, mdb);
+        self.store.record_schedule(&mdb.db.name, &schedule);
+        schedule
     }
 
     /// Outstanding (Active, awaiting implementation) recommendations by
@@ -289,15 +293,54 @@ impl ControlPlane {
         self.metrics.gauge_set("outstanding.drop", drops);
     }
 
-    fn effective_settings(&self, mdb: &ManagedDb) -> (bool, bool) {
+    pub(crate) fn effective_settings(&self, mdb: &ManagedDb) -> (bool, bool) {
         effective(mdb.settings, mdb.server)
     }
 
     /// Raise an incident through both sinks: the on-call incident stream
     /// and the `incident.raised` dashboard counter.
-    fn incident(&mut self, db: &str, summary: String, now: Timestamp) {
+    pub(crate) fn incident(&mut self, db: &str, summary: String, now: Timestamp) {
         self.telemetry.incident(db, summary, now);
         self.metrics.inc("incident.raised");
+    }
+
+    /// A recommendation duplicates an open or recently-succeeded one when
+    /// it proposes the same action on the same object.
+    pub(crate) fn is_duplicate_reco(&self, db_name: &str, reco: &Recommendation) -> bool {
+        self.store.for_database(db_name).any(|r| {
+            let same_action = match (&r.recommendation.action, &reco.action) {
+                (RecoAction::CreateIndex { def: a }, RecoAction::CreateIndex { def: b }) => {
+                    a.table == b.table && a.key_columns == b.key_columns
+                }
+                (
+                    RecoAction::DropIndex { index: a, .. },
+                    RecoAction::DropIndex { index: b, .. },
+                ) => a == b,
+                _ => false,
+            };
+            same_action
+                && (!r.state.is_terminal()
+                    || matches!(r.state, RecoState::Success | RecoState::Reverted))
+        })
+    }
+
+    /// User-initiated application of one recommendation (the portal's
+    /// "apply" button) — bypasses the auto-implement setting but is still
+    /// validated by the system (§2). Re-records the wake schedule: the
+    /// state change happened outside any tick.
+    pub fn apply_manually(&mut self, mdb: &mut ManagedDb, id: RecoId) -> bool {
+        let Some(r) = self.store.get(id) else {
+            return false;
+        };
+        if r.state != RecoState::Active || r.database != mdb.db.name {
+            return false;
+        }
+        let applied = crate::stages::implement::implement_one(self, mdb, id);
+        if applied {
+            let schedule = WakeSchedule::compute(self, mdb);
+            self.store.record_schedule(&mdb.db.name, &schedule);
+        }
+        applied
     }
 
     // ------------------------------------------------------------------
@@ -367,945 +410,5 @@ impl ControlPlane {
             );
         }
         report
-    }
-
-    // ------------------------------------------------------------------
-    // Analysis micro-service
-    // ------------------------------------------------------------------
-
-    fn maybe_analyze(&mut self, mdb: &mut ManagedDb) {
-        let now = mdb.db.clock().now();
-        if let Some(last) = mdb.last_analysis {
-            if now.since(last) < self.policy.analysis_interval {
-                return;
-            }
-        }
-        mdb.last_analysis = Some(now);
-        self.telemetry
-            .emit(EventKind::AnalysisStarted, &mdb.db.name, "", now);
-
-        let use_dta = match self.policy.recommender {
-            RecommenderPolicy::MiOnly => false,
-            RecommenderPolicy::DtaOnly => true,
-            RecommenderPolicy::ByTier => mdb.db.config.tier == ServiceTier::Premium,
-        };
-        // Interference avoidance: a DTA session competes with the
-        // customer's workload for the primary's resources, so it can be
-        // restricted to low-activity windows. MI analysis is DMV-snapshot
-        // arithmetic and is always safe.
-        let use_dta = use_dta
-            && (!self.policy.dta_low_activity_only
-                || is_low_activity(&mdb.db, &self.policy.scheduler, now));
-
-        let mut new_recos: Vec<Recommendation> = Vec::new();
-        if use_dta {
-            if let Some(kind) = self.faults.check(FaultPoint::DtaSession) {
-                self.telemetry.emit(
-                    EventKind::DtaSessionAborted,
-                    &mdb.db.name,
-                    format!("{kind:?}"),
-                    now,
-                );
-            } else {
-                let report = tune(&mut mdb.db, &self.policy.dta);
-                self.metrics.inc("dta.sessions");
-                self.metrics.add("dta.whatif.issued", report.what_if.issued);
-                self.metrics
-                    .add("dta.whatif.saved.cache", report.what_if.saved_cache);
-                self.metrics
-                    .add("dta.whatif.saved.pruning", report.what_if.saved_pruning);
-                if report.aborted {
-                    self.metrics.inc("dta.sessions.aborted");
-                    self.telemetry
-                        .emit(EventKind::DtaSessionAborted, &mdb.db.name, "budget", now);
-                }
-                new_recos.extend(report.recommendations);
-            }
-        } else {
-            let analysis = mi_recommend(&mdb.db, &mdb.mi_store, &self.policy.mi, &self.classifier);
-            new_recos.extend(analysis.recommendations);
-        }
-
-        // Drop analysis runs for everyone.
-        for p in recommend_drops(&mdb.db, &self.policy.drops, mdb.observed_since) {
-            new_recos.push(p.recommendation);
-        }
-
-        for reco in new_recos {
-            if self.is_duplicate_reco(&mdb.db.name, &reco) {
-                continue;
-            }
-            self.metrics
-                .inc(&format!("reco.created.{}", action_kind(&reco.action)));
-            self.metrics
-                .inc(&format!("reco.created.source.{:?}", reco.source));
-            self.store.insert(&mdb.db.name, reco, now);
-            self.telemetry
-                .emit(EventKind::RecommendationCreated, &mdb.db.name, "", now);
-        }
-        self.telemetry
-            .emit(EventKind::AnalysisCompleted, &mdb.db.name, "", now);
-    }
-
-    /// A recommendation duplicates an open or recently-succeeded one when
-    /// it proposes the same action on the same object.
-    fn is_duplicate_reco(&self, db_name: &str, reco: &Recommendation) -> bool {
-        self.store.for_database(db_name).any(|r| {
-            let same_action = match (&r.recommendation.action, &reco.action) {
-                (RecoAction::CreateIndex { def: a }, RecoAction::CreateIndex { def: b }) => {
-                    a.table == b.table && a.key_columns == b.key_columns
-                }
-                (
-                    RecoAction::DropIndex { index: a, .. },
-                    RecoAction::DropIndex { index: b, .. },
-                ) => a == b,
-                _ => false,
-            };
-            same_action
-                && (!r.state.is_terminal()
-                    || matches!(r.state, RecoState::Success | RecoState::Reverted))
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // Implementation micro-service
-    // ------------------------------------------------------------------
-
-    /// User-initiated application of one recommendation (the portal's
-    /// "apply" button) — bypasses the auto-implement setting but is still
-    /// validated by the system (§2).
-    pub fn apply_manually(&mut self, mdb: &mut ManagedDb, id: RecoId) -> bool {
-        let Some(r) = self.store.get(id) else {
-            return false;
-        };
-        if r.state != RecoState::Active || r.database != mdb.db.name {
-            return false;
-        }
-        self.implement_one(mdb, id)
-    }
-
-    fn implement_due(&mut self, mdb: &mut ManagedDb) {
-        let now = mdb.db.clock().now();
-        let (auto_create, auto_drop) = self.effective_settings(mdb);
-        if self.policy.schedule_builds && !is_low_activity(&mdb.db, &self.policy.scheduler, now) {
-            return;
-        }
-        let due: Vec<RecoId> = self
-            .store
-            .for_database(&mdb.db.name)
-            .filter(|r| r.state == RecoState::Active)
-            .filter(|r| match &r.recommendation.action {
-                RecoAction::CreateIndex { .. } => auto_create,
-                RecoAction::DropIndex { .. } => auto_drop,
-            })
-            .map(|r| r.id)
-            .collect();
-        for id in due {
-            self.implement_one(mdb, id);
-        }
-    }
-
-    fn implement_one(&mut self, mdb: &mut ManagedDb, id: RecoId) -> bool {
-        let now = mdb.db.clock().now();
-        let action = match self.store.get(id) {
-            Some(r) => r.recommendation.action.clone(),
-            None => return false,
-        };
-        self.store.update(id, |r| {
-            r.transition(RecoState::Implementing, now, "implementation started")
-                .expect("Active/Retry -> Implementing");
-        });
-        self.telemetry
-            .emit(EventKind::ImplementStarted, &mdb.db.name, "", now);
-        self.metrics.inc("implement.started");
-
-        let fault_point = match &action {
-            RecoAction::CreateIndex { .. } => FaultPoint::IndexBuild,
-            RecoAction::DropIndex { .. } => FaultPoint::IndexDrop,
-        };
-        if let Some(kind) = self.faults.check(fault_point) {
-            return self.handle_fault(mdb, id, RetryPhase::Implement, kind, now);
-        }
-
-        let result: Result<(), String> = match &action {
-            RecoAction::CreateIndex { def } => match mdb.db.create_index(def.clone()) {
-                Ok((ix_id, _report)) => {
-                    self.store.update(id, |r| {
-                        r.implemented_index = Some(ix_id);
-                    });
-                    Ok(())
-                }
-                Err(e) => Err(e.to_string()),
-            },
-            RecoAction::DropIndex { index, .. } => match mdb.db.drop_index(*index) {
-                Ok(def) => {
-                    self.store.update(id, |r| {
-                        r.dropped_def = Some(def);
-                    });
-                    Ok(())
-                }
-                Err(e) => Err(e.to_string()),
-            },
-        };
-
-        match result {
-            Ok(()) => {
-                self.store.update(id, |r| {
-                    r.implemented_at = Some(now);
-                    r.transition(RecoState::Validating, now, "implemented")
-                        .expect("Implementing -> Validating");
-                });
-                self.telemetry
-                    .emit(EventKind::ImplementSucceeded, &mdb.db.name, "", now);
-                self.metrics
-                    .inc(&format!("implement.succeeded.{}", action_kind(&action)));
-                self.telemetry
-                    .emit(EventKind::ValidationStarted, &mdb.db.name, "", now);
-                true
-            }
-            Err(e) => {
-                // Engine-level failures (duplicate name, missing table)
-                // are irrecoverable: the paper's Error terminal state.
-                self.store.update(id, |r| {
-                    r.transition(RecoState::Error, now, e.clone())
-                        .expect("Implementing -> Error");
-                    r.substate = RecoSubState::ErrorDetail(e.clone());
-                });
-                self.telemetry
-                    .emit(EventKind::ImplementFailedFatal, &mdb.db.name, e, now);
-                self.metrics.inc("implement.failed.fatal");
-                false
-            }
-        }
-    }
-
-    fn handle_fault(
-        &mut self,
-        mdb: &ManagedDb,
-        id: RecoId,
-        phase: RetryPhase,
-        kind: FaultKind,
-        now: Timestamp,
-    ) -> bool {
-        match kind {
-            FaultKind::Transient => {
-                let attempts = self
-                    .store
-                    .update(id, |r| r.enter_retry(phase, now, "transient fault"))
-                    .and_then(Result::ok)
-                    .unwrap_or(0);
-                self.telemetry.emit(
-                    EventKind::ImplementFailedTransient,
-                    &mdb.db.name,
-                    format!("attempt {attempts}"),
-                    now,
-                );
-                self.metrics.inc("implement.failed.transient");
-                if attempts > self.policy.max_retry_attempts {
-                    self.store.update(id, |r| {
-                        r.transition(RecoState::Error, now, "retry budget exhausted")
-                            .expect("Retry -> Error");
-                    });
-                    self.metrics.inc("retry.exhausted");
-                    self.incident(&mdb.db.name, format!("{id}: retries exhausted"), now);
-                }
-                false
-            }
-            FaultKind::Fatal => {
-                self.store.update(id, |r| {
-                    r.transition(RecoState::Error, now, "fatal fault")
-                        .expect("-> Error");
-                });
-                self.telemetry
-                    .emit(EventKind::ImplementFailedFatal, &mdb.db.name, "fault", now);
-                self.metrics.inc("implement.failed.fatal");
-                self.incident(&mdb.db.name, format!("{id}: fatal fault"), now);
-                false
-            }
-        }
-    }
-
-    /// Resume recommendations parked in Retry — but only once their
-    /// backoff window has elapsed. Retrying on the very next pass is a
-    /// retry storm at fleet scale; the [`RetryPolicy`] spaces attempts
-    /// geometrically with deterministic jitter on simulated time.
-    fn drive_retries(&mut self, mdb: &mut ManagedDb) {
-        let now = mdb.db.clock().now();
-        let retryable: Vec<(RecoId, RetryPhase, u32, Timestamp)> = self
-            .store
-            .for_database(&mdb.db.name)
-            .filter(|r| r.state == RecoState::Retry)
-            .filter_map(|r| match &r.substate {
-                RecoSubState::RetryOf { phase, attempts } => {
-                    // The Retry entry instant is the last transition; a
-                    // reco never transitions while sitting in Retry.
-                    let entered = r.history.last().map(|t| t.at).unwrap_or(r.created_at);
-                    Some((r.id, *phase, *attempts, entered))
-                }
-                _ => None,
-            })
-            .collect();
-        for (id, phase, attempts, entered) in retryable {
-            if !self.policy.retry.eligible(id, attempts, entered, now) {
-                self.telemetry.emit(
-                    EventKind::RetryBackoffWait,
-                    &mdb.db.name,
-                    format!("attempt {attempts}"),
-                    now,
-                );
-                self.metrics.inc("retry.backoff_wait");
-                continue;
-            }
-            self.metrics.inc("retry.resumed");
-            self.metrics
-                .observe_time("retry.delay_ms", self.policy.retry.delay(id, attempts).millis());
-            match phase {
-                RetryPhase::Implement => {
-                    // Re-enter the implementation path.
-                    self.implement_one(mdb, id);
-                }
-                RetryPhase::Validate => {
-                    self.store.update(id, |r| {
-                        r.transition(RecoState::Validating, now, "retrying validation")
-                            .expect("Retry -> Validating");
-                    });
-                }
-                RetryPhase::Revert => {
-                    self.store.update(id, |r| {
-                        r.transition(RecoState::Reverting, now, "retrying revert")
-                            .expect("Retry -> Reverting");
-                    });
-                    self.revert_one(mdb, id);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Validation micro-service
-    // ------------------------------------------------------------------
-
-    fn validate_due(&mut self, mdb: &mut ManagedDb) {
-        let now = mdb.db.clock().now();
-        let due: Vec<(RecoId, Timestamp)> = self
-            .store
-            .for_database(&mdb.db.name)
-            .filter(|r| r.state == RecoState::Validating)
-            .filter_map(|r| r.implemented_at.map(|t| (r.id, t)))
-            .collect();
-        for (id, implemented_at) in due {
-            let waited = now.since(implemented_at);
-            if waited < self.policy.validation_min_wait {
-                continue;
-            }
-            if let Some(kind) = self.faults.check(FaultPoint::ValidationRead) {
-                match kind {
-                    FaultKind::Transient => {
-                        let attempts = self
-                            .store
-                            .update(id, |r| {
-                                r.enter_retry(RetryPhase::Validate, now, "stats unavailable")
-                            })
-                            .and_then(Result::ok)
-                            .unwrap_or(0);
-                        self.metrics.inc("validate.failed.transient");
-                        if attempts > self.policy.max_retry_attempts {
-                            self.store.update(id, |r| {
-                                r.transition(RecoState::Error, now, "validation retries exhausted")
-                                    .expect("Retry -> Error");
-                            });
-                            self.metrics.inc("retry.exhausted");
-                            self.incident(
-                                &mdb.db.name,
-                                format!("{id}: validation retries exhausted"),
-                                now,
-                            );
-                        }
-                    }
-                    FaultKind::Fatal => {
-                        self.store.update(id, |r| {
-                            r.transition(RecoState::Error, now, "validation fatal")
-                                .expect("Validating -> Error");
-                        });
-                        self.metrics.inc("validate.failed.fatal");
-                    }
-                }
-                continue;
-            }
-
-            let (index_name, kind) = match self.store.get(id) {
-                Some(r) => match &r.recommendation.action {
-                    RecoAction::CreateIndex { def } => (def.name.clone(), ChangeKind::Created),
-                    RecoAction::DropIndex { name, .. } => (name.clone(), ChangeKind::Dropped),
-                },
-                None => continue,
-            };
-            let before = (
-                Timestamp(
-                    implemented_at
-                        .millis()
-                        .saturating_sub(self.policy.validation_before_window.millis()),
-                ),
-                implemented_at,
-            );
-            let after = (implemented_at, now);
-            let outcome = validate(
-                &mdb.db,
-                &index_name,
-                kind,
-                before,
-                after,
-                &self.policy.validator,
-            );
-
-            match outcome.verdict {
-                Verdict::NoData => {
-                    if waited >= self.policy.validation_max_wait {
-                        self.finish_validation(mdb, id, "no qualifying data", true, now);
-                        self.telemetry
-                            .emit(EventKind::ValidationNoData, &mdb.db.name, "", now);
-                        self.metrics.inc("validate.nodata");
-                        self.metrics.observe_time("validation.wait_ms", waited.millis());
-                    }
-                    // else: keep waiting.
-                }
-                Verdict::Improved => {
-                    self.train_classifier(mdb, id, true);
-                    self.finish_validation(mdb, id, "improved", true, now);
-                    self.telemetry.emit(
-                        EventKind::ValidationImproved,
-                        &mdb.db.name,
-                        format!("{:.0}%", -outcome.aggregate_cpu_change * 100.0),
-                        now,
-                    );
-                    self.metrics.inc("validate.improved");
-                    self.metrics.observe_time("validation.wait_ms", waited.millis());
-                }
-                Verdict::Inconclusive => {
-                    if waited >= self.policy.validation_max_wait {
-                        self.train_classifier(mdb, id, false);
-                        self.finish_validation(mdb, id, "inconclusive", true, now);
-                        self.telemetry.emit(
-                            EventKind::ValidationInconclusive,
-                            &mdb.db.name,
-                            "",
-                            now,
-                        );
-                        self.metrics.inc("validate.inconclusive");
-                        self.metrics.observe_time("validation.wait_ms", waited.millis());
-                    }
-                }
-                Verdict::Regressed => {
-                    self.train_classifier(mdb, id, false);
-                    self.store.update(id, |r| {
-                        r.transition(RecoState::Reverting, now, "regression detected")
-                            .expect("Validating -> Reverting");
-                        r.substate = RecoSubState::ValidationDetail(format!(
-                            "aggregate cpu change {:+.0}%",
-                            outcome.aggregate_cpu_change * 100.0
-                        ));
-                    });
-                    self.telemetry.emit(
-                        EventKind::ValidationRegressed,
-                        &mdb.db.name,
-                        format!("{:+.0}%", outcome.aggregate_cpu_change * 100.0),
-                        now,
-                    );
-                    self.metrics.inc("validate.regressed");
-                    self.metrics.observe_time("validation.wait_ms", waited.millis());
-                    self.telemetry
-                        .emit(EventKind::RevertStarted, &mdb.db.name, "", now);
-                    self.metrics.inc("revert.cause.validation_regression");
-                    self.revert_one(mdb, id);
-                }
-            }
-        }
-    }
-
-    fn finish_validation(
-        &mut self,
-        _mdb: &ManagedDb,
-        id: RecoId,
-        note: &str,
-        _success: bool,
-        now: Timestamp,
-    ) {
-        self.store.update(id, |r| {
-            r.transition(RecoState::Success, now, note)
-                .expect("Validating -> Success");
-        });
-    }
-
-    /// Feed a validation outcome back into the MI classifier (§5.2: "we
-    /// use data from previous index validations ... to train a
-    /// classifier").
-    fn train_classifier(&mut self, mdb: &ManagedDb, id: RecoId, improved: bool) {
-        let Some(r) = self.store.get(id) else { return };
-        if r.recommendation.source != RecoSource::MissingIndex {
-            return;
-        }
-        let RecoAction::CreateIndex { def } = &r.recommendation.action else {
-            return;
-        };
-        let rows = mdb.db.table_rows(def.table) as f64;
-        let ex = TrainingExample {
-            features: CandidateFeatures {
-                est_impact_pct: r.recommendation.estimated_improvement * 100.0,
-                log_table_rows: rows.max(1.0).log10(),
-                log_index_size: (r.recommendation.estimated_size_bytes as f64)
-                    .max(1.0)
-                    .log10(),
-                log_demand: (1.0 + r.recommendation.impacted_queries.len() as f64).log10(),
-                n_key_columns: def.key_columns.len() as f64,
-            },
-            improved,
-        };
-        self.classifier.train_one(&ex, 0.05);
-    }
-
-    // ------------------------------------------------------------------
-    // Revert
-    // ------------------------------------------------------------------
-
-    fn revert_one(&mut self, mdb: &mut ManagedDb, id: RecoId) {
-        let now = mdb.db.clock().now();
-        let Some(r) = self.store.get(id) else { return };
-        let action = r.recommendation.action.clone();
-        let source = r.recommendation.source;
-        let implemented_index = r.implemented_index;
-        let dropped_def = r.dropped_def.clone();
-        self.tracer.start("revert", now);
-        self.tracer.attr("action", action_kind(&action));
-
-        if let Some(kind) = self.faults.check(FaultPoint::IndexDrop) {
-            match kind {
-                FaultKind::Transient => {
-                    let attempts = self
-                        .store
-                        .update(id, |r| {
-                            r.enter_retry(RetryPhase::Revert, now, "revert fault")
-                        })
-                        .and_then(Result::ok)
-                        .unwrap_or(0);
-                    self.telemetry
-                        .emit(EventKind::RevertFailedTransient, &mdb.db.name, "", now);
-                    self.metrics.inc("revert.failed.transient");
-                    if attempts > self.policy.max_retry_attempts {
-                        self.store.update(id, |r| {
-                            r.transition(RecoState::Error, now, "revert retries exhausted")
-                                .expect("Retry -> Error");
-                        });
-                        self.metrics.inc("retry.exhausted");
-                        self.incident(
-                            &mdb.db.name,
-                            format!("{id}: revert retries exhausted"),
-                            now,
-                        );
-                    }
-                }
-                FaultKind::Fatal => {
-                    self.store.update(id, |r| {
-                        r.transition(RecoState::Error, now, "revert fatal")
-                            .expect("Reverting -> Error");
-                    });
-                    self.metrics.inc("revert.failed.fatal");
-                    self.incident(&mdb.db.name, format!("{id}: revert fatal"), now);
-                }
-            }
-            self.tracer.attr("outcome", "faulted");
-            self.tracer.end(mdb.db.clock().now());
-            return;
-        }
-
-        let ok = match (&action, implemented_index, dropped_def) {
-            (RecoAction::CreateIndex { .. }, Some(ix), _) => mdb.db.drop_index(ix).is_ok(),
-            (RecoAction::DropIndex { .. }, _, Some(def)) => mdb.db.create_index(def).is_ok(),
-            _ => false,
-        };
-        if ok {
-            self.store.update(id, |r| {
-                r.transition(RecoState::Reverted, now, "reverted")
-                    .expect("Reverting -> Reverted");
-            });
-            self.telemetry
-                .emit(EventKind::RevertSucceeded, &mdb.db.name, "", now);
-            self.metrics.inc("revert.succeeded");
-            self.metrics
-                .inc(&format!("revert.action.{}", action_kind(&action)));
-            self.metrics.inc(&format!("revert.source.{source:?}"));
-            self.tracer.attr("outcome", "reverted");
-        } else {
-            // Index already gone / recreated externally: §4's well-known
-            // error class, processed automatically.
-            self.store.update(id, |r| {
-                r.transition(RecoState::Error, now, "revert target missing")
-                    .expect("Reverting -> Error");
-            });
-            self.metrics.inc("revert.target_missing");
-            self.tracer.attr("outcome", "target_missing");
-        }
-        self.tracer.end(mdb.db.clock().now());
-    }
-
-    // ------------------------------------------------------------------
-    // Expiry + health micro-service
-    // ------------------------------------------------------------------
-
-    fn expire_stale(&mut self, mdb: &mut ManagedDb) {
-        let now = mdb.db.clock().now();
-        let expiry = self.policy.reco_expiry;
-        let stale: Vec<RecoId> = self
-            .store
-            .for_database(&mdb.db.name)
-            .filter(|r| r.state == RecoState::Active && now.since(r.created_at) >= expiry)
-            .map(|r| r.id)
-            .collect();
-        for id in stale {
-            self.store.update(id, |r| {
-                r.transition(RecoState::Expired, now, "aged out")
-                    .expect("Active -> Expired");
-            });
-            self.telemetry
-                .emit(EventKind::RecommendationExpired, &mdb.db.name, "", now);
-            self.metrics.inc("reco.expired");
-        }
-    }
-
-    fn health_check(&mut self, mdb: &mut ManagedDb) {
-        let now = mdb.db.clock().now();
-        let horizon = Timestamp(
-            now.millis()
-                .saturating_sub(self.policy.stuck_horizon.millis()),
-        );
-        for id in self.store.stuck_since(horizon) {
-            let Some(r) = self.store.get(id) else {
-                continue;
-            };
-            if r.database != mdb.db.name {
-                continue;
-            }
-            // Active recommendations awaiting the user are not stuck; the
-            // expiry path ages them out without paging anyone.
-            if r.state == RecoState::Active {
-                continue;
-            }
-            let state = r.state;
-            self.incident(&mdb.db.name, format!("{id} stuck in {state:?}"), now);
-            self.metrics.inc("health.stuck_closed");
-            // Automated corrective action where safe: park in a terminal
-            // state so the pipeline doesn't wedge.
-            self.store.update(id, |r| {
-                let target = if r.state == RecoState::Active {
-                    RecoState::Expired
-                } else {
-                    RecoState::Error
-                };
-                let _ = r.transition(target, now, "auto-closed by health check");
-            });
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::faults::FaultInjector;
-    use sqlmini::clock::SimClock;
-    use sqlmini::engine::DbConfig;
-    use sqlmini::query::{CmpOp, Predicate, QueryTemplate, SelectQuery, Statement};
-    use sqlmini::schema::{ColumnDef, ColumnId, TableDef, TableId};
-    use sqlmini::types::{Value, ValueType};
-
-    fn managed_db(seed: u64) -> (ManagedDb, QueryTemplate, TableId) {
-        let mut db = Database::new(
-            format!("tenant{seed}"),
-            DbConfig {
-                seed,
-                ..DbConfig::default()
-            },
-            SimClock::new(),
-        );
-        let t = db
-            .create_table(TableDef::new(
-                "orders",
-                vec![
-                    ColumnDef::new("id", ValueType::Int),
-                    ColumnDef::new("customer_id", ValueType::Int),
-                    ColumnDef::new("total", ValueType::Float),
-                ],
-            ))
-            .unwrap();
-        db.load_rows(
-            t,
-            (0..20_000i64).map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::Int(i % 400),
-                    Value::Float((i % 700) as f64),
-                ]
-            }),
-        );
-        db.rebuild_stats(t);
-        let mut q = SelectQuery::new(t);
-        q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
-        q.projection = vec![ColumnId(0), ColumnId(2)];
-        let tpl = QueryTemplate::new(Statement::Select(q), 1);
-        let settings = DbSettings {
-            auto_create: crate::state::Setting::On,
-            auto_drop: crate::state::Setting::On,
-        };
-        (
-            ManagedDb::new(db, settings, ServerSettings::default()),
-            tpl,
-            t,
-        )
-    }
-
-    /// Drive workload + control plane through `hours` of simulated time.
-    fn drive(plane: &mut ControlPlane, mdb: &mut ManagedDb, tpl: &QueryTemplate, hours: u64) {
-        for h in 0..hours {
-            for i in 0..20 {
-                mdb.db
-                    .execute(tpl, &[Value::Int(((h * 20 + i) % 400) as i64)])
-                    .unwrap();
-            }
-            mdb.db.clock().advance(Duration::from_hours(1));
-            plane.tick(mdb);
-        }
-    }
-
-    #[test]
-    fn retry_policy_backoff_is_deterministic_capped_and_jittered_early() {
-        let p = RetryPolicy::default();
-        let id = RecoId(42);
-        assert_eq!(p.delay(id, 1), p.delay(id, 1), "pure function of inputs");
-        let no_jitter = RetryPolicy {
-            jitter: 0.0,
-            ..p.clone()
-        };
-        assert_eq!(no_jitter.delay(id, 1), no_jitter.base);
-        assert_eq!(no_jitter.delay(id, 2).millis(), no_jitter.base.millis() * 2);
-        assert_eq!(no_jitter.delay(id, 10), no_jitter.cap, "growth is capped");
-        // Jitter only shortens (de-synchronizes retries without ever
-        // extending the worst case), bounded by the jitter fraction.
-        for attempts in 1..6 {
-            for raw in 0..50u64 {
-                let jittered = p.delay(RecoId(raw), attempts);
-                let unjittered = no_jitter.delay(RecoId(raw), attempts);
-                assert!(jittered <= unjittered);
-                assert!(
-                    jittered.millis() as f64 >= unjittered.millis() as f64 * (1.0 - p.jitter) - 1.0
-                );
-            }
-        }
-        // ...and actually spreads distinct ids apart.
-        let spread: std::collections::BTreeSet<u64> =
-            (0..20).map(|i| p.delay(RecoId(i), 1).millis()).collect();
-        assert!(spread.len() > 10, "jitter must spread retries: {spread:?}");
-    }
-
-    #[test]
-    fn journal_tear_fault_recovers_through_telemetry() {
-        let (mut mdb, tpl, _) = managed_db(9);
-        let mut faults = FaultInjector::disabled();
-        faults.script(
-            crate::faults::FaultPoint::JournalTear,
-            3,
-            crate::faults::FaultKind::Transient,
-        );
-        let mut plane = ControlPlane::new(PlanePolicy::default()).with_faults(faults);
-        drive(&mut plane, &mut mdb, &tpl, 24);
-        assert_eq!(plane.telemetry.count(EventKind::StoreRecovered), 3);
-        assert!(plane.faults.scripted_is_empty());
-        // The loop kept working through the tears.
-        drive(&mut plane, &mut mdb, &tpl, 12);
-        assert!(!plane.store.is_empty());
-    }
-
-    #[test]
-    fn closed_loop_creates_and_validates_index() {
-        let (mut mdb, tpl, t) = managed_db(1);
-        let mut plane = ControlPlane::new(PlanePolicy {
-            analysis_interval: Duration::from_hours(4),
-            validation_min_wait: Duration::from_hours(3),
-            ..PlanePolicy::default()
-        });
-        drive(&mut plane, &mut mdb, &tpl, 24);
-        // An auto index must exist on customer_id...
-        let auto_ix = mdb
-            .db
-            .catalog()
-            .indexes()
-            .find(|(_, d)| d.key_columns.first() == Some(&ColumnId(1)) && d.table == t);
-        assert!(auto_ix.is_some(), "no auto index created");
-        // ...and its recommendation must have reached Success.
-        let success = plane.store.all().any(|r| r.state == RecoState::Success);
-        assert!(success, "states: {:?}", plane.store.count_by_state());
-        assert!(plane.telemetry.count(EventKind::ValidationImproved) >= 1);
-        assert_eq!(plane.telemetry.count(EventKind::RevertSucceeded), 0);
-    }
-
-    #[test]
-    fn dta_session_metrics_feed_dashboard() {
-        let (mut mdb, tpl, _) = managed_db(6);
-        let mut plane = ControlPlane::new(PlanePolicy {
-            recommender: RecommenderPolicy::DtaOnly,
-            analysis_interval: Duration::from_hours(4),
-            ..PlanePolicy::default()
-        });
-        drive(&mut plane, &mut mdb, &tpl, 24);
-        let sessions = plane.metrics.counter("dta.sessions");
-        let issued = plane.metrics.counter("dta.whatif.issued");
-        let saved_cache = plane.metrics.counter("dta.whatif.saved.cache");
-        assert!(sessions >= 1, "DtaOnly policy must run DTA sessions");
-        assert!(issued > 0, "sessions must issue what-if calls");
-        // Every session re-costs the first greedy round against configs
-        // the single-benefit pass already cached.
-        assert!(saved_cache > 0, "cost cache must absorb repeat configs");
-        assert_eq!(plane.metrics.counter("dta.sessions.aborted"), 0);
-
-        let snap = crate::region::DashboardSnapshot::from_metrics(
-            &plane.metrics,
-            Duration::from_hours(24),
-        );
-        assert_eq!(snap.dta_sessions, sessions);
-        assert_eq!(snap.what_if_issued, issued);
-        assert_eq!(snap.what_if_saved_cache, saved_cache);
-        assert!(snap.what_if_cache_hit_rate() > 0.0);
-        assert!(snap.what_if_saved_fraction() > 0.0);
-        let rendered = snap.render();
-        assert!(
-            rendered.contains("DTA what-if budget"),
-            "dashboard must render the what-if block once sessions ran:\n{rendered}"
-        );
-    }
-
-    #[test]
-    fn no_auto_create_without_permission() {
-        let (mut mdb, tpl, _) = managed_db(2);
-        mdb.settings = DbSettings::default(); // inherit: server default off
-        let mut plane = ControlPlane::new(PlanePolicy::default());
-        drive(&mut plane, &mut mdb, &tpl, 24);
-        // Recommendations exist but none implemented.
-        assert!(plane.store.len() > 0, "recommendations should be generated");
-        assert_eq!(plane.telemetry.count(EventKind::ImplementStarted), 0);
-        assert_eq!(
-            mdb.db.catalog().n_indexes(),
-            0,
-            "nothing may be implemented without permission"
-        );
-    }
-
-    #[test]
-    fn transient_faults_retried_to_success() {
-        let (mut mdb, tpl, _) = managed_db(3);
-        let mut faults = FaultInjector::disabled();
-        faults.script(FaultPoint::IndexBuild, 2, FaultKind::Transient);
-        let mut plane = ControlPlane::new(PlanePolicy::default()).with_faults(faults);
-        drive(&mut plane, &mut mdb, &tpl, 30);
-        assert!(plane.telemetry.count(EventKind::ImplementFailedTransient) >= 2);
-        assert!(
-            plane.telemetry.count(EventKind::ImplementSucceeded) >= 1,
-            "retries must eventually succeed: {:?}",
-            plane.store.count_by_state()
-        );
-        assert!(plane.store.all().any(|r| r.state == RecoState::Success));
-    }
-
-    #[test]
-    fn retry_budget_exhaustion_raises_incident() {
-        let (mut mdb, tpl, _) = managed_db(4);
-        let mut faults = FaultInjector::disabled();
-        faults.script(FaultPoint::IndexBuild, 99, FaultKind::Transient);
-        let mut plane = ControlPlane::new(PlanePolicy {
-            max_retry_attempts: 2,
-            ..PlanePolicy::default()
-        })
-        .with_faults(faults);
-        drive(&mut plane, &mut mdb, &tpl, 30);
-        assert!(plane.store.all().any(|r| r.state == RecoState::Error));
-        assert!(!plane.telemetry.incidents().is_empty());
-    }
-
-    #[test]
-    fn store_recovery_mid_flight() {
-        let (mut mdb, tpl, _) = managed_db(5);
-        let mut plane = ControlPlane::new(PlanePolicy::default());
-        drive(&mut plane, &mut mdb, &tpl, 10);
-        let before = plane.store.count_by_state();
-        plane.store.crash_and_recover();
-        assert_eq!(plane.store.count_by_state(), before);
-        // The loop keeps functioning after recovery.
-        drive(&mut plane, &mut mdb, &tpl, 20);
-        assert!(plane.store.all().any(|r| r.state == RecoState::Success));
-    }
-
-    #[test]
-    fn stale_recommendations_expire() {
-        let (mut mdb, tpl, _) = managed_db(6);
-        // No auto-implementation: recommendations sit in Active.
-        mdb.settings = DbSettings::default();
-        let mut plane = ControlPlane::new(PlanePolicy {
-            reco_expiry: Duration::from_days(2),
-            ..PlanePolicy::default()
-        });
-        drive(&mut plane, &mut mdb, &tpl, 24 * 4);
-        assert!(
-            plane.telemetry.count(EventKind::RecommendationExpired) >= 1,
-            "{:?}",
-            plane.store.count_by_state()
-        );
-    }
-
-    #[test]
-    fn dta_deferred_outside_low_activity_falls_back_to_mi() {
-        let (mut mdb, tpl, _) = managed_db(8);
-        mdb.db.config.tier = ServiceTier::Premium;
-        let mut plane = ControlPlane::new(PlanePolicy {
-            recommender: RecommenderPolicy::DtaOnly,
-            dta_low_activity_only: true,
-            analysis_interval: Duration::from_hours(4),
-            ..PlanePolicy::default()
-        });
-        // Build two full days of flat always-busy history first (no
-        // ticks) so the 2-day activity profile sees every hour-of-day
-        // exactly twice: everything is peak, nothing is "low activity".
-        for h in 0..48u64 {
-            for i in 0..20 {
-                mdb.db
-                    .execute(&tpl, &[Value::Int(((h * 20 + i) % 400) as i64)])
-                    .unwrap();
-            }
-            mdb.db.clock().advance(Duration::from_hours(1));
-        }
-        drive(&mut plane, &mut mdb, &tpl, 30);
-        // DTA was suppressed during busy hours; recommendations (if any)
-        // came from the MI fallback path.
-        for r in plane.store.all() {
-            assert_ne!(
-                r.recommendation.source,
-                autoindex::RecoSource::Dta,
-                "DTA must not run during busy hours"
-            );
-        }
-    }
-
-    #[test]
-    fn manual_apply_bypasses_setting_but_validates() {
-        let (mut mdb, tpl, _) = managed_db(7);
-        mdb.settings = DbSettings::default(); // auto off
-        let mut plane = ControlPlane::new(PlanePolicy::default());
-        drive(&mut plane, &mut mdb, &tpl, 12);
-        let id = plane
-            .store
-            .all()
-            .find(|r| r.state == RecoState::Active)
-            .map(|r| r.id)
-            .expect("an active recommendation");
-        assert!(plane.apply_manually(&mut mdb, id));
-        assert_eq!(plane.store.get(id).unwrap().state, RecoState::Validating);
-        // Keep driving: validation completes.
-        drive(&mut plane, &mut mdb, &tpl, 12);
-        assert_eq!(plane.store.get(id).unwrap().state, RecoState::Success);
     }
 }

@@ -115,6 +115,12 @@ pub struct DashboardSnapshot {
     pub what_if_saved_cache: u64,
     /// What-if calls skipped by relevance pruning (`dta.whatif.saved.pruning`).
     pub what_if_saved_pruning: u64,
+    /// Control-plane passes the fleet scheduler ran (0 when the snapshot
+    /// was built without scheduler context — see
+    /// [`DashboardSnapshot::with_scheduler`]).
+    pub sched_ticks_executed: u64,
+    /// Control-plane passes the sparse scheduler proved unnecessary.
+    pub sched_ticks_skipped: u64,
 }
 
 impl DashboardSnapshot {
@@ -144,7 +150,27 @@ impl DashboardSnapshot {
             what_if_issued: metrics.counter("dta.whatif.issued"),
             what_if_saved_cache: metrics.counter("dta.whatif.saved.cache"),
             what_if_saved_pruning: metrics.counter("dta.whatif.saved.pruning"),
+            sched_ticks_executed: 0,
+            sched_ticks_skipped: 0,
         }
+    }
+
+    /// Attach fleet-scheduler counters (kept outside the canonical
+    /// merged registry, so they arrive via this builder rather than
+    /// `from_metrics`). Gates the "fleet scheduler" render block.
+    pub fn with_scheduler(mut self, executed: u64, skipped: u64) -> DashboardSnapshot {
+        self.sched_ticks_executed = executed;
+        self.sched_ticks_skipped = skipped;
+        self
+    }
+
+    /// Fraction of scheduled control passes skipped as provably idle.
+    pub fn sched_skip_fraction(&self) -> f64 {
+        let total = self.sched_ticks_executed + self.sched_ticks_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.sched_ticks_skipped as f64 / total as f64
     }
 
     /// Fraction of DTA what-if lookups served by the cost cache.
@@ -297,6 +323,18 @@ impl DashboardSnapshot {
                 self.what_if_cache_hit_rate() * 100.0
             ));
         }
+        if self.sched_ticks_executed + self.sched_ticks_skipped > 0 {
+            out.push_str("fleet scheduler\n");
+            out.push_str(&format!(
+                "  control passes executed       {:>8}\n",
+                self.sched_ticks_executed
+            ));
+            out.push_str(&format!(
+                "  control passes skipped        {:>8}  ({:.1}% provably idle)\n",
+                self.sched_ticks_skipped,
+                self.sched_skip_fraction() * 100.0
+            ));
+        }
         out.push_str(&format!(
             "chaos: recoveries {} / quarantines {} / poisoned {} / incidents {}\n",
             self.recoveries, self.quarantines, self.poisoned, self.incidents
@@ -428,7 +466,10 @@ mod tests {
                 ],
             ))
             .unwrap();
-        db.load_rows(t, (0..15_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 300)]));
+        db.load_rows(
+            t,
+            (0..15_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 300)]),
+        );
         db.rebuild_stats(t);
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
@@ -438,24 +479,27 @@ mod tests {
             auto_create: Setting::On,
             auto_drop: Setting::On,
         };
-        (
-            ManagedDb::new(db, settings, ServerSettings::default()),
-            tpl,
-        )
+        (ManagedDb::new(db, settings, ServerSettings::default()), tpl)
     }
 
     #[test]
     fn regions_are_isolated_but_dashboard_merges() {
-        let mut west = Region::new("west", PlanePolicy {
-            analysis_interval: Duration::from_hours(4),
-            validation_min_wait: Duration::from_hours(2),
-            ..PlanePolicy::default()
-        });
-        let mut east = Region::new("east", PlanePolicy {
-            analysis_interval: Duration::from_hours(4),
-            validation_min_wait: Duration::from_hours(2),
-            ..PlanePolicy::default()
-        });
+        let mut west = Region::new(
+            "west",
+            PlanePolicy {
+                analysis_interval: Duration::from_hours(4),
+                validation_min_wait: Duration::from_hours(2),
+                ..PlanePolicy::default()
+            },
+        );
+        let mut east = Region::new(
+            "east",
+            PlanePolicy {
+                analysis_interval: Duration::from_hours(4),
+                validation_min_wait: Duration::from_hours(2),
+                ..PlanePolicy::default()
+            },
+        );
         let (mdb_w, tpl_w) = mdb("w-db", 1);
         let (mdb_e, tpl_e) = mdb("e-db", 2);
         west.adopt(mdb_w);
@@ -463,9 +507,16 @@ mod tests {
 
         for h in 0..16u64 {
             for (region, tpl) in [(&mut west, &tpl_w), (&mut east, &tpl_e)] {
-                let m = region.database_mut(if region.name == "west" { "w-db" } else { "e-db" }).unwrap();
+                let m = region
+                    .database_mut(if region.name == "west" {
+                        "w-db"
+                    } else {
+                        "e-db"
+                    })
+                    .unwrap();
                 for i in 0..20 {
-                    m.db.execute(tpl, &[Value::Int(((h * 20 + i) % 300) as i64)]).unwrap();
+                    m.db.execute(tpl, &[Value::Int(((h * 20 + i) % 300) as i64)])
+                        .unwrap();
                 }
                 m.db.clock().advance(Duration::from_hours(1));
                 region.tick_all();
@@ -481,8 +532,11 @@ mod tests {
         dash.ingest(&east);
         assert_eq!(
             dash.global_count(EventKind::RecommendationCreated),
-            west.export_telemetry().count(EventKind::RecommendationCreated)
-                + east.export_telemetry().count(EventKind::RecommendationCreated)
+            west.export_telemetry()
+                .count(EventKind::RecommendationCreated)
+                + east
+                    .export_telemetry()
+                    .count(EventKind::RecommendationCreated)
         );
         let summary = dash.render();
         assert!(summary.contains("west"));
@@ -495,10 +549,20 @@ mod tests {
         let mut bad = Region::new("bad", PlanePolicy::default());
         // Fake the counters via the public emit path.
         for _ in 0..10 {
-            bad.plane.telemetry.emit(EventKind::ImplementSucceeded, "x", "", sqlmini::clock::Timestamp(0));
+            bad.plane.telemetry.emit(
+                EventKind::ImplementSucceeded,
+                "x",
+                "",
+                sqlmini::clock::Timestamp(0),
+            );
         }
         for _ in 0..4 {
-            bad.plane.telemetry.emit(EventKind::RevertSucceeded, "x", "", sqlmini::clock::Timestamp(0));
+            bad.plane.telemetry.emit(
+                EventKind::RevertSucceeded,
+                "x",
+                "",
+                sqlmini::clock::Timestamp(0),
+            );
         }
         dash.ingest(&bad);
         let anomalies = dash.anomalous_regions(0.2);

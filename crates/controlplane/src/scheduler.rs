@@ -65,11 +65,7 @@ pub fn is_low_activity(db: &Database, cfg: &SchedulerConfig, now: Timestamp) -> 
 
 /// The next time at or after `now` that falls in a low-activity hour
 /// (bounded search over the next 48 hours; falls back to `now`).
-pub fn next_low_activity_window(
-    db: &Database,
-    cfg: &SchedulerConfig,
-    now: Timestamp,
-) -> Timestamp {
+pub fn next_low_activity_window(db: &Database, cfg: &SchedulerConfig, now: Timestamp) -> Timestamp {
     let profile = activity_profile(db, cfg, now);
     let peak = profile.iter().cloned().fold(0.0f64, f64::max);
     if peak <= 0.0 {
@@ -107,7 +103,10 @@ mod tests {
                 ],
             ))
             .unwrap();
-        db.load_rows(t, (0..2000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]));
+        db.load_rows(
+            t,
+            (0..2000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]),
+        );
         db.rebuild_stats(t);
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
@@ -166,7 +165,11 @@ mod tests {
     #[test]
     fn no_history_permits_everything() {
         let db = Database::new("empty", DbConfig::default(), SimClock::new());
-        assert!(is_low_activity(&db, &SchedulerConfig::default(), Timestamp(0)));
+        assert!(is_low_activity(
+            &db,
+            &SchedulerConfig::default(),
+            Timestamp(0)
+        ));
         assert_eq!(
             next_low_activity_window(&db, &SchedulerConfig::default(), Timestamp(123)),
             Timestamp(123)

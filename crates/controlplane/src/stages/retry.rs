@@ -1,0 +1,73 @@
+//! Retry stage: resume recommendations parked in Retry once their
+//! backoff window has elapsed. Retrying on the very next pass is a
+//! retry storm at fleet scale; the [`crate::plane::RetryPolicy`] spaces
+//! attempts geometrically with deterministic jitter on simulated time.
+
+use super::NextDue;
+use crate::plane::{ControlPlane, ManagedDb};
+use crate::state::{RecoId, RecoState, RecoSubState, RetryPhase};
+use sqlmini::clock::Timestamp;
+
+/// Parked retries for one database: (id, phase, attempts, entered-at).
+/// The Retry entry instant is the last transition; a reco never
+/// transitions while sitting in Retry.
+fn parked(plane: &ControlPlane, db_name: &str) -> Vec<(RecoId, RetryPhase, u32, Timestamp)> {
+    plane
+        .store
+        .for_database(db_name)
+        .filter(|r| r.state == RecoState::Retry)
+        .filter_map(|r| match &r.substate {
+            RecoSubState::RetryOf { phase, attempts } => {
+                let entered = r.history.last().map(|t| t.at).unwrap_or(r.created_at);
+                Some((r.id, *phase, *attempts, entered))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+pub(crate) fn run(plane: &mut ControlPlane, mdb: &mut ManagedDb) {
+    let now = mdb.db.clock().now();
+    for (id, phase, attempts, entered) in parked(plane, &mdb.db.name) {
+        if !plane.policy.retry.eligible(id, attempts, entered, now) {
+            // Still inside the backoff window; the park-time
+            // RetryBackoffWait event already recorded the wait.
+            continue;
+        }
+        plane.metrics.inc("retry.resumed");
+        plane.metrics.observe_time(
+            "retry.delay_ms",
+            plane.policy.retry.delay(id, attempts).millis(),
+        );
+        match phase {
+            RetryPhase::Implement => {
+                // Re-enter the implementation path.
+                super::implement::implement_one(plane, mdb, id);
+            }
+            RetryPhase::Validate => {
+                plane.store.update(id, |r| {
+                    r.transition(RecoState::Validating, now, "retrying validation")
+                        .expect("Retry -> Validating");
+                });
+            }
+            RetryPhase::Revert => {
+                plane.store.update(id, |r| {
+                    r.transition(RecoState::Reverting, now, "retrying revert")
+                        .expect("Retry -> Reverting");
+                });
+                super::revert::revert_one(plane, mdb, id);
+            }
+        }
+    }
+}
+
+/// Each parked reco becomes eligible exactly when its (deterministic,
+/// jittered) backoff delay has elapsed since it entered Retry.
+pub(crate) fn due(plane: &ControlPlane, mdb: &ManagedDb) -> NextDue {
+    let mut next = NextDue::Idle;
+    for (id, _phase, attempts, entered) in parked(plane, &mdb.db.name) {
+        let delay = plane.policy.retry.delay(id, attempts);
+        next = next.sooner(NextDue::At(entered.saturating_add(delay)));
+    }
+    next
+}

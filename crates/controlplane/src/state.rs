@@ -285,21 +285,10 @@ impl DbSettings {
 }
 
 /// Server-level defaults that databases inherit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub struct ServerSettings {
     pub auto_create: bool,
     pub auto_drop: bool,
-}
-
-impl Default for ServerSettings {
-    fn default() -> ServerSettings {
-        // The service default: recommend everything, implement nothing
-        // until the user opts in.
-        ServerSettings {
-            auto_create: false,
-            auto_drop: false,
-        }
-    }
 }
 
 /// Resolve a database's effective settings against its server.

@@ -11,6 +11,7 @@
 //! silently resumed, because the crash may or may not have completed
 //! the underlying engine action.
 
+use crate::stages::WakeSchedule;
 use crate::state::{RecoId, TrackedReco};
 use autoindex::Recommendation;
 use sqlmini::clock::Timestamp;
@@ -25,6 +26,13 @@ enum JournalEntry {
     /// block even when the journal holds no (or few) recommendations.
     Meta {
         id_base: u64,
+    },
+    /// The wake schedule computed at the end of a tick. Journaled only
+    /// when it changes, so a recovered store hands the fleet driver the
+    /// exact due-time index the crashed process was operating under.
+    Schedule {
+        database: String,
+        schedule: WakeSchedule,
     },
 }
 
@@ -89,6 +97,8 @@ pub struct StateStore {
     next_id: u64,
     id_base: u64,
     journal: Vec<String>,
+    /// Last recorded wake schedule per database (journaled on change).
+    schedules: BTreeMap<String, WakeSchedule>,
     last_recovery: Option<RecoveryReport>,
     /// Cumulative chaos counters (survive across recoveries).
     recoveries: u64,
@@ -160,6 +170,29 @@ impl StateStore {
         }
         self.journal_upsert(&snapshot);
         Some(out)
+    }
+
+    /// Record a database's end-of-tick wake schedule. Journaled only
+    /// when it differs from the last recorded one: a no-op tick
+    /// recomputes an identical schedule and must not grow the journal
+    /// (the sparse/dense equivalence proof leans on this).
+    pub fn record_schedule(&mut self, database: &str, schedule: &WakeSchedule) {
+        if self.schedules.get(database) == Some(schedule) {
+            return;
+        }
+        let line = serde_json::to_string(&JournalEntry::Schedule {
+            database: database.to_string(),
+            schedule: *schedule,
+        })
+        .expect("schedule serializes");
+        self.journal.push(frame(&line));
+        self.schedules.insert(database.to_string(), *schedule);
+    }
+
+    /// The last recorded wake schedule for a database (journal-backed:
+    /// survives [`StateStore::crash_and_recover`]).
+    pub fn schedule(&self, database: &str) -> Option<&WakeSchedule> {
+        self.schedules.get(database)
     }
 
     /// All recommendations for one database.
@@ -265,6 +298,9 @@ impl StateStore {
                 JournalEntry::Meta { id_base } => {
                     s.id_base = s.id_base.max(id_base);
                 }
+                JournalEntry::Schedule { database, schedule } => {
+                    s.schedules.insert(database, schedule);
+                }
             }
             good += 1;
         }
@@ -288,6 +324,13 @@ impl StateStore {
             })
             .collect();
         for (id, phase, at) in mid {
+            // The re-park gives the reco a retry deadline the journaled
+            // schedule never saw — that schedule is stale now, and a
+            // sparse driver trusting it could sleep through the retry.
+            // Dropping it forces a conservative wake-next-tick.
+            if let Some(db) = s.recos.get(&id).map(|r| r.database.clone()) {
+                s.schedules.remove(&db);
+            }
             s.update(id, |r| {
                 let _ = r.enter_retry(phase, at, "re-parked by crash recovery");
             });
@@ -310,6 +353,7 @@ impl StateStore {
         self.next_id = recovered.next_id;
         self.id_base = recovered.id_base;
         self.journal = recovered.journal;
+        self.schedules = recovered.schedules;
         self.recoveries += 1;
         self.truncated_total += report.truncated as u64;
         self.reparked_total += report.reparked.len() as u64;

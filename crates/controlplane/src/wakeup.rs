@@ -1,0 +1,140 @@
+//! Deterministic wakeup index for the sparse fleet scheduler.
+//!
+//! A min-heap keyed `(due_tick, tenant_index)`: a fleet step pops
+//! exactly the tenants whose control plane has due work, in ascending
+//! `(due, index)` order, so the set of executed control ticks — and the
+//! order the serial driver visits them in — is a pure function of the
+//! schedules, never of thread timing. Rescheduling a tenant does not
+//! search the heap; the old entry goes stale and is discarded lazily on
+//! pop (`current` holds the authoritative due tick per tenant).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel: the tenant never needs another control tick.
+pub const NEVER: u64 = u64::MAX;
+
+/// The due-time index. Tick indices are plain `u64`s on the fleet
+/// driver's tick grid.
+#[derive(Debug)]
+pub struct WakeupHeap {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Authoritative due tick per tenant; heap entries that disagree are
+    /// stale and dropped on pop.
+    current: Vec<u64>,
+}
+
+impl WakeupHeap {
+    /// A heap for `tenants` tenants, all initially due at tick 0 (every
+    /// tenant's first control tick must run: there is no schedule yet).
+    pub fn new(tenants: usize) -> WakeupHeap {
+        let mut h = WakeupHeap {
+            heap: BinaryHeap::with_capacity(tenants),
+            current: vec![NEVER; tenants],
+        };
+        for i in 0..tenants {
+            h.schedule(i, 0);
+        }
+        h
+    }
+
+    /// (Re)schedule a tenant's next control tick. [`NEVER`] parks the
+    /// tenant without pushing a heap entry.
+    pub fn schedule(&mut self, tenant: usize, due_tick: u64) {
+        self.current[tenant] = due_tick;
+        if due_tick != NEVER {
+            self.heap.push(Reverse((due_tick, tenant)));
+        }
+    }
+
+    /// Pop every tenant due at or before `tick`, in ascending
+    /// `(due_tick, tenant)` order. Each popped tenant is claimed (its
+    /// due tick resets to [`NEVER`]) — the caller reschedules it after
+    /// running the control tick.
+    pub fn pop_due(&mut self, tick: u64) -> Vec<usize> {
+        let mut due = Vec::new();
+        while let Some(&Reverse((t, i))) = self.heap.peek() {
+            if t > tick {
+                break;
+            }
+            self.heap.pop();
+            // Claim only entries that still speak for the tenant.
+            if self.current[i] == t {
+                self.current[i] = NEVER;
+                due.push(i);
+            }
+        }
+        due
+    }
+
+    /// The authoritative due tick for one tenant ([`NEVER`] = parked).
+    pub fn due_tick(&self, tenant: usize) -> u64 {
+        self.current[tenant]
+    }
+
+    /// Live (non-stale) scheduled tenants.
+    pub fn scheduled(&self) -> usize {
+        self.current.iter().filter(|&&t| t != NEVER).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_due_then_index_order() {
+        let mut h = WakeupHeap::new(4);
+        assert_eq!(h.pop_due(0), vec![0, 1, 2, 3], "everyone starts due");
+        h.schedule(2, 5);
+        h.schedule(0, 5);
+        h.schedule(1, 3);
+        h.schedule(3, 9);
+        assert_eq!(h.pop_due(2), Vec::<usize>::new());
+        assert_eq!(h.pop_due(5), vec![1, 0, 2], "ties break by index");
+        assert_eq!(h.scheduled(), 1);
+        assert_eq!(h.pop_due(100), vec![3]);
+        assert_eq!(h.scheduled(), 0);
+    }
+
+    #[test]
+    fn reschedule_invalidates_stale_entries() {
+        let mut h = WakeupHeap::new(2);
+        h.pop_due(0);
+        h.schedule(0, 4);
+        h.schedule(0, 2); // moved earlier: tick-4 entry is now stale
+        assert_eq!(h.pop_due(2), vec![0]);
+        assert_eq!(h.pop_due(4), Vec::<usize>::new(), "stale entry discarded");
+
+        h.schedule(1, 3);
+        h.schedule(1, 7); // moved later: tick-3 entry is now stale
+        assert_eq!(h.pop_due(3), Vec::<usize>::new());
+        assert_eq!(h.due_tick(1), 7);
+        assert_eq!(h.pop_due(7), vec![1]);
+    }
+
+    #[test]
+    fn never_parks_without_heap_garbage() {
+        let mut h = WakeupHeap::new(3);
+        h.pop_due(0);
+        h.schedule(0, NEVER);
+        h.schedule(1, NEVER);
+        h.schedule(2, 1);
+        assert_eq!(h.scheduled(), 1);
+        assert_eq!(h.pop_due(u64::MAX - 1), vec![2]);
+        // Near-MAX due ticks are ordinary values, not overflow hazards.
+        h.schedule(0, u64::MAX - 1);
+        assert_eq!(h.pop_due(u64::MAX - 1), vec![0]);
+        assert_eq!(h.pop_due(u64::MAX), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn popping_claims_the_tenant_until_rescheduled() {
+        let mut h = WakeupHeap::new(1);
+        assert_eq!(h.pop_due(0), vec![0]);
+        assert_eq!(h.due_tick(0), NEVER);
+        assert_eq!(h.pop_due(10), Vec::<usize>::new());
+        h.schedule(0, 10);
+        assert_eq!(h.pop_due(10), vec![0]);
+    }
+}

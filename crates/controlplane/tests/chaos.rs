@@ -22,7 +22,7 @@
 use controlplane::state::RecoSubState;
 use controlplane::{
     ControlPlane, EventKind, FaultKind, FaultPoint, FleetDriver, FleetDriverConfig, ManagedDb,
-    PlanePolicy, RecoId, RecoState, RetryPolicy, StateStore, TenantScript,
+    PlanePolicy, RecoId, RecoState, RetryPolicy, SchedulingMode, StateStore, TenantScript,
 };
 use sqlmini::clock::{Duration, Timestamp};
 use sqlmini::engine::ServiceTier;
@@ -35,6 +35,17 @@ fn chaos_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xC0FFEE)
+}
+
+/// Scheduling mode for the fleet-driver chaos tests. CI's chaos matrix
+/// sweeps `FLEET_SCHED=dense|sparse`; unset falls back to the driver
+/// default, so the whole suite runs under whichever mode ships.
+fn sched_mode() -> SchedulingMode {
+    match std::env::var("FLEET_SCHED").as_deref() {
+        Ok("dense") => SchedulingMode::Dense,
+        Ok("sparse") => SchedulingMode::Sparse,
+        _ => SchedulingMode::default(),
+    }
 }
 
 fn fast_policy() -> PlanePolicy {
@@ -95,6 +106,7 @@ fn crash_sweep_after_every_write_matches_uncrashed_run() {
         fault_seed: Some(seed),
         fault_transient_prob: 0.15,
         fault_fatal_prob: 0.01,
+        scheduling: sched_mode(),
         ..FleetDriverConfig::default()
     };
     let fleet = small_fleet(16, seed);
@@ -259,6 +271,7 @@ fn journal_tears_during_live_run_park_in_retry_not_corruption() {
             count: 6,
             kind: FaultKind::Transient,
         }],
+        scheduling: sched_mode(),
         ..FleetDriverConfig::default()
     });
     let report = driver.run(small_fleet(2, seed), 24, 1);
@@ -287,6 +300,7 @@ fn poisoned_tenant_is_isolated_from_the_fleet() {
     let fleet = small_fleet(8, seed);
     let clean_cfg = FleetDriverConfig {
         policy: fast_policy(),
+        scheduling: sched_mode(),
         ..FleetDriverConfig::default()
     };
     let poisoned_cfg = FleetDriverConfig {
@@ -328,6 +342,14 @@ fn poisoned_tenant_is_isolated_from_the_fleet() {
 #[test]
 fn quarantine_breaker_trips_and_replays_deterministically() {
     let seed = chaos_seed();
+    // Pinned to dense: the script arms JournalTear, which is probed once
+    // per *executed* control pass, and the breaker wants the three tears
+    // on consecutive ticks. Sparse mode legitimately skips passes in
+    // between (the documented scripted-JournalTear divergence), so the
+    // consecutive-tick premise only holds on the dense grid. The
+    // breaker-under-sparse interaction is pinned by the driver's own
+    // `sparse_serial_heap_matches_sparse_parallel` test with stochastic
+    // faults, whose timing is mode-independent.
     let cfg = FleetDriverConfig {
         policy: fast_policy(),
         quarantine_threshold: 3,
@@ -338,6 +360,7 @@ fn quarantine_breaker_trips_and_replays_deterministically() {
             count: 3,
             kind: FaultKind::Transient,
         }],
+        scheduling: SchedulingMode::Dense,
         ..FleetDriverConfig::default()
     };
     let fleet = small_fleet(4, seed);
@@ -422,8 +445,8 @@ fn stuck_recommendation_raises_incident_end_to_end() {
 }
 
 /// Retries honor the exponential-backoff window: a parked retry must not
-/// fire on the next pass, must emit backoff-wait telemetry while it
-/// waits, and must dwell in Retry at least the un-jittered-minimum
+/// fire on the next pass, must emit backoff-wait telemetry when it
+/// parks, and must dwell in Retry at least the un-jittered-minimum
 /// delay before resuming.
 #[test]
 fn retries_honor_backoff_windows() {
@@ -456,8 +479,8 @@ fn retries_honor_backoff_windows() {
         "the scripted fault must fire"
     );
     assert!(
-        plane.telemetry.count(EventKind::RetryBackoffWait) >= 3,
-        "hourly ticks inside a 4h backoff window must report waits"
+        plane.telemetry.count(EventKind::RetryBackoffWait) >= 1,
+        "parking a transient failure must report its backoff wait"
     );
     assert!(
         plane.telemetry.count(EventKind::ImplementSucceeded) >= 1,
@@ -479,4 +502,91 @@ fn retries_honor_backoff_windows() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sparse-scheduler crash consistency: the wakeup schedule itself is
+// journaled state and must survive a crash exactly.
+// ---------------------------------------------------------------------
+
+/// After every tick, replaying the journal from scratch must rebuild
+/// the exact `WakeSchedule` the live plane just computed — crashing at
+/// any tick boundary loses no scheduling information. Scripted
+/// transient faults keep the retry stage busy so the schedule cycles
+/// through At/NextTick/Idle shapes instead of staying trivial.
+#[test]
+fn recorded_wake_schedules_recover_exactly() {
+    let (mut mdb, model, mut runner) = one_managed(21);
+    let mut plane = ControlPlane::new(fast_policy());
+    plane
+        .faults
+        .script(FaultPoint::IndexBuild, 2, FaultKind::Transient);
+    let name = mdb.db.name.clone();
+    for tick in 0..30 {
+        runner.run_slice_into(
+            &mut mdb.db,
+            &model,
+            Duration::from_hours(1),
+            &mut Default::default(),
+        );
+        let live = plane.tick(&mut mdb);
+        let (recovered, report) = StateStore::recovered_from(plane.store.journal_lines().to_vec());
+        // Tick boundaries are quiescent points: nothing is mid-flight,
+        // so recovery reparks nothing and the recorded schedule stands.
+        assert!(
+            report.reparked.is_empty(),
+            "tick {tick}: tick-boundary recovery must not repark"
+        );
+        assert_eq!(
+            recovered.schedule(&name),
+            Some(&live),
+            "tick {tick}: recovered wake schedule drifted from the live one"
+        );
+    }
+}
+
+/// The full sparse pipeline under crash sweep: an 8-tenant sparse run
+/// that crash-recovers every tenant's store after every journal write
+/// must end byte-identical to the uncrashed sparse run — i.e. the
+/// wakeup heap reconstructed from recovered `WakeSchedule`s replays the
+/// same skips — and both must match the dense oracle.
+#[test]
+fn sparse_crash_sweep_recovers_wakeups_identically() {
+    let seed = chaos_seed();
+    let base = FleetDriverConfig {
+        policy: fast_policy(),
+        fault_seed: Some(seed),
+        fault_transient_prob: 0.15,
+        fault_fatal_prob: 0.01,
+        scheduling: SchedulingMode::Sparse,
+        ..FleetDriverConfig::default()
+    };
+    let fleet = small_fleet(8, seed);
+    let uncrashed = FleetDriver::new(base.clone()).run(fleet.clone(), 20, 1);
+    let swept = FleetDriver::new(FleetDriverConfig {
+        crash_every_writes: Some(1),
+        ..base.clone()
+    })
+    .run(fleet.clone(), 20, 1);
+    assert_eq!(
+        uncrashed.canonical_string(),
+        swept.canonical_string(),
+        "crash-recovery must reconstruct the sparse wakeup schedule exactly"
+    );
+    assert_eq!(
+        uncrashed.control_ticks_skipped(),
+        swept.control_ticks_skipped(),
+        "recovered schedules must skip the same control passes"
+    );
+    assert!(
+        uncrashed.control_ticks_skipped() > 0,
+        "the scenario must actually exercise sparse skipping"
+    );
+    // And the sparse runs agree with the dense oracle.
+    let dense = FleetDriver::new(FleetDriverConfig {
+        scheduling: SchedulingMode::Dense,
+        ..base
+    })
+    .run(fleet, 20, 1);
+    assert_eq!(uncrashed.canonical_string(), dense.canonical_string());
 }

@@ -115,7 +115,8 @@ fn snapshot(seed: u64) -> String {
     drive(&mut plane, &mut mdb, &tpl, 10, seed ^ 0xABCD);
     // Phase 3: a second hot query appears; its recommendation stays
     // Active (auto-implement is off), populating list + export script.
-    for h in 0..6u64 {
+    // Long enough for three analyses to snapshot the missing index.
+    for h in 0..10u64 {
         for i in 0..30 {
             mdb.db
                 .execute(&tpl2, &[Value::Float(((h * 30 + i) % 900) as f64)])

@@ -69,7 +69,11 @@ impl IndexCandidate {
     /// Deterministic, human-recognizable name following the service's
     /// naming scheme for auto-created indexes.
     pub fn index_name(&self) -> String {
-        let keys: Vec<String> = self.key_columns.iter().map(|c| format!("c{}", c.0)).collect();
+        let keys: Vec<String> = self
+            .key_columns
+            .iter()
+            .map(|c| format!("c{}", c.0))
+            .collect();
         format!("auto_ix_t{}_{}", self.table.0, keys.join("_"))
     }
 
@@ -93,9 +97,11 @@ impl IndexCandidate {
         }
         let prefix_ok = self.key_columns.len() <= existing.key_columns.len()
             && existing.key_columns[..self.key_columns.len()] == self.key_columns[..];
-        prefix_ok && self.included_columns.iter().all(|c| {
-            existing.key_columns.contains(c) || existing.included_columns.contains(c)
-        })
+        prefix_ok
+            && self
+                .included_columns
+                .iter()
+                .all(|c| existing.key_columns.contains(c) || existing.included_columns.contains(c))
     }
 }
 

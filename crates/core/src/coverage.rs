@@ -73,7 +73,10 @@ mod tests {
                 ],
             ))
             .unwrap();
-        db.load_rows(t, (0..1000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]));
+        db.load_rows(
+            t,
+            (0..1000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]),
+        );
         db.rebuild_stats(t);
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::cmp(ColumnId(1), CmpOp::Eq, 3i64)];
@@ -137,7 +140,13 @@ mod tests {
     fn empty_window_is_zero() {
         let (db, sel, _) = db();
         assert_eq!(
-            workload_coverage(&db, &[sel.query_id()], Metric::CpuTime, Timestamp(0), Timestamp(1)),
+            workload_coverage(
+                &db,
+                &[sel.query_id()],
+                Metric::CpuTime,
+                Timestamp(0),
+                Timestamp(1)
+            ),
             0.0
         );
     }

@@ -76,9 +76,8 @@ pub fn recommend_drops(
         .map(|(id, d)| (id, d.clone()))
         .collect();
 
-    let protected = |def: &sqlmini::schema::IndexDef| {
-        def.hinted || def.origin == IndexOrigin::Constraint
-    };
+    let protected =
+        |def: &sqlmini::schema::IndexDef| def.hinted || def.origin == IndexOrigin::Constraint;
 
     // Unused analysis.
     if window_complete {
@@ -237,8 +236,13 @@ mod tests {
     #[test]
     fn used_index_not_flagged() {
         let (mut db, t) = db();
-        db.create_index(IndexDef::new("live", t, vec![ColumnId(1)], vec![ColumnId(0)]))
-            .unwrap();
+        db.create_index(IndexDef::new(
+            "live",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0)],
+        ))
+        .unwrap();
         churn(&mut db, t, 20);
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::cmp(ColumnId(1), CmpOp::Eq, 5i64)];
@@ -317,8 +321,13 @@ mod tests {
         let (mut db, t) = db();
         db.create_index(IndexDef::new("hinted_dup", t, vec![ColumnId(1)], vec![]).hinted())
             .unwrap();
-        db.create_index(IndexDef::new("plain_dup", t, vec![ColumnId(1)], vec![ColumnId(0)]))
-            .unwrap();
+        db.create_index(IndexDef::new(
+            "plain_dup",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0)],
+        ))
+        .unwrap();
         let props = recommend_drops(&db, &DropConfig::default(), Timestamp::EPOCH);
         // Even though plain_dup covers more, the hinted one must be kept.
         assert_eq!(props.len(), 1);

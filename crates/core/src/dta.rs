@@ -216,8 +216,7 @@ fn candidates_for(item: &WorkItem) -> Vec<IndexCandidate> {
             // Group-riding: group columns as keys, aggregates included.
             if !q.group_by.is_empty() {
                 let keys = q.group_by.clone();
-                let includes: Vec<ColumnId> =
-                    q.aggregates.iter().map(|(_, c)| *c).collect();
+                let includes: Vec<ColumnId> = q.aggregates.iter().map(|(_, c)| *c).collect();
                 push(q.table, keys, includes);
             }
             // Join: inner-side index on the join key (enables INLJ).
@@ -256,15 +255,16 @@ fn candidates_for(item: &WorkItem) -> Vec<IndexCandidate> {
 /// (§5.3.2: BULK INSERT → INSERT).
 fn rewrite_for_costing(template: &QueryTemplate) -> Option<(QueryTemplate, f64)> {
     match &template.statement {
-        Statement::BulkInsert { table, values, rows } => {
+        Statement::BulkInsert {
+            table,
+            values,
+            rows,
+        } => {
             let stmt = Statement::Insert {
                 table: *table,
                 values: values.clone(),
             };
-            Some((
-                QueryTemplate::new(stmt, template.n_params),
-                *rows as f64,
-            ))
+            Some((QueryTemplate::new(stmt, template.n_params), *rows as f64))
         }
         _ => None,
     }
@@ -292,10 +292,7 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
             skipped.push((*qid, SkipReason::NoTemplate));
             continue;
         };
-        let weight = db
-            .query_store()
-            .query_stats(*qid, from, now)
-            .count() as f64;
+        let weight = db.query_store().query_stats(*qid, from, now).count() as f64;
         if info.template.costable() {
             work.push(WorkItem {
                 qid: *qid,
@@ -480,8 +477,7 @@ pub fn tune(db: &mut Database, cfg: &DtaConfig) -> DtaReport {
         .filter(|(_, c)| c.benefit > 0.0)
         .collect();
     // Merge compatible candidates.
-    let merged: Vec<IndexCandidate> =
-        merge_candidates(indexed.drain(..).map(|(_, c)| c).collect());
+    let merged: Vec<IndexCandidate> = merge_candidates(indexed.drain(..).map(|(_, c)| c).collect());
 
     // ---- Greedy workload-level enumeration ----------------------------
     // Sizes are pure catalog arithmetic; estimate once per candidate
@@ -674,11 +670,9 @@ fn named_def(c: &IndexCandidate, salt: usize) -> IndexDef {
 
 fn estimate_size(db: &Database, c: &IndexCandidate) -> u64 {
     match db.catalog().table(c.table) {
-        Ok(tdef) => SecondaryIndex::estimate_size_bytes(
-            &c.to_index_def(),
-            tdef,
-            db.table_rows(c.table),
-        ),
+        Ok(tdef) => {
+            SecondaryIndex::estimate_size_bytes(&c.to_index_def(), tdef, db.table_rows(c.table))
+        }
         Err(_) => 0,
     }
 }
@@ -748,7 +742,11 @@ mod tests {
             }
             _ => panic!(),
         }
-        assert!(report.improvement_frac() > 0.5, "{}", report.improvement_frac());
+        assert!(
+            report.improvement_frac() > 0.5,
+            "{}",
+            report.improvement_frac()
+        );
         assert!(report.optimizer_calls > 0);
     }
 
@@ -891,8 +889,8 @@ mod tests {
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::param(ColumnId(1), CmpOp::Eq, 0)];
         q.projection = vec![ColumnId(3)];
-        let bad = QueryTemplate::new(Statement::Select(q), 1)
-            .with_fidelity(TextFidelity::Incomplete);
+        let bad =
+            QueryTemplate::new(Statement::Select(q), 1).with_fidelity(TextFidelity::Incomplete);
         for i in 0..40 {
             db.execute(&bad, &[Value::Int(i % 500)]).unwrap();
         }
@@ -904,7 +902,8 @@ mod tests {
         assert!(!report.recommendations.is_empty());
         let covers_c3 = report.recommendations.iter().any(|r| match &r.action {
             RecoAction::CreateIndex { def } => {
-                def.key_columns.contains(&ColumnId(3)) || def.included_columns.contains(&ColumnId(3))
+                def.key_columns.contains(&ColumnId(3))
+                    || def.included_columns.contains(&ColumnId(3))
             }
             _ => false,
         });
@@ -928,7 +927,13 @@ mod tests {
             .unwrap();
         db.load_rows(
             t2,
-            (0..30_000i64).map(|i| vec![Value::Int(i % 20_000), Value::Int(i % 900), Value::Int(i % 7)]),
+            (0..30_000i64).map(|i| {
+                vec![
+                    Value::Int(i % 20_000),
+                    Value::Int(i % 900),
+                    Value::Int(i % 7),
+                ]
+            }),
         );
         db.rebuild_stats(t2);
         run_select(&mut db, t, 40);
@@ -973,8 +978,8 @@ mod tests {
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::param(ColumnId(2), CmpOp::Eq, 0)];
         q.projection = vec![ColumnId(0)];
-        let bad = QueryTemplate::new(Statement::Select(q), 1)
-            .with_fidelity(TextFidelity::Incomplete);
+        let bad =
+            QueryTemplate::new(Statement::Select(q), 1).with_fidelity(TextFidelity::Incomplete);
         for i in 0..20 {
             db.execute(&bad, &[Value::Int(i % 5)]).unwrap();
         }
@@ -1061,9 +1066,7 @@ mod tests {
         // At least one recommendation must land on the inner (customers)
         // table's join column — something MI can never produce.
         let has_join_index = report.recommendations.iter().any(|r| match &r.action {
-            RecoAction::CreateIndex { def } => {
-                def.table == ct && def.key_columns[0] == ColumnId(0)
-            }
+            RecoAction::CreateIndex { def } => def.table == ct && def.key_columns[0] == ColumnId(0),
             _ => false,
         });
         assert!(has_join_index, "{:?}", report.recommendations);

@@ -72,9 +72,7 @@ pub fn merge_candidates(mut cands: Vec<IndexCandidate>) -> Vec<IndexCandidate> {
                     // Profitable if the merged benefit beats the larger of
                     // the two (we free a slot and keep most of both).
                     if m.benefit >= cands[i].benefit.max(cands[j].benefit)
-                        && best
-                            .as_ref()
-                            .map_or(true, |(_, _, b)| m.benefit > b.benefit)
+                        && best.as_ref().is_none_or(|(_, _, b)| m.benefit > b.benefit)
                     {
                         best = Some((i, j, m));
                     }

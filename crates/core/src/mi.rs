@@ -231,7 +231,9 @@ pub fn recommend(
         .map(|c| {
             let size = estimate_size(db, &c);
             Recommendation {
-                action: RecoAction::CreateIndex { def: c.to_index_def() },
+                action: RecoAction::CreateIndex {
+                    def: c.to_index_def(),
+                },
                 source: RecoSource::MissingIndex,
                 estimated_benefit: c.benefit,
                 estimated_improvement: (c.avg_impact_pct / 100.0).clamp(0.0, 1.0),
@@ -246,11 +248,9 @@ pub fn recommend(
 
 fn estimate_size(db: &Database, c: &IndexCandidate) -> u64 {
     match db.catalog().table(c.table) {
-        Ok(tdef) => SecondaryIndex::estimate_size_bytes(
-            &c.to_index_def(),
-            tdef,
-            db.table_rows(c.table),
-        ),
+        Ok(tdef) => {
+            SecondaryIndex::estimate_size_bytes(&c.to_index_def(), tdef, db.table_rows(c.table))
+        }
         Err(_) => 0,
     }
 }
@@ -298,7 +298,8 @@ mod tests {
     fn accumulate(db: &mut Database, tpl: &QueryTemplate, store: &mut MiSnapshotStore, hours: u64) {
         for h in 0..hours {
             for i in 0..20 {
-                db.execute(tpl, &[Value::Int(((h * 20 + i) % 400) as i64)]).unwrap();
+                db.execute(tpl, &[Value::Int(((h * 20 + i) % 400) as i64)])
+                    .unwrap();
             }
             db.clock().advance(Duration::from_hours(1));
             store.take_snapshot(db);
@@ -310,12 +311,13 @@ mod tests {
         let (mut db, tpl, t) = db_with_workload();
         let mut store = MiSnapshotStore::new();
         accumulate(&mut db, &tpl, &mut store, 6);
-        let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
-        assert_eq!(
-            analysis.recommendations.len(),
-            1,
-            "analysis: {analysis:?}"
+        let analysis = recommend(
+            &db,
+            &store,
+            &MiConfig::default(),
+            &ImpactClassifier::default(),
         );
+        assert_eq!(analysis.recommendations.len(), 1, "analysis: {analysis:?}");
         let r = &analysis.recommendations[0];
         match &r.action {
             RecoAction::CreateIndex { def } => {
@@ -333,7 +335,14 @@ mod tests {
         let (mut db, tpl, _) = db_with_workload();
         let mut store = MiSnapshotStore::new();
         accumulate(&mut db, &tpl, &mut store, 3);
-        let before_reset = store.series.values().next().unwrap().last().unwrap().cum_impact;
+        let before_reset = store
+            .series
+            .values()
+            .next()
+            .unwrap()
+            .last()
+            .unwrap()
+            .cum_impact;
         db.restart(); // wipes the DMV
         accumulate(&mut db, &tpl, &mut store, 3);
         let series = store.series.values().next().unwrap();
@@ -347,7 +356,12 @@ mod tests {
         for w in series.windows(2) {
             assert!(w[1].cum_impact + 1e-9 >= w[0].cum_impact);
         }
-        let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+        let analysis = recommend(
+            &db,
+            &store,
+            &MiConfig::default(),
+            &ImpactClassifier::default(),
+        );
         assert_eq!(analysis.recommendations.len(), 1);
     }
 
@@ -363,7 +377,12 @@ mod tests {
         store.take_snapshot(&db);
         db.clock().advance(Duration::from_hours(1));
         store.take_snapshot(&db);
-        let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+        let analysis = recommend(
+            &db,
+            &store,
+            &MiConfig::default(),
+            &ImpactClassifier::default(),
+        );
         assert!(analysis.recommendations.is_empty());
         assert_eq!(analysis.filtered_few_seeks, 1);
     }
@@ -381,7 +400,12 @@ mod tests {
             vec![ColumnId(0), ColumnId(2)],
         ))
         .unwrap();
-        let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+        let analysis = recommend(
+            &db,
+            &store,
+            &MiConfig::default(),
+            &ImpactClassifier::default(),
+        );
         assert!(analysis.recommendations.is_empty(), "{analysis:?}");
         assert_eq!(analysis.filtered_existing, 1);
     }
@@ -396,7 +420,12 @@ mod tests {
             db.clock().advance(Duration::from_hours(1));
             store.take_snapshot(&db);
         }
-        let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+        let analysis = recommend(
+            &db,
+            &store,
+            &MiConfig::default(),
+            &ImpactClassifier::default(),
+        );
         assert!(
             analysis.recommendations.is_empty(),
             "flat-lined candidate must fail the slope test: {analysis:?}"

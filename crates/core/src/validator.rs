@@ -155,9 +155,8 @@ pub fn validate(
         if before_plans.is_empty() || after_plans.is_empty() {
             continue;
         }
-        let plan_refs_index = |p: &sqlmini::plan::PlanId| {
-            qs.plan_index_refs(*p).iter().any(|n| n == index_name)
-        };
+        let plan_refs_index =
+            |p: &sqlmini::plan::PlanId| qs.plan_index_refs(*p).iter().any(|n| n == index_name);
 
         // Plan-change gating (§6 rule 2).
         let qualifies = match kind {
@@ -392,8 +391,13 @@ mod tests {
         let tpl = select_tpl(t);
         let before = run_phase(&mut db, &tpl, 20);
         // Index on a column the query doesn't filter on: plan unchanged.
-        db.create_index(IndexDef::new("auto_unrelated", t, vec![ColumnId(2)], vec![]))
-            .unwrap();
+        db.create_index(IndexDef::new(
+            "auto_unrelated",
+            t,
+            vec![ColumnId(2)],
+            vec![],
+        ))
+        .unwrap();
         let after = run_phase(&mut db, &tpl, 20);
         let out = validate(
             &db,
@@ -423,7 +427,7 @@ mod tests {
         // dominates.
         db.create_index(IndexDef::new("ix_id", t, vec![ColumnId(0)], vec![]))
             .unwrap();
-        let mut run_updates = |db: &mut Database, n: usize| {
+        let run_updates = |db: &mut Database, n: usize| {
             let start = db.clock().now();
             for i in 0..n {
                 db.execute(
@@ -528,15 +532,12 @@ mod tests {
             },
             2,
         );
-        let mut run_mixed = |db: &mut Database, n: usize| {
+        let run_mixed = |db: &mut Database, n: usize| {
             let start = db.clock().now();
             for i in 0..n {
                 db.execute(&good, &[Value::Int((i % 300) as i64)]).unwrap();
-                db.execute(
-                    &upd,
-                    &[Value::Int((i % 300) as i64), Value::Float(1.0)],
-                )
-                .unwrap();
+                db.execute(&upd, &[Value::Int((i % 300) as i64), Value::Float(1.0)])
+                    .unwrap();
                 db.clock().advance(Duration::from_mins(2));
             }
             (start, db.clock().now())

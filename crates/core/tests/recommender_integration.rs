@@ -3,8 +3,8 @@
 
 use autoindex::classifier::ImpactClassifier;
 use autoindex::coverage::{mi_coverage, workload_coverage};
-use autoindex::dta::{tune, DtaConfig};
 use autoindex::drops::{recommend_drops, DropConfig};
+use autoindex::dta::{tune, DtaConfig};
 use autoindex::mi::{recommend, MiConfig, MiSnapshotStore};
 use autoindex::RecoAction;
 use sqlmini::clock::{Duration, Timestamp};
@@ -33,8 +33,16 @@ fn mi_pipeline_on_generated_workload() {
         t.runner.run(&mut t.db, &t.model, Duration::from_hours(1));
         store.take_snapshot(&t.db);
     }
-    assert!(store.tracked() > 0, "generated workload must create MI demand");
-    let analysis = recommend(&t.db, &store, &MiConfig::default(), &ImpactClassifier::default());
+    assert!(
+        store.tracked() > 0,
+        "generated workload must create MI demand"
+    );
+    let analysis = recommend(
+        &t.db,
+        &store,
+        &MiConfig::default(),
+        &ImpactClassifier::default(),
+    );
     assert!(
         !analysis.recommendations.is_empty(),
         "untuned tenant must yield MI recommendations: {analysis:?}"
@@ -82,7 +90,10 @@ fn dta_session_on_generated_workload_reports_coverage() {
         &t.db,
         &report.analyzed,
         Metric::CpuTime,
-        Timestamp(now.millis().saturating_sub(Duration::from_hours(10).millis())),
+        Timestamp(
+            now.millis()
+                .saturating_sub(Duration::from_hours(10).millis()),
+        ),
         now,
     );
     assert!((recomputed - report.coverage).abs() < 1e-9);
@@ -96,7 +107,12 @@ fn mi_and_dta_converge_on_the_same_hot_tables() {
         t.runner.run(&mut t.db, &t.model, Duration::from_hours(1));
         store.take_snapshot(&t.db);
     }
-    let mi = recommend(&t.db, &store, &MiConfig::default(), &ImpactClassifier::default());
+    let mi = recommend(
+        &t.db,
+        &store,
+        &MiConfig::default(),
+        &ImpactClassifier::default(),
+    );
     let dta = tune(
         &mut t.db,
         &DtaConfig {

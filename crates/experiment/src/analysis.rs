@@ -123,7 +123,9 @@ pub fn compare_costs(a: &CostSample, b: &CostSample) -> Option<CostComparison> {
 }
 
 /// The four slices of Figure 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Winner {
     Dta,
     Mi,
@@ -263,7 +265,10 @@ mod tests {
         assert!((improvement_fraction(&baseline, &sample(750.0, 1.0)) - 0.25).abs() < 1e-12);
         assert!((improvement_fraction(&baseline, &sample(1100.0, 1.0)) + 0.1).abs() < 1e-12);
         // A costless baseline yields 0, not NaN/inf.
-        assert_eq!(improvement_fraction(&sample(0.0, 1.0), &sample(5.0, 1.0)), 0.0);
+        assert_eq!(
+            improvement_fraction(&sample(0.0, 1.0), &sample(5.0, 1.0)),
+            0.0
+        );
     }
 
     #[test]

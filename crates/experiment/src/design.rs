@@ -181,12 +181,8 @@ pub fn run_phased_experiment(tenant: &Tenant, cfg: &ExperimentConfig) -> Experim
             FnStep::new("mi-phase", |ctx: &mut ExpCtx| {
                 let mut mi_cfg = ctx.cfg.mi.clone();
                 mi_cfg.max_recommendations = ctx.cfg.k;
-                let analysis = mi_recommend(
-                    &ctx.b,
-                    &ctx.mi_store,
-                    &mi_cfg,
-                    &ImpactClassifier::default(),
-                );
+                let analysis =
+                    mi_recommend(&ctx.b, &ctx.mi_store, &mi_cfg, &ImpactClassifier::default());
                 for r in &analysis.recommendations {
                     if let RecoAction::CreateIndex { def } = &r.action {
                         if let Ok((id, _)) = ctx.b.create_index(def.clone()) {
@@ -327,20 +323,18 @@ mod tests {
     fn primary_is_never_modified() {
         let mut t = tenant(2);
         t.runner.run(&mut t.db, &t.model, Duration::from_hours(4));
-        let idx_before: Vec<String> = t
-            .db
-            .catalog()
-            .indexes()
-            .map(|(_, d)| d.name.clone())
-            .collect();
+        let idx_before: Vec<String> =
+            t.db.catalog()
+                .indexes()
+                .map(|(_, d)| d.name.clone())
+                .collect();
         let rows_before: Vec<u64> = t.table_ids.iter().map(|&x| t.db.table_rows(x)).collect();
         let _ = run_phased_experiment(&t, &quick_cfg(2));
-        let idx_after: Vec<String> = t
-            .db
-            .catalog()
-            .indexes()
-            .map(|(_, d)| d.name.clone())
-            .collect();
+        let idx_after: Vec<String> =
+            t.db.catalog()
+                .indexes()
+                .map(|(_, d)| d.name.clone())
+                .collect();
         let rows_after: Vec<u64> = t.table_ids.iter().map(|&x| t.db.table_rows(x)).collect();
         assert_eq!(idx_before, idx_after);
         assert_eq!(rows_before, rows_after);

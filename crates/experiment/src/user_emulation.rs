@@ -82,8 +82,13 @@ mod tests {
     #[test]
     fn picks_most_used_indexes() {
         let (mut db, t) = db_with_indexes();
-        db.create_index(IndexDef::new("hot", t, vec![ColumnId(1)], vec![ColumnId(0)]))
-            .unwrap();
+        db.create_index(IndexDef::new(
+            "hot",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0)],
+        ))
+        .unwrap();
         db.create_index(IndexDef::new("cold", t, vec![ColumnId(3)], vec![]))
             .unwrap();
         // Exercise only the hot index.
@@ -130,8 +135,13 @@ mod tests {
     fn deterministic_given_seed() {
         let (mut db, t) = db_with_indexes();
         for c in [1u32, 2, 3] {
-            db.create_index(IndexDef::new(format!("ix{c}"), t, vec![ColumnId(c)], vec![]))
-                .unwrap();
+            db.create_index(IndexDef::new(
+                format!("ix{c}"),
+                t,
+                vec![ColumnId(c)],
+                vec![],
+            ))
+            .unwrap();
         }
         let a = select_user_tuning(&db, 3, 2, 11);
         let b = select_user_tuning(&db, 3, 2, 11);

@@ -28,11 +28,14 @@ pub trait Step<C> {
     fn cleanup(&mut self, _ctx: &mut C) {}
 }
 
+type RunFn<C> = Box<dyn FnMut(&mut C) -> Result<(), String>>;
+type CleanupFn<C> = Box<dyn FnMut(&mut C)>;
+
 /// A convenience step built from closures.
 pub struct FnStep<C> {
     name: String,
-    run: Box<dyn FnMut(&mut C) -> Result<(), String>>,
-    cleanup: Option<Box<dyn FnMut(&mut C)>>,
+    run: RunFn<C>,
+    cleanup: Option<CleanupFn<C>>,
 }
 
 impl<C> FnStep<C> {

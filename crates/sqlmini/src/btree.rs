@@ -32,9 +32,7 @@ enum Node<K, V> {
         prev: NodeId,
     },
     /// Slot on the free list.
-    Free {
-        next_free: NodeId,
-    },
+    Free { next_free: NodeId },
 }
 
 /// An in-memory B+ tree mapping `K` to `V`.
@@ -367,7 +365,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
         }
         let (left_sib, right_sib, n_children) = match &self.arena[parent] {
             Node::Internal { children, .. } => (
-                if idx > 0 { Some(children[idx - 1]) } else { None },
+                if idx > 0 {
+                    Some(children[idx - 1])
+                } else {
+                    None
+                },
                 children.get(idx + 1).copied(),
                 children.len(),
             ),
@@ -412,9 +414,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
             }
         } else {
             let (moved_key, moved_child) = match &mut self.arena[left] {
-                Node::Internal { keys, children } => {
-                    (keys.pop().expect("left non-empty"), children.pop().expect("left non-empty"))
-                }
+                Node::Internal { keys, children } => (
+                    keys.pop().expect("left non-empty"),
+                    children.pop().expect("left non-empty"),
+                ),
                 _ => unreachable!(),
             };
             let old_sep = match &mut self.arena[parent] {
@@ -473,10 +476,8 @@ impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
             }
             _ => unreachable!(),
         };
-        let right_node = std::mem::replace(
-            &mut self.arena[right],
-            Node::Free { next_free: NO_NODE },
-        );
+        let right_node =
+            std::mem::replace(&mut self.arena[right], Node::Free { next_free: NO_NODE });
         match (&mut self.arena[left], right_node) {
             (
                 Node::Leaf { entries, next, .. },
@@ -528,10 +529,12 @@ impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
             Bound::Excluded(k) => {
                 let leaf = self.descend_to_leaf(k);
                 let pos = match &self.arena[leaf] {
-                    Node::Leaf { entries, .. } => match entries.binary_search_by(|(ek, _)| ek.cmp(k)) {
-                        Ok(i) => i + 1,
-                        Err(i) => i,
-                    },
+                    Node::Leaf { entries, .. } => {
+                        match entries.binary_search_by(|(ek, _)| ek.cmp(k)) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        }
+                    }
                     _ => unreachable!(),
                 };
                 (leaf, pos)
@@ -576,7 +579,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
         let mut prev_leaf = NO_NODE;
         while leaf != NO_NODE {
             match &self.arena[leaf] {
-                Node::Leaf { entries, next, prev } => {
+                Node::Leaf {
+                    entries,
+                    next,
+                    prev,
+                } => {
                     if *prev != prev_leaf {
                         return Err(format!("leaf {leaf} prev link broken"));
                     }
@@ -596,7 +603,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BTree<K, V> {
             }
         }
         if count != self.len {
-            return Err(format!("len mismatch: counted {count}, recorded {}", self.len));
+            return Err(format!(
+                "len mismatch: counted {count}, recorded {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -745,10 +755,7 @@ mod tests {
             t.range(Bound::Included(&30), Bound::Excluded(&30)).count(),
             0
         );
-        assert_eq!(
-            t.range(Bound::Included(&200), Bound::Unbounded).count(),
-            0
-        );
+        assert_eq!(t.range(Bound::Included(&200), Bound::Unbounded).count(), 0);
     }
 
     #[test]
@@ -789,7 +796,11 @@ mod tests {
             t.insert(i, i);
         }
         // Arena should not have grown much beyond the peak: freed nodes reused.
-        assert!(t.arena.len() <= peak + 2, "arena grew: {} vs {peak}", t.arena.len());
+        assert!(
+            t.arena.len() <= peak + 2,
+            "arena grew: {} vs {peak}",
+            t.arena.len()
+        );
         t.check_invariants().unwrap();
     }
 
@@ -804,7 +815,7 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             let k = x % 300;
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 assert_eq!(t.remove(&k), model.remove(&k));
             } else {
                 assert_eq!(t.insert(k, x), model.insert(k, x));

@@ -93,11 +93,7 @@ impl Database {
         // Validate against the catalog without registering yet.
         let table = def.table;
         let tdef = self.catalog.table(table)?.clone();
-        if self
-            .catalog
-            .indexes()
-            .any(|(_, d)| d.name == def.name)
-        {
+        if self.catalog.indexes().any(|(_, d)| d.name == def.name) {
             return Err(EngineError::Catalog(
                 crate::catalog::CatalogError::DuplicateIndexName(def.name.clone()),
             ));
@@ -209,7 +205,10 @@ mod tests {
                 ],
             ))
             .unwrap();
-        db.load_rows(t, (0..10_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 100)]));
+        db.load_rows(
+            t,
+            (0..10_000i64).map(|i| vec![Value::Int(i), Value::Int(i % 100)]),
+        );
         db.rebuild_stats(t);
         (db, t)
     }
@@ -229,7 +228,7 @@ mod tests {
         assert!(b.total_log_bytes > 0);
         let (id, reconciled) = db.finish_resumable_build(b).unwrap();
         assert!(!reconciled, "no concurrent DML");
-        assert_eq!(db.index_size_bytes(id) > 0, true);
+        assert!(db.index_size_bytes(id) > 0);
         // The index now serves queries.
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::cmp(ColumnId(1), CmpOp::Eq, 7i64)];

@@ -55,7 +55,10 @@ impl Catalog {
     }
 
     pub fn table_by_name(&self, name: &str) -> Option<(TableId, &TableDef)> {
-        self.tables.iter().find(|(_, t)| t.name == name).map(|(id, t)| (*id, t))
+        self.tables
+            .iter()
+            .find(|(_, t)| t.name == name)
+            .map(|(id, t)| (*id, t))
     }
 
     pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
@@ -87,15 +90,22 @@ impl Catalog {
     }
 
     pub fn index_mut(&mut self, id: IndexId) -> Result<&mut IndexDef, CatalogError> {
-        self.indexes.get_mut(&id).ok_or(CatalogError::UnknownIndex(id))
+        self.indexes
+            .get_mut(&id)
+            .ok_or(CatalogError::UnknownIndex(id))
     }
 
     pub fn index_by_name(&self, name: &str) -> Option<(IndexId, &IndexDef)> {
-        self.indexes.iter().find(|(_, i)| i.name == name).map(|(id, i)| (*id, i))
+        self.indexes
+            .iter()
+            .find(|(_, i)| i.name == name)
+            .map(|(id, i)| (*id, i))
     }
 
     pub fn remove_index(&mut self, id: IndexId) -> Result<IndexDef, CatalogError> {
-        self.indexes.remove(&id).ok_or(CatalogError::UnknownIndex(id))
+        self.indexes
+            .remove(&id)
+            .ok_or(CatalogError::UnknownIndex(id))
     }
 
     pub fn indexes(&self) -> impl Iterator<Item = (IndexId, &IndexDef)> {
@@ -161,7 +171,12 @@ mod tests {
         ));
         // Unknown table rejected.
         assert!(matches!(
-            c.add_index(IndexDef::new("ix_b", TableId(99), vec![ColumnId(0)], vec![])),
+            c.add_index(IndexDef::new(
+                "ix_b",
+                TableId(99),
+                vec![ColumnId(0)],
+                vec![]
+            )),
             Err(CatalogError::UnknownTable(_))
         ));
         let removed = c.remove_index(ix).unwrap();

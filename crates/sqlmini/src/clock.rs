@@ -13,7 +13,17 @@ use std::sync::Arc;
 
 /// A point in simulated time, in milliseconds since the simulation epoch.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Timestamp(pub u64);
 
@@ -53,7 +63,17 @@ impl fmt::Display for Timestamp {
 
 /// A span of simulated time, in milliseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Duration(pub u64);
 
@@ -110,11 +130,15 @@ impl fmt::Display for Duration {
     }
 }
 
+// Both additions saturate rather than wrap or panic: scheduling code
+// computes absolute due instants like `entered + delay` and `created_at
+// + expiry`, and a near-u64::MAX operand must clamp to "the end of
+// time" (which simply never comes due), not corrupt a wakeup index.
 impl std::ops::Add<Duration> for Timestamp {
     type Output = Timestamp;
     #[inline]
     fn add(self, d: Duration) -> Timestamp {
-        Timestamp(self.0 + d.0)
+        self.saturating_add(d)
     }
 }
 
@@ -122,7 +146,7 @@ impl std::ops::Add for Duration {
     type Output = Duration;
     #[inline]
     fn add(self, d: Duration) -> Duration {
-        Duration(self.0 + d.0)
+        Duration(self.0.saturating_add(d.0))
     }
 }
 
@@ -235,5 +259,16 @@ mod tests {
         let b = Timestamp(300);
         assert_eq!(b.since(a), Duration(200));
         assert_eq!(a.since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn additions_saturate_near_the_end_of_time() {
+        let t = Timestamp(u64::MAX - 5);
+        assert_eq!(t + Duration::from_hours(1), Timestamp(u64::MAX));
+        assert_eq!(t.saturating_add(Duration(5)), Timestamp(u64::MAX));
+        assert_eq!(Duration(u64::MAX - 1) + Duration(100), Duration(u64::MAX));
+        // Ordinary sums are unchanged.
+        assert_eq!(Timestamp(10) + Duration(5), Timestamp(15));
+        assert_eq!(Duration(10) + Duration(5), Duration(15));
     }
 }

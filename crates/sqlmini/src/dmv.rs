@@ -16,7 +16,9 @@ use crate::schema::{ColumnId, IndexId, TableId};
 use std::collections::BTreeMap;
 
 /// Key identifying one missing-index candidate group.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct MissingIndexKey {
     pub table: TableId,
     pub equality_columns: Vec<ColumnId>,

@@ -203,7 +203,8 @@ pub struct Database {
 impl Database {
     pub fn new(name: impl Into<String>, config: DbConfig, clock: SimClock) -> Database {
         let rng = StdRng::seed_from_u64(config.seed);
-        let query_store = QueryStore::new(config.query_store_interval, config.query_store_retention);
+        let query_store =
+            QueryStore::new(config.query_store_interval, config.query_store_retention);
         Database {
             name: name.into(),
             config,
@@ -346,7 +347,11 @@ impl Database {
     /// Total storage (heaps + indexes) in bytes.
     pub fn storage_bytes(&self) -> u64 {
         self.heaps.values().map(Heap::size_bytes).sum::<u64>()
-            + self.indexes.values().map(SecondaryIndex::size_bytes).sum::<u64>()
+            + self
+                .indexes
+                .values()
+                .map(SecondaryIndex::size_bytes)
+                .sum::<u64>()
     }
 
     // ------------------------------------------------------------------
@@ -435,7 +440,11 @@ impl Database {
         self.finish_execution(template, params, &plan, result, now)
     }
 
-    fn compile(&mut self, stmt: &Statement, params: &[Value]) -> (Plan, Vec<MissingIndexObservation>) {
+    fn compile(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> (Plan, Vec<MissingIndexObservation>) {
         self.optimizer_calls += 1;
         let env = EngineEnv { db: self };
         let r = optimize(&env, stmt, params);
@@ -551,7 +560,9 @@ impl Database {
     fn note_usage(&mut self, plan: &Plan, affected_rows: u64, now: Timestamp) {
         let note_access = |a: &Access, dmv: &mut IndexUsageDmv| match a {
             Access::SeqScan => {}
-            Access::IndexSeek { index, covering, .. } => {
+            Access::IndexSeek {
+                index, covering, ..
+            } => {
                 if let Some(id) = index.real_id() {
                     dmv.note_seek(id, now);
                     if !covering {
@@ -616,7 +627,10 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Create a secondary index online. Returns the build report.
-    pub fn create_index(&mut self, def: IndexDef) -> Result<(IndexId, IndexBuildReport), EngineError> {
+    pub fn create_index(
+        &mut self,
+        def: IndexDef,
+    ) -> Result<(IndexId, IndexBuildReport), EngineError> {
         let table = def.table;
         let tdef = self.catalog.table(table)?.clone();
         let id = self.catalog.add_index(def.clone())?;
@@ -716,7 +730,11 @@ impl PlannerEnv for EngineEnv<'_> {
         self.db.stats.get(&t).expect("planner stats")
     }
     fn heap_pages(&self, t: TableId) -> f64 {
-        self.db.heaps.get(&t).map(|h| h.page_count() as f64).unwrap_or(1.0)
+        self.db
+            .heaps
+            .get(&t)
+            .map(|h| h.page_count() as f64)
+            .unwrap_or(1.0)
     }
     fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
         self.db.index_geoms(t)
@@ -824,7 +842,11 @@ impl PlannerEnv for WhatIfEnv<'_> {
         self.db.stats.get(&t).expect("planner stats")
     }
     fn heap_pages(&self, t: TableId) -> f64 {
-        self.db.heaps.get(&t).map(|h| h.page_count() as f64).unwrap_or(1.0)
+        self.db
+            .heaps
+            .get(&t)
+            .map(|h| h.page_count() as f64)
+            .unwrap_or(1.0)
     }
     fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
         let mut geoms: Vec<IndexGeom> = self
@@ -834,7 +856,7 @@ impl PlannerEnv for WhatIfEnv<'_> {
             .filter(|g| {
                 g.rref
                     .real_id()
-                    .map_or(true, |id| !self.removed.contains(&id))
+                    .is_none_or(|id| !self.removed.contains(&id))
             })
             .collect();
         let rows = self
@@ -921,7 +943,12 @@ mod tests {
         let (mut db, t) = orders_db();
         let tpl = select_customer(t);
         let before = db.execute(&tpl, &[Value::Int(7)]).unwrap();
-        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let def = IndexDef::new(
+            "ix_cust",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0), ColumnId(3)],
+        );
         let (_, report) = db.create_index(def).unwrap();
         assert!(report.index_size_bytes > 0);
         assert!(report.build_duration > Duration::ZERO);
@@ -937,7 +964,12 @@ mod tests {
     fn drop_index_reverts_plan() {
         let (mut db, t) = orders_db();
         let tpl = select_customer(t);
-        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let def = IndexDef::new(
+            "ix_cust",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0), ColumnId(3)],
+        );
         let (id, _) = db.create_index(def).unwrap();
         let with_ix = db.execute(&tpl, &[Value::Int(7)]).unwrap();
         db.drop_index(id).unwrap();
@@ -978,7 +1010,12 @@ mod tests {
         let empty = session.config_fingerprint(&[t]);
         assert_eq!(empty, session.config_fingerprint(&[t]), "deterministic");
 
-        session.add_hypothetical(IndexDef::new("a_0", t, vec![ColumnId(1)], vec![ColumnId(3)]));
+        session.add_hypothetical(IndexDef::new(
+            "a_0",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(3)],
+        ));
         let one = session.config_fingerprint(&[t]);
         assert_ne!(empty, one, "adding an index changes the fingerprint");
         // A second hypothetical on an unrelated table leaves `t`'s view alone.
@@ -989,7 +1026,12 @@ mod tests {
         // fingerprints identically.
         session.clear();
         session.add_hypothetical(IndexDef::new("b_99", other, vec![ColumnId(0)], vec![]));
-        session.add_hypothetical(IndexDef::new("a_42", t, vec![ColumnId(1)], vec![ColumnId(3)]));
+        session.add_hypothetical(IndexDef::new(
+            "a_42",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(3)],
+        ));
         assert_eq!(one, session.config_fingerprint(&[t]));
 
         // Different includes are a different configuration.
@@ -1057,7 +1099,12 @@ mod tests {
     #[test]
     fn usage_dmv_tracks_seeks() {
         let (mut db, t) = orders_db();
-        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let def = IndexDef::new(
+            "ix_cust",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0), ColumnId(3)],
+        );
         let (id, _) = db.create_index(def).unwrap();
         let tpl = select_customer(t);
         for i in 0..5 {
@@ -1072,7 +1119,12 @@ mod tests {
         let mut b = db.fork("b-instance", 999);
         let tpl = select_customer(t);
         // Mutate the fork only.
-        let def = IndexDef::new("ix_cust", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]);
+        let def = IndexDef::new(
+            "ix_cust",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0), ColumnId(3)],
+        );
         b.create_index(def).unwrap();
         assert_eq!(db.catalog().n_indexes(), 0);
         assert_eq!(b.catalog().n_indexes(), 1);
@@ -1109,8 +1161,13 @@ mod tests {
     #[test]
     fn hinted_index_execution_fails_after_drop() {
         let (mut db, t) = orders_db();
-        let def = IndexDef::new("ix_hint", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)])
-            .hinted();
+        let def = IndexDef::new(
+            "ix_hint",
+            t,
+            vec![ColumnId(1)],
+            vec![ColumnId(0), ColumnId(3)],
+        )
+        .hinted();
         let (id, _) = db.create_index(def).unwrap();
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::eq(ColumnId(1), 7i64)];

@@ -119,16 +119,20 @@ fn run_access(
     m: &mut ActualMetrics,
 ) -> Result<Vec<(RowId, Row)>, ExecError> {
     let cm = ctx.cost_model;
-    let tdef = ctx.catalog.table(table).map_err(|_| ExecError::UnknownTable(table))?;
+    let tdef = ctx
+        .catalog
+        .table(table)
+        .map_err(|_| ExecError::UnknownTable(table))?;
     let width = tdef.columns.len();
     match access {
         Access::SeqScan => {
-            let heap = ctx.heaps.get(&table).ok_or(ExecError::UnknownTable(table))?;
+            let heap = ctx
+                .heaps
+                .get(&table)
+                .ok_or(ExecError::UnknownTable(table))?;
             m.add_pages_read(cm, heap.page_count());
-            let rows: Vec<(RowId, Row)> = heap
-                .scan_quiet()
-                .map(|(rid, r)| (rid, r.clone()))
-                .collect();
+            let rows: Vec<(RowId, Row)> =
+                heap.scan_quiet().map(|(rid, r)| (rid, r.clone())).collect();
             m.add_rows_examined(cm, rows.len() as u64);
             Ok(rows)
         }
@@ -139,9 +143,7 @@ fn run_access(
             hi,
             covering,
         } => {
-            let id = index
-                .real_id()
-                .ok_or(ExecError::HypotheticalPlan)?;
+            let id = index.real_id().ok_or(ExecError::HypotheticalPlan)?;
             let ix = ctx
                 .indexes
                 .get(&id)
@@ -171,7 +173,10 @@ fn run_access(
                     })
                     .collect())
             } else {
-                let heap = ctx.heaps.get(&table).ok_or(ExecError::UnknownTable(table))?;
+                let heap = ctx
+                    .heaps
+                    .get(&table)
+                    .ok_or(ExecError::UnknownTable(table))?;
                 let mut out = Vec::with_capacity(res.entries.len());
                 for e in &res.entries {
                     // One bookmark lookup page per row.
@@ -209,7 +214,10 @@ fn run_access(
                     })
                     .collect())
             } else {
-                let heap = ctx.heaps.get(&table).ok_or(ExecError::UnknownTable(table))?;
+                let heap = ctx
+                    .heaps
+                    .get(&table)
+                    .ok_or(ExecError::UnknownTable(table))?;
                 let mut out = Vec::with_capacity(res.entries.len());
                 for e in &res.entries {
                     m.add_pages_read(cm, 1);
@@ -261,8 +269,7 @@ pub fn execute_select(
             let mut out = Vec::new();
             match &jplan.strategy {
                 JoinStrategy::Hash { inner_access } => {
-                    let inner_rows =
-                        run_access(ctx, jspec.table, inner_access, params, &mut m)?;
+                    let inner_rows = run_access(ctx, jspec.table, inner_access, params, &mut m)?;
                     let inner_rows = apply_residual(
                         inner_rows,
                         &jspec.predicates,
@@ -340,12 +347,10 @@ pub fn execute_select(
                             cm,
                             inner_matched.len() as u64 * jspec.predicates.len() as u64,
                         );
-                        for inner in inner_matched.into_iter().filter(|r| {
-                            jspec
-                                .predicates
-                                .iter()
-                                .all(|p| p.matches(r, params))
-                        }) {
+                        for inner in inner_matched
+                            .into_iter()
+                            .filter(|r| jspec.predicates.iter().all(|p| p.matches(r, params)))
+                        {
                             out.push((outer.clone(), Some(inner)));
                         }
                     }
@@ -380,7 +385,10 @@ pub fn execute_select(
                         .map(|c| outer[c.0 as usize].clone())
                         .collect();
                     let states = groups.entry(key).or_insert_with(|| {
-                        q.aggregates.iter().map(|(f, _)| AggState::new(*f)).collect()
+                        q.aggregates
+                            .iter()
+                            .map(|(f, _)| AggState::new(*f))
+                            .collect()
                     });
                     for (st, (_, col)) in states.iter_mut().zip(&q.aggregates) {
                         st.update(&outer[col.0 as usize]);
@@ -446,12 +454,7 @@ pub fn execute_select(
                     .map(|c| outer[c.0 as usize].clone())
                     .collect();
                 if let (Some(jspec), Some(inner)) = (&q.join, inner) {
-                    row.extend(
-                        jspec
-                            .projection
-                            .iter()
-                            .map(|c| inner[c.0 as usize].clone()),
-                    );
+                    row.extend(jspec.projection.iter().map(|c| inner[c.0 as usize].clone()));
                 }
                 row
             })
@@ -464,7 +467,10 @@ pub fn execute_select(
     m.rows_returned = output.len() as u64;
     m.cpu_us += cm.cpu_per_output_row * output.len() as f64;
 
-    Ok(ExecResult { rows: output, metrics: m })
+    Ok(ExecResult {
+        rows: output,
+        metrics: m,
+    })
 }
 
 /// Running state of one aggregate.
@@ -494,10 +500,10 @@ impl AggState {
         }
         self.count += 1;
         self.sum += v.as_f64();
-        if self.min.as_ref().map_or(true, |m| v < m) {
+        if self.min.as_ref().is_none_or(|m| v < m) {
             self.min = Some(v.clone());
         }
-        if self.max.as_ref().map_or(true, |m| v > m) {
+        if self.max.as_ref().is_none_or(|m| v > m) {
             self.max = Some(v.clone());
         }
     }
@@ -531,24 +537,46 @@ pub fn execute_dml(
     match (stmt, plan) {
         (Statement::Insert { table, values }, Plan::Insert { .. }) => {
             insert_one(ctx, *table, values, params, &mut m)?;
-            Ok(ExecResult { rows: vec![], metrics: m })
+            Ok(ExecResult {
+                rows: vec![],
+                metrics: m,
+            })
         }
-        (Statement::BulkInsert { table, values, rows }, Plan::Insert { .. }) => {
+        (
+            Statement::BulkInsert {
+                table,
+                values,
+                rows,
+            },
+            Plan::Insert { .. },
+        ) => {
             for _ in 0..*rows {
                 insert_one(ctx, *table, values, params, &mut m)?;
             }
-            Ok(ExecResult { rows: vec![], metrics: m })
+            Ok(ExecResult {
+                rows: vec![],
+                metrics: m,
+            })
         }
-        (Statement::Update { table, predicates, set }, Plan::Update(dp)) => {
+        (
+            Statement::Update {
+                table,
+                predicates,
+                set,
+            },
+            Plan::Update(dp),
+        ) => {
             let targets = find_targets(ctx, *table, predicates, dp, params, &mut m)?;
-            let ix_ids: Vec<IndexId> =
-                ctx.catalog.indexes_on(*table).map(|(id, _)| id).collect();
+            let ix_ids: Vec<IndexId> = ctx.catalog.indexes_on(*table).map(|(id, _)| id).collect();
             for (rid, old) in targets {
                 let mut new = old.clone();
                 for (c, s) in set {
                     new[c.0 as usize] = s.resolve(params).clone();
                 }
-                let heap = ctx.heaps.get_mut(table).ok_or(ExecError::UnknownTable(*table))?;
+                let heap = ctx
+                    .heaps
+                    .get_mut(table)
+                    .ok_or(ExecError::UnknownTable(*table))?;
                 heap.update(rid, new.clone());
                 m.add_pages_written(cm, 1);
                 for id in &ix_ids {
@@ -559,14 +587,19 @@ pub fn execute_dml(
                 }
                 m.rows_returned += 1;
             }
-            Ok(ExecResult { rows: vec![], metrics: m })
+            Ok(ExecResult {
+                rows: vec![],
+                metrics: m,
+            })
         }
         (Statement::Delete { table, predicates }, Plan::Delete(dp)) => {
             let targets = find_targets(ctx, *table, predicates, dp, params, &mut m)?;
-            let ix_ids: Vec<IndexId> =
-                ctx.catalog.indexes_on(*table).map(|(id, _)| id).collect();
+            let ix_ids: Vec<IndexId> = ctx.catalog.indexes_on(*table).map(|(id, _)| id).collect();
             for (rid, old) in targets {
-                let heap = ctx.heaps.get_mut(table).ok_or(ExecError::UnknownTable(*table))?;
+                let heap = ctx
+                    .heaps
+                    .get_mut(table)
+                    .ok_or(ExecError::UnknownTable(*table))?;
                 heap.delete(rid);
                 m.add_pages_written(cm, 1);
                 for id in &ix_ids {
@@ -577,7 +610,10 @@ pub fn execute_dml(
                 }
                 m.rows_returned += 1;
             }
-            Ok(ExecResult { rows: vec![], metrics: m })
+            Ok(ExecResult {
+                rows: vec![],
+                metrics: m,
+            })
         }
         _ => Err(ExecError::HypotheticalPlan),
     }
@@ -592,7 +628,10 @@ fn insert_one(
 ) -> Result<(), ExecError> {
     let cm = ctx.cost_model;
     let row: Row = values.iter().map(|s| s.resolve(params).clone()).collect();
-    let heap = ctx.heaps.get_mut(&table).ok_or(ExecError::UnknownTable(table))?;
+    let heap = ctx
+        .heaps
+        .get_mut(&table)
+        .ok_or(ExecError::UnknownTable(table))?;
     let rid = heap.insert(row.clone());
     m.add_pages_written(cm, 1);
     let ix_ids: Vec<IndexId> = ctx.catalog.indexes_on(table).map(|(id, _)| id).collect();
@@ -623,7 +662,10 @@ fn find_targets(
         Access::IndexSeek { covering: true, .. } | Access::IndexScan { covering: true, .. }
     );
     let rows = if needs_fetch {
-        let heap = ctx.heaps.get(&table).ok_or(ExecError::UnknownTable(table))?;
+        let heap = ctx
+            .heaps
+            .get(&table)
+            .ok_or(ExecError::UnknownTable(table))?;
         rows.into_iter()
             .filter_map(|(rid, _)| {
                 m.add_pages_read(cm, 1);
@@ -633,14 +675,21 @@ fn find_targets(
     } else {
         rows
     };
-    Ok(apply_residual(rows, predicates, &dp.residual, params, cm, m))
+    Ok(apply_residual(
+        rows,
+        predicates,
+        &dp.residual,
+        params,
+        cm,
+        m,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::ColumnId;
     use crate::optimizer::{optimize, CostModel, IndexGeom, PlannerEnv};
+    use crate::schema::ColumnId;
     use crate::schema::{ColumnDef, IndexDef, TableDef};
     use crate::stats::TableStats;
     use crate::types::ValueType;

@@ -9,7 +9,9 @@ use crate::types::Row;
 use std::cell::Cell;
 
 /// Identity of a row within a heap. Stable for the row's lifetime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct RowId(pub u64);
 
 /// Logical page size in bytes, matching SQL Server's 8 KiB pages.
@@ -58,7 +60,9 @@ impl Heap {
     /// Number of pages the heap occupies (by slot count, since deleted rows
     /// leave holes until reused — like ghost records).
     pub fn page_count(&self) -> u64 {
-        (self.slots.len() as u64).div_ceil(self.rows_per_page()).max(1)
+        (self.slots.len() as u64)
+            .div_ceil(self.rows_per_page())
+            .max(1)
     }
 
     /// Total size in bytes.
@@ -161,11 +165,7 @@ impl Heap {
     /// IO accounting (resumable index builds charge their own IO).
     /// Returns the rows and the next slot to continue from (`None` when
     /// the heap is exhausted).
-    pub fn scan_slots(
-        &self,
-        start: u64,
-        max_rows: usize,
-    ) -> (Vec<(RowId, Row)>, Option<u64>) {
+    pub fn scan_slots(&self, start: u64, max_rows: usize) -> (Vec<(RowId, Row)>, Option<u64>) {
         let mut out = Vec::with_capacity(max_rows);
         let mut slot = start as usize;
         while slot < self.slots.len() && out.len() < max_rows {

@@ -202,7 +202,10 @@ impl SecondaryIndex {
                 ColBound::Included(v) | ColBound::Excluded(v) => vals.push(v.clone()),
                 ColBound::Unbounded => {}
             }
-            IndexKey { vals, rid: RowId(0) }
+            IndexKey {
+                vals,
+                rid: RowId(0),
+            }
         };
         let lo_excl_val = match &lo {
             ColBound::Excluded(v) => Some(v.clone()),
@@ -242,8 +245,7 @@ impl SecondaryIndex {
             });
         }
         // Convert node visits into page visits; at least the descent.
-        let pages_visited =
-            (self.tree.read_visits() - reads_before).max(self.tree.height() as u64);
+        let pages_visited = (self.tree.read_visits() - reads_before).max(self.tree.height() as u64);
         SeekResult {
             entries,
             pages_visited,
@@ -293,7 +295,12 @@ mod tests {
         let t = table();
         let mut heap = Heap::new(t.avg_row_width());
         for i in 0..1000i64 {
-            heap.insert(row(i, i % 50, if i % 3 == 0 { "open" } else { "done" }, i as f64));
+            heap.insert(row(
+                i,
+                i % 50,
+                if i % 3 == 0 { "open" } else { "done" },
+                i as f64,
+            ));
         }
         let def = IndexDef::new(
             "ix_cust_total",
@@ -352,11 +359,7 @@ mod tests {
             ColBound::Excluded(Value::Float(107.0)),
             ColBound::Included(Value::Float(207.0)),
         );
-        let totals: Vec<f64> = r
-            .entries
-            .iter()
-            .map(|e| e.key_vals[1].as_f64())
-            .collect();
+        let totals: Vec<f64> = r.entries.iter().map(|e| e.key_vals[1].as_f64()).collect();
         assert_eq!(totals, vec![157.0, 207.0]);
     }
 
@@ -365,7 +368,10 @@ mod tests {
         let (_, ix) = populated();
         let r = ix.seek(&[Value::Int(0)], ColBound::Unbounded, ColBound::Unbounded);
         let e = &r.entries[0]; // row id 0: status "open"
-        assert_eq!(e.leaf_value(&ix.def, ColumnId(2)), Some(&Value::Str("open".into())));
+        assert_eq!(
+            e.leaf_value(&ix.def, ColumnId(2)),
+            Some(&Value::Str("open".into()))
+        );
         assert_eq!(e.leaf_value(&ix.def, ColumnId(1)), Some(&Value::Int(0)));
         assert_eq!(e.leaf_value(&ix.def, ColumnId(0)), None);
     }
@@ -436,7 +442,11 @@ mod tests {
             let rid = heap.insert(row(i, 0, "same", 0.0));
             ix.insert_row(rid, heap.peek(rid).unwrap());
         }
-        let r = ix.seek(&[Value::Str("same".into())], ColBound::Unbounded, ColBound::Unbounded);
+        let r = ix.seek(
+            &[Value::Str("same".into())],
+            ColBound::Unbounded,
+            ColBound::Unbounded,
+        );
         assert_eq!(r.entries.len(), 100);
     }
 }

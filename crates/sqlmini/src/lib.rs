@@ -20,14 +20,14 @@ pub mod dmv;
 pub mod engine;
 pub mod exec;
 pub mod explain;
+pub mod heap;
+pub mod index;
 pub mod lock;
-pub mod querystore;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
-pub mod heap;
-pub mod index;
 pub mod query;
+pub mod querystore;
 pub mod schema;
 pub mod stats;
 pub mod types;

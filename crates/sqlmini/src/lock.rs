@@ -266,12 +266,8 @@ pub fn summarize_convoy(requests: &[LockRequest], outcomes: &[LockOutcome]) -> C
                     max = o.waited;
                 }
             }
-            Some(LockMode::Exclusive) => {
-                if o.timed_out {
-                    excl_ok = false;
-                }
-            }
-            None => {}
+            Some(LockMode::Exclusive) if o.timed_out => excl_ok = false,
+            Some(LockMode::Exclusive) | None => {}
         }
     }
     ConvoySummary {
@@ -380,7 +376,10 @@ mod tests {
         assert!(drop_outcome.timed_out, "{drop_outcome:?}");
         assert_eq!(drop_outcome.waited, Duration(500));
         // No shared request waited.
-        assert!(out.iter().filter(|o| o.id >= 10).all(|o| o.waited == Duration::ZERO));
+        assert!(out
+            .iter()
+            .filter(|o| o.id >= 10)
+            .all(|o| o.waited == Duration::ZERO));
     }
 
     #[test]

@@ -512,12 +512,8 @@ pub fn optimize(env: &dyn PlannerEnv, stmt: &Statement, params: &[Value]) -> Opt
             let (dml, missing) = optimize_dml(env, *table, predicates, params);
             let cm = env.cost_model();
             let affected = dml.est.rows_out;
-            let maint_pages: f64 = env
-                .indexes_on(*table)
-                .iter()
-                .map(|g| g.height)
-                .sum::<f64>()
-                * affected;
+            let maint_pages: f64 =
+                env.indexes_on(*table).iter().map(|g| g.height).sum::<f64>() * affected;
             let mut est = dml.est;
             est.pages += maint_pages + affected;
             est.cpu_us += cm.cpu_per_write_page * (maint_pages + affected);
@@ -543,9 +539,15 @@ fn optimize_dml(
     let alts = access_paths(env, table, preds, &needed, params);
     let best = alts
         .into_iter()
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("at least seqscan");
-    let residual: Vec<usize> = (0..preds.len()).filter(|i| !best.consumed.contains(i)).collect();
+    let residual: Vec<usize> = (0..preds.len())
+        .filter(|i| !best.consumed.contains(i))
+        .collect();
     let missing = missing_index_for(env, table, preds, &needed, params, best.cost);
     (
         DmlPlan {
@@ -663,7 +665,7 @@ fn optimize_select(env: &dyn PlannerEnv, q: &SelectQuery, params: &[Value]) -> O
                         },
                         residual: (0..jspec.predicates.len()).collect(),
                     };
-                    if inlj.as_ref().map_or(true, |(_, c)| total < *c) {
+                    if inlj.as_ref().is_none_or(|(_, c)| total < *c) {
                         inlj = Some((jp, total));
                     }
                 }
@@ -735,7 +737,7 @@ fn optimize_select(env: &dyn PlannerEnv, q: &SelectQuery, params: &[Value]) -> O
                 cpu_us: cost,
             },
         };
-        if best.as_ref().map_or(true, |(_, c)| cost < *c) {
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
             best = Some((plan, cost));
         }
     }
@@ -821,8 +823,8 @@ fn missing_index_for(
     let cm = env.cost_model();
     let seek_sel: f64 = eq_cols
         .iter()
-        .map(|c| sel_of(c))
-        .chain(ineq_cols.first().map(|c| sel_of(c)))
+        .map(&sel_of)
+        .chain(ineq_cols.first().map(&sel_of))
         .product();
     let qualified = (stats.row_count as f64 * seek_sel).max(0.0);
     let leaf_visits = (qualified / geom.rows_per_leaf()).ceil().max(1.0);
@@ -874,7 +876,9 @@ mod tests {
         fn heap_pages(&self, t: TableId) -> f64 {
             let s = &self.stats[t.0 as usize];
             let w = self.tables[t.0 as usize].avg_row_width() as f64;
-            (s.row_count as f64 * w / crate::heap::PAGE_SIZE as f64).ceil().max(1.0)
+            (s.row_count as f64 * w / crate::heap::PAGE_SIZE as f64)
+                .ceil()
+                .max(1.0)
         }
         fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
             self.geoms[t.0 as usize].clone()
@@ -924,8 +928,7 @@ mod tests {
             keys.into_iter().map(ColumnId).collect(),
             incl.into_iter().map(ColumnId).collect(),
         );
-        let mut g =
-            IndexGeom::hypothetical(def, &env.tables[0], env.stats[0].row_count as f64);
+        let mut g = IndexGeom::hypothetical(def, &env.tables[0], env.stats[0].row_count as f64);
         g.rref = IndexRef::Real {
             id: IndexId(id),
             name: name.into(),
@@ -964,7 +967,9 @@ mod tests {
         let r = optimize(&env, &Statement::Select(select_cust_eq()), &[]);
         match &r.plan {
             Plan::Select(p) => match &p.access {
-                Access::IndexSeek { index, covering, .. } => {
+                Access::IndexSeek {
+                    index, covering, ..
+                } => {
                     assert_eq!(index.name(), "ix_cust");
                     assert!(covering);
                 }
@@ -1004,8 +1009,10 @@ mod tests {
         let g = real_geom("ix_cust_total", 0, vec![1, 3], vec![0], &env);
         env.geoms[0].push(g);
         let mut q = select_cust_eq();
-        q.predicates.push(Predicate::cmp(ColumnId(3), CmpOp::Ge, 500.0));
-        q.predicates.push(Predicate::cmp(ColumnId(3), CmpOp::Lt, 700.0));
+        q.predicates
+            .push(Predicate::cmp(ColumnId(3), CmpOp::Ge, 500.0));
+        q.predicates
+            .push(Predicate::cmp(ColumnId(3), CmpOp::Lt, 700.0));
         let r = optimize(&env, &Statement::Select(q), &[]);
         match &r.plan {
             Plan::Select(p) => match &p.access {
@@ -1127,8 +1134,7 @@ mod tests {
         // cheaper; pages must reflect both.
         assert!(with_ix.plan.estimates().pages > 0.0);
         assert!(
-            with_ix.plan.estimates().cpu_us + 1e-9 >= 0.0
-                && no_ix.plan.estimates().cpu_us > 0.0
+            with_ix.plan.estimates().cpu_us + 1e-9 >= 0.0 && no_ix.plan.estimates().cpu_us > 0.0
         );
     }
 

@@ -72,9 +72,7 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
                 i += 1;
             }
             toks.push(Tok::Ident(b[start..i].iter().collect()));
-        } else if c.is_ascii_digit()
-            || (c == '-' && i + 1 < b.len() && b[i + 1].is_ascii_digit())
-        {
+        } else if c.is_ascii_digit() || (c == '-' && i + 1 < b.len() && b[i + 1].is_ascii_digit()) {
             let start = i;
             i += 1;
             let mut is_float = false;
@@ -90,9 +88,10 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
                     ParseError::new(format!("bad float literal '{s}'"))
                 })?));
             } else {
-                toks.push(Tok::Int(s.parse().map_err(|_| {
-                    ParseError::new(format!("bad int literal '{s}'"))
-                })?));
+                toks.push(Tok::Int(
+                    s.parse()
+                        .map_err(|_| ParseError::new(format!("bad int literal '{s}'")))?,
+                ));
             }
         } else if c == '\'' {
             i += 1;
@@ -199,7 +198,9 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -257,7 +258,9 @@ impl<'a> Parser<'a> {
                 ">=" => Ok(CmpOp::Ge),
                 other => Err(ParseError::new(format!("unknown operator '{other}'"))),
             },
-            other => Err(ParseError::new(format!("expected operator, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected operator, found {other:?}"
+            ))),
         }
     }
 
@@ -317,14 +320,14 @@ impl<'a> Parser<'a> {
                     "avg" => Some(AggFunc::Avg),
                     _ => None,
                 };
-                if agg.is_some() && self.eat_symbol("(") {
+                if let Some(func) = agg.filter(|_| self.eat_symbol("(")) {
                     let (qual, col) = if self.eat_symbol("*") {
                         (None, String::new())
                     } else {
                         self.column_ref()?
                     };
                     self.expect_symbol(")")?;
-                    items.push(Item::Agg(agg.unwrap(), qual, col));
+                    items.push(Item::Agg(func, qual, col));
                 } else if self.eat_symbol(".") {
                     let col = self.ident()?;
                     items.push(Item::Col(Some(first), col));
@@ -702,9 +705,15 @@ mod tests {
         let c = catalog();
         let ins = parse(&c, "INSERT INTO orders VALUES (1, 2, 'open', 9.99)").unwrap();
         assert!(matches!(ins, Statement::Insert { .. }));
-        let upd = parse(&c, "UPDATE orders SET status = 'done', total = 0 WHERE id = 5").unwrap();
+        let upd = parse(
+            &c,
+            "UPDATE orders SET status = 'done', total = 0 WHERE id = 5",
+        )
+        .unwrap();
         match upd {
-            Statement::Update { set, predicates, .. } => {
+            Statement::Update {
+                set, predicates, ..
+            } => {
                 assert_eq!(set.len(), 2);
                 assert_eq!(predicates.len(), 1);
             }

@@ -122,7 +122,10 @@ pub enum JoinStrategy {
     /// probe with outer rows.
     Hash { inner_access: Box<Access> },
     /// For each outer row, seek the inner index on the join key.
-    IndexNestedLoop { inner_index: IndexRef, covering: bool },
+    IndexNestedLoop {
+        inner_index: IndexRef,
+        covering: bool,
+    },
 }
 
 /// Plan for the inner side of a join.
@@ -199,9 +202,7 @@ impl SelectPlan {
         hypo_access(&self.access)
             || self.join.as_ref().is_some_and(|j| match &j.strategy {
                 JoinStrategy::Hash { inner_access } => hypo_access(inner_access),
-                JoinStrategy::IndexNestedLoop { inner_index, .. } => {
-                    inner_index.is_hypothetical()
-                }
+                JoinStrategy::IndexNestedLoop { inner_index, .. } => inner_index.is_hypothetical(),
             })
     }
 
@@ -247,7 +248,10 @@ pub struct DmlPlan {
 
 impl DmlPlan {
     pub fn referenced_indexes(&self) -> Vec<&str> {
-        self.access.index_ref().map(|i| vec![i.name()]).unwrap_or_default()
+        self.access
+            .index_ref()
+            .map(|i| vec![i.name()])
+            .unwrap_or_default()
     }
 
     pub fn plan_id(&self) -> PlanId {
@@ -264,7 +268,9 @@ impl DmlPlan {
 pub enum Plan {
     Select(SelectPlan),
     /// Insert paths are trivial: append + maintain every index.
-    Insert { est: PlanEstimates },
+    Insert {
+        est: PlanEstimates,
+    },
     Update(DmlPlan),
     Delete(DmlPlan),
 }
@@ -313,10 +319,9 @@ impl Plan {
         match self {
             Plan::Select(p) => p.is_hypothetical(),
             Plan::Insert { .. } => false,
-            Plan::Update(p) | Plan::Delete(p) => p
-                .access
-                .index_ref()
-                .is_some_and(IndexRef::is_hypothetical),
+            Plan::Update(p) | Plan::Delete(p) => {
+                p.access.index_ref().is_some_and(IndexRef::is_hypothetical)
+            }
         }
     }
 }
@@ -400,7 +405,9 @@ mod tests {
     #[test]
     fn hypothetical_detection() {
         let p = plan(Access::IndexScan {
-            index: IndexRef::Hypothetical { name: "hypo".into() },
+            index: IndexRef::Hypothetical {
+                name: "hypo".into(),
+            },
             covering: true,
         });
         assert!(p.is_hypothetical());
@@ -422,9 +429,6 @@ mod tests {
             residual: vec![],
             est: PlanEstimates::default(),
         };
-        assert_ne!(
-            Plan::Update(d.clone()).plan_id(),
-            Plan::Delete(d).plan_id()
-        );
+        assert_ne!(Plan::Update(d.clone()).plan_id(), Plan::Delete(d).plan_id());
     }
 }

@@ -239,10 +239,17 @@ impl SelectQuery {
 pub enum Statement {
     Select(SelectQuery),
     /// Insert one row (values may contain parameters).
-    Insert { table: TableId, values: Vec<Scalar> },
+    Insert {
+        table: TableId,
+        values: Vec<Scalar>,
+    },
     /// Bulk-load many rows. SQL Server's BULK INSERT cannot be costed by
     /// the what-if API; DTA rewrites it to an equivalent INSERT (§5.3.2).
-    BulkInsert { table: TableId, values: Vec<Scalar>, rows: u32 },
+    BulkInsert {
+        table: TableId,
+        values: Vec<Scalar>,
+        rows: u32,
+    },
     Update {
         table: TableId,
         predicates: Vec<Predicate>,
@@ -412,7 +419,10 @@ mod tests {
         let mut q = SelectQuery::new(TableId(0));
         q.projection = vec![ColumnId(3), ColumnId(1)];
         q.predicates = vec![Predicate::eq(ColumnId(1), 5i64)];
-        q.order_by = vec![OrderKey { column: ColumnId(2), asc: true }];
+        q.order_by = vec![OrderKey {
+            column: ColumnId(2),
+            asc: true,
+        }];
         assert_eq!(
             q.needed_columns(),
             vec![ColumnId(1), ColumnId(2), ColumnId(3)]
@@ -421,19 +431,10 @@ mod tests {
 
     #[test]
     fn query_id_stability_and_sensitivity() {
-        let t1 = QueryTemplate::new(
-            Statement::Select(SelectQuery::new(TableId(0))),
-            0,
-        );
-        let t2 = QueryTemplate::new(
-            Statement::Select(SelectQuery::new(TableId(0))),
-            0,
-        );
+        let t1 = QueryTemplate::new(Statement::Select(SelectQuery::new(TableId(0))), 0);
+        let t2 = QueryTemplate::new(Statement::Select(SelectQuery::new(TableId(0))), 0);
         assert_eq!(t1.query_id(), t2.query_id());
-        let t3 = QueryTemplate::new(
-            Statement::Select(SelectQuery::new(TableId(1))),
-            0,
-        );
+        let t3 = QueryTemplate::new(Statement::Select(SelectQuery::new(TableId(1))), 0);
         assert_ne!(t1.query_id(), t3.query_id());
     }
 
@@ -459,7 +460,10 @@ mod tests {
     #[test]
     fn tables_touched_primary_and_join() {
         let mut q = SelectQuery::new(TableId(3));
-        assert_eq!(Statement::Select(q.clone()).tables_touched(), vec![TableId(3)]);
+        assert_eq!(
+            Statement::Select(q.clone()).tables_touched(),
+            vec![TableId(3)]
+        );
         q.join = Some(JoinSpec {
             table: TableId(1),
             outer_col: ColumnId(0),

@@ -175,6 +175,7 @@ impl QueryStore {
     /// Record one execution. `index_refs` lists the index names the
     /// executed plan referenced (exposed in SQL Server via the plan XML;
     /// the validator's plan-change analysis needs it).
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         template: &QueryTemplate,
@@ -370,7 +371,12 @@ mod tests {
         let pid = PlanId(1);
         let t0 = Timestamp::EPOCH;
         for i in 0..10 {
-            s.record(&t, &[], pid, &[], &metrics(100.0 + i as f64, 50),
+            s.record(
+                &t,
+                &[],
+                pid,
+                &[],
+                &metrics(100.0 + i as f64, 50),
                 200.0,
                 t0 + Duration::from_mins(i * 10),
             );
@@ -387,9 +393,33 @@ mod tests {
     fn plan_history_tracks_changes() {
         let mut s = qs();
         let t = tpl(0);
-        s.record(&t, &[], PlanId(1), &[], &metrics(10.0, 1), 10.0, Timestamp(0));
-        s.record(&t, &[], PlanId(2), &[], &metrics(5.0, 1), 5.0, Timestamp(1000));
-        s.record(&t, &[], PlanId(1), &[], &metrics(10.0, 1), 10.0, Timestamp(2000));
+        s.record(
+            &t,
+            &[],
+            PlanId(1),
+            &[],
+            &metrics(10.0, 1),
+            10.0,
+            Timestamp(0),
+        );
+        s.record(
+            &t,
+            &[],
+            PlanId(2),
+            &[],
+            &metrics(5.0, 1),
+            5.0,
+            Timestamp(1000),
+        );
+        s.record(
+            &t,
+            &[],
+            PlanId(1),
+            &[],
+            &metrics(10.0, 1),
+            10.0,
+            Timestamp(2000),
+        );
         assert_eq!(s.plan_history(t.query_id()), &[PlanId(1), PlanId(2)]);
     }
 
@@ -401,10 +431,26 @@ mod tests {
         let c = tpl(2);
         // b: many cheap; a: few expensive; c: tiny.
         for _ in 0..100 {
-            s.record(&b, &[], PlanId(1), &[], &metrics(10.0, 2), 10.0, Timestamp(0));
+            s.record(
+                &b,
+                &[],
+                PlanId(1),
+                &[],
+                &metrics(10.0, 2),
+                10.0,
+                Timestamp(0),
+            );
         }
         for _ in 0..5 {
-            s.record(&a, &[], PlanId(2), &[], &metrics(500.0, 100), 500.0, Timestamp(0));
+            s.record(
+                &a,
+                &[],
+                PlanId(2),
+                &[],
+                &metrics(500.0, 100),
+                500.0,
+                Timestamp(0),
+            );
         }
         s.record(&c, &[], PlanId(3), &[], &metrics(1.0, 1), 1.0, Timestamp(0));
         let top = s.top_k_queries(Metric::CpuTime, 2, Timestamp(0), Timestamp(1));
@@ -417,9 +463,27 @@ mod tests {
     #[test]
     fn total_resources_sums_everything() {
         let mut s = qs();
-        s.record(&tpl(0), &[], PlanId(1), &[], &metrics(10.0, 3), 10.0, Timestamp(0));
-        s.record(&tpl(1), &[], PlanId(2), &[], &metrics(20.0, 7), 20.0, Timestamp(0));
-        assert!((s.total_resources(Metric::CpuTime, Timestamp(0), Timestamp(1)) - 30.0).abs() < 1e-9);
+        s.record(
+            &tpl(0),
+            &[],
+            PlanId(1),
+            &[],
+            &metrics(10.0, 3),
+            10.0,
+            Timestamp(0),
+        );
+        s.record(
+            &tpl(1),
+            &[],
+            PlanId(2),
+            &[],
+            &metrics(20.0, 7),
+            20.0,
+            Timestamp(0),
+        );
+        assert!(
+            (s.total_resources(Metric::CpuTime, Timestamp(0), Timestamp(1)) - 30.0).abs() < 1e-9
+        );
         assert!(
             (s.total_resources(Metric::LogicalReads, Timestamp(0), Timestamp(1)) - 10.0).abs()
                 < 1e-9
@@ -430,7 +494,15 @@ mod tests {
     fn retention_evicts_old_intervals() {
         let mut s = QueryStore::new(Duration::from_hours(1), Duration::from_days(1));
         let t = tpl(0);
-        s.record(&t, &[], PlanId(1), &[], &metrics(1.0, 1), 1.0, Timestamp::EPOCH);
+        s.record(
+            &t,
+            &[],
+            PlanId(1),
+            &[],
+            &metrics(1.0, 1),
+            1.0,
+            Timestamp::EPOCH,
+        );
         let later = Timestamp::EPOCH + Duration::from_days(3);
         s.record(&t, &[], PlanId(1), &[], &metrics(1.0, 1), 1.0, later);
         assert_eq!(s.cell_count(), 2);
@@ -444,8 +516,24 @@ mod tests {
     fn sample_params_updated() {
         let mut s = qs();
         let t = tpl(0);
-        s.record(&t, &[Value::Int(1)], PlanId(1), &[], &metrics(1.0, 1), 1.0, Timestamp(0));
-        s.record(&t, &[Value::Int(9)], PlanId(1), &[], &metrics(1.0, 1), 1.0, Timestamp(1));
+        s.record(
+            &t,
+            &[Value::Int(1)],
+            PlanId(1),
+            &[],
+            &metrics(1.0, 1),
+            1.0,
+            Timestamp(0),
+        );
+        s.record(
+            &t,
+            &[Value::Int(9)],
+            PlanId(1),
+            &[],
+            &metrics(1.0, 1),
+            1.0,
+            Timestamp(1),
+        );
         assert_eq!(
             s.query_info(t.query_id()).unwrap().sample_params,
             vec![Value::Int(9)]
@@ -456,8 +544,24 @@ mod tests {
     fn query_stats_spans_plans() {
         let mut s = qs();
         let t = tpl(0);
-        s.record(&t, &[], PlanId(1), &[], &metrics(10.0, 1), 10.0, Timestamp(0));
-        s.record(&t, &[], PlanId(2), &[], &metrics(30.0, 1), 30.0, Timestamp(0));
+        s.record(
+            &t,
+            &[],
+            PlanId(1),
+            &[],
+            &metrics(10.0, 1),
+            10.0,
+            Timestamp(0),
+        );
+        s.record(
+            &t,
+            &[],
+            PlanId(2),
+            &[],
+            &metrics(30.0, 1),
+            30.0,
+            Timestamp(0),
+        );
         let agg = s.query_stats(t.query_id(), Timestamp(0), Timestamp(1));
         assert_eq!(agg.count(), 2);
         assert!((agg.cpu.mean() - 20.0).abs() < 1e-9);

@@ -256,7 +256,12 @@ mod tests {
     #[test]
     fn duplicate_detection_requires_same_key_order() {
         let a = IndexDef::new("a", TableId(0), vec![ColumnId(1), ColumnId(2)], vec![]);
-        let b = IndexDef::new("b", TableId(0), vec![ColumnId(1), ColumnId(2)], vec![ColumnId(3)]);
+        let b = IndexDef::new(
+            "b",
+            TableId(0),
+            vec![ColumnId(1), ColumnId(2)],
+            vec![ColumnId(3)],
+        );
         let c = IndexDef::new("c", TableId(0), vec![ColumnId(2), ColumnId(1)], vec![]);
         assert!(a.duplicate_of(&b));
         assert!(!a.duplicate_of(&c));

@@ -77,7 +77,9 @@ impl ColumnStats {
                 distinct_sample += 1;
             }
         }
-        let ndv = ((distinct_sample as f64) * scale.sqrt()).min(n as f64 * scale).max(1.0);
+        let ndv = ((distinct_sample as f64) * scale.sqrt())
+            .min(n as f64 * scale)
+            .max(1.0);
 
         let per_bucket = n.div_ceil(HISTOGRAM_BUCKETS).max(1);
         let mut buckets = Vec::with_capacity(HISTOGRAM_BUCKETS);
@@ -297,7 +299,9 @@ mod tests {
     use super::*;
 
     fn uniform_rows(n: i64) -> Vec<Row> {
-        (0..n).map(|i| vec![Value::Int(i), Value::Int(i % 10)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 10)])
+            .collect()
     }
 
     #[test]
@@ -387,7 +391,10 @@ mod tests {
         let rows: Vec<Row> = vec![];
         let s = TableStats::build_full(rows.iter(), 2);
         assert_eq!(s.row_count, 0);
-        assert_eq!(s.columns[0].eq_selectivity(&Value::Int(1)), defaults::EQ_SELECTIVITY);
+        assert_eq!(
+            s.columns[0].eq_selectivity(&Value::Int(1)),
+            defaults::EQ_SELECTIVITY
+        );
     }
 
     #[test]

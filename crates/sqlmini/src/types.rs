@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn value_total_order_null_first() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Int(3),
             Value::Null,
             Value::Str("a".into()),

@@ -68,7 +68,9 @@ fn best_index_chosen_among_several() {
         .unwrap();
     assert_eq!(out.referenced_indexes, vec!["ix_cust_status".to_string()]);
     // Semantics: rows where i%250==9 and i%7==2.
-    let expected = (0..20_000i64).filter(|i| i % 250 == 9 && i % 7 == 2).count();
+    let expected = (0..20_000i64)
+        .filter(|i| i % 250 == 9 && i % 7 == 2)
+        .count();
     assert_eq!(out.rows.len(), expected);
 }
 
@@ -107,7 +109,11 @@ fn query_store_alignment_helpers() {
     let h = Duration::from_hours(1).millis();
     assert_eq!(qs.align_down(Timestamp(h + 5)), Timestamp(h));
     assert_eq!(qs.align_up(Timestamp(h + 5)), Timestamp(2 * h));
-    assert_eq!(qs.align_up(Timestamp(h)), Timestamp(h), "aligned is identity");
+    assert_eq!(
+        qs.align_up(Timestamp(h)),
+        Timestamp(h),
+        "aligned is identity"
+    );
     assert_eq!(qs.align_down(Timestamp(0)), Timestamp(0));
 }
 
@@ -133,7 +139,10 @@ fn tier_changes_duration_not_cpu() {
                 ],
             ))
             .unwrap();
-        db.load_rows(t, (0..5000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]));
+        db.load_rows(
+            t,
+            (0..5000i64).map(|i| vec![Value::Int(i), Value::Int(i % 10)]),
+        );
         db.rebuild_stats(t);
         let mut q = SelectQuery::new(t);
         q.predicates = vec![Predicate::cmp(ColumnId(1), CmpOp::Eq, 3i64)];
@@ -145,7 +154,10 @@ fn tier_changes_duration_not_cpu() {
     };
     let (cpu_basic, dur_basic) = run(ServiceTier::Basic);
     let (cpu_prem, dur_prem) = run(ServiceTier::Premium);
-    assert!((cpu_basic - cpu_prem).abs() < 1e-9, "CPU is tier-independent");
+    assert!(
+        (cpu_basic - cpu_prem).abs() < 1e-9,
+        "CPU is tier-independent"
+    );
     assert!(
         dur_basic > dur_prem * 10.0,
         "Basic (0.5 cores) must be ~16x slower than Premium (8 cores): {dur_basic} vs {dur_prem}"
@@ -171,11 +183,13 @@ fn sql_parsed_workload_populates_query_store_and_mi() {
         db.clock().now() + Duration(1),
     );
     assert_eq!(agg.count(), 20);
-    assert!(db.query_store().total_resources(
-        Metric::LogicalReads,
-        Timestamp::EPOCH,
-        db.clock().now() + Duration(1)
-    ) > 0.0);
+    assert!(
+        db.query_store().total_resources(
+            Metric::LogicalReads,
+            Timestamp::EPOCH,
+            db.clock().now() + Duration(1)
+        ) > 0.0
+    );
     // MI demand accumulated with both equality columns.
     let (key, stats) = db.mi_dmv().entries().next().expect("an MI entry");
     assert_eq!(key.equality_columns.len(), 2);

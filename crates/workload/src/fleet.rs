@@ -75,10 +75,7 @@ impl TenantConfig {
                     ..WorkloadGenConfig::default()
                 },
             ),
-            ServiceTier::Standard => (
-                SchemaGenConfig::default(),
-                WorkloadGenConfig::default(),
-            ),
+            ServiceTier::Standard => (SchemaGenConfig::default(), WorkloadGenConfig::default()),
             ServiceTier::Premium => (
                 SchemaGenConfig {
                     min_tables: 4,
@@ -272,7 +269,9 @@ pub fn generate_fleet(n: usize, mix: TierMix, seed: u64) -> Vec<Tenant> {
             } else {
                 ServiceTier::Premium
             };
-            let tenant_seed = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            let tenant_seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64);
             generate_tenant(&TenantConfig::new(format!("db{i:04}"), tenant_seed, tier))
         })
         .collect()
@@ -308,7 +307,11 @@ mod tests {
     fn tiers_scale_size() {
         let basic = generate_tenant(&TenantConfig::new("b", 3, ServiceTier::Basic));
         let prem = generate_tenant(&TenantConfig::new("p", 3, ServiceTier::Premium));
-        let basic_rows: u64 = basic.table_ids.iter().map(|&t| basic.db.table_rows(t)).sum();
+        let basic_rows: u64 = basic
+            .table_ids
+            .iter()
+            .map(|&t| basic.db.table_rows(t))
+            .sum();
         let prem_rows: u64 = prem.table_ids.iter().map(|&t| prem.db.table_rows(t)).sum();
         assert!(
             prem_rows > basic_rows * 2,
@@ -321,7 +324,10 @@ mod tests {
     fn fleet_mix_roughly_respected() {
         let fleet = generate_fleet(24, TierMix::default(), 1);
         assert_eq!(fleet.len(), 24);
-        let premium = fleet.iter().filter(|t| t.tier == ServiceTier::Premium).count();
+        let premium = fleet
+            .iter()
+            .filter(|t| t.tier == ServiceTier::Premium)
+            .count();
         assert!((1..15).contains(&premium), "premium count {premium}");
         // Names unique.
         let mut names: Vec<&str> = fleet.iter().map(|t| t.name.as_str()).collect();

@@ -237,12 +237,7 @@ pub fn generate_schema(cfg: &SchemaGenConfig, seed: u64) -> Vec<TableSpec> {
             let dist = if c >= 2 && rng.random::<f64>() < cfg.correlation_prob {
                 // Correlate with a random earlier int column.
                 let earlier: Vec<u32> = (1..c as u32)
-                    .filter(|&e| {
-                        matches!(
-                            columns[e as usize].dist.value_type(),
-                            ValueType::Int
-                        )
-                    })
+                    .filter(|&e| matches!(columns[e as usize].dist.value_type(), ValueType::Int))
                     .collect();
                 if earlier.is_empty() {
                     ColumnDist::UniformInt {

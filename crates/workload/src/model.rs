@@ -15,19 +15,37 @@ use sqlmini::types::Value;
 /// How one parameter of a template is drawn at execution time.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ParamGen {
-    UniformInt { lo: i64, hi: i64 },
+    UniformInt {
+        lo: i64,
+        hi: i64,
+    },
     /// Zipf-skewed over `0..cardinality` (hot keys exist).
-    Zipf { cardinality: u64, s: f64 },
-    UniformFloat { lo: f64, hi: f64 },
+    Zipf {
+        cardinality: u64,
+        s: f64,
+    },
+    UniformFloat {
+        lo: f64,
+        hi: f64,
+    },
     /// `cat_<k>` strings.
-    Category { n: u64 },
+    Category {
+        n: u64,
+    },
     /// A fresh, never-used primary key for `table` (maintained by the
     /// runner's per-table counter).
-    FreshPk { table: TableId },
+    FreshPk {
+        table: TableId,
+    },
     /// Recent-skewed date in `0..days`.
-    RecentDate { days: u32 },
+    RecentDate {
+        days: u32,
+    },
     /// `base + offset` relative to another parameter (range widths).
-    OffsetFrom { param: u16, delta: f64 },
+    OffsetFrom {
+        param: u16,
+        delta: f64,
+    },
 }
 
 impl ParamGen {
@@ -51,17 +69,16 @@ impl ParamGen {
             ParamGen::UniformFloat { lo, hi } => {
                 Value::Float(lo + rng.random::<f64>() * (hi - lo).max(0.0))
             }
-            ParamGen::Category { n } => Value::Str(format!("cat_{}", rng.random_range(0..(*n).max(1)))),
+            ParamGen::Category { n } => {
+                Value::Str(format!("cat_{}", rng.random_range(0..(*n).max(1))))
+            }
             ParamGen::FreshPk { table } => Value::Int(fresh_pk(*table)),
             ParamGen::RecentDate { days } => {
                 let u = rng.random::<f64>();
                 Value::Date((*days as f64 * u.sqrt()) as i32)
             }
             ParamGen::OffsetFrom { param, delta } => {
-                let base = prev
-                    .get(*param as usize)
-                    .map(|v| v.as_f64())
-                    .unwrap_or(0.0);
+                let base = prev.get(*param as usize).map(|v| v.as_f64()).unwrap_or(0.0);
                 match prev.get(*param as usize) {
                     Some(Value::Int(_)) => Value::Int((base + delta) as i64),
                     Some(Value::Date(_)) => Value::Date((base + delta) as i32),
@@ -120,7 +137,12 @@ pub struct TemplateSpec {
 }
 
 impl TemplateSpec {
-    pub fn always(template: QueryTemplate, kind: TemplateKind, weight: f64, gens: Vec<ParamGen>) -> TemplateSpec {
+    pub fn always(
+        template: QueryTemplate,
+        kind: TemplateKind,
+        weight: f64,
+        gens: Vec<ParamGen>,
+    ) -> TemplateSpec {
         TemplateSpec {
             template,
             kind,
@@ -139,8 +161,8 @@ impl TemplateSpec {
         match self.schedule {
             None => true,
             Some((period, duty)) => {
-                let phase = (t.millis() % period.millis().max(1)) as f64
-                    / period.millis().max(1) as f64;
+                let phase =
+                    (t.millis() % period.millis().max(1)) as f64 / period.millis().max(1) as f64;
                 phase < duty
             }
         }
@@ -485,10 +507,7 @@ pub fn generate_workload(
                 .collect();
             write_templates.push(TemplateSpec::always(
                 QueryTemplate::new(
-                    Statement::Insert {
-                        table: tid,
-                        values,
-                    },
+                    Statement::Insert { table: tid, values },
                     spec.columns.len() as u16,
                 ),
                 TemplateKind::InsertRow,
@@ -566,9 +585,11 @@ pub fn generate_workload(
         order.sort_by_key(|&i| std::cmp::Reverse(specs[i].rows));
         let (oi, ii) = (order[0], order[1]);
         // FK: an int column on the outer whose cardinality fits the inner.
-        if let Some(fk) = pick_col(&specs[oi], &mut rng, |c| {
-            matches!(c.dist, ColumnDist::UniformInt { cardinality } if cardinality <= specs[ii].rows)
-        }) {
+        if let Some(fk) = pick_col(
+            &specs[oi],
+            &mut rng,
+            |c| matches!(c.dist, ColumnDist::UniformInt { cardinality } if cardinality <= specs[ii].rows),
+        ) {
             let mut q = SelectQuery::new(table_ids[oi]);
             q.projection = vec![ColumnId(0)];
             let inner_filter = pick_col(&specs[ii], &mut rng, |c| {
@@ -581,7 +602,10 @@ pub fn generate_workload(
             let mut preds = Vec::new();
             if let Some(f) = inner_filter {
                 preds.push(Predicate::param(f, CmpOp::Eq, 0));
-                gens.push(param_gen_for(&specs[ii].columns[f.0 as usize], specs[ii].rows));
+                gens.push(param_gen_for(
+                    &specs[ii].columns[f.0 as usize],
+                    specs[ii].rows,
+                ));
             }
             q.join = Some(sqlmini::query::JoinSpec {
                 table: table_ids[ii],
@@ -742,7 +766,9 @@ mod tests {
             ..WorkloadGenConfig::default()
         };
         let m = generate_workload(&specs, &ids, &cfg, 21);
-        let early = m.active_weights(Timestamp::EPOCH + Duration::from_hours(1)).len();
+        let early = m
+            .active_weights(Timestamp::EPOCH + Duration::from_hours(1))
+            .len();
         let late = m
             .active_weights(Timestamp::EPOCH + Duration::from_days(11))
             .len();

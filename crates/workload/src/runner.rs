@@ -294,7 +294,10 @@ mod tests {
         let (summary, trace) = t
             .runner
             .run_traced(&mut t.db, &t.model, Duration::from_hours(2));
-        assert_eq!(trace.events.len() as u64, summary.statements + summary.errors);
+        assert_eq!(
+            trace.events.len() as u64,
+            summary.statements + summary.errors
+        );
         // Events are time-ordered.
         for w in trace.events.windows(2) {
             assert!(w[0].at <= w[1].at);

@@ -48,10 +48,16 @@ fn main() {
     );
     db.rebuild_stats(t);
 
-    let query_a =
-        parse_template(db.catalog(), "SELECT id, v FROM items WHERE feature_a_key = @p0").unwrap();
-    let query_b =
-        parse_template(db.catalog(), "SELECT id, v FROM items WHERE feature_b_key = @p0").unwrap();
+    let query_a = parse_template(
+        db.catalog(),
+        "SELECT id, v FROM items WHERE feature_a_key = @p0",
+    )
+    .unwrap();
+    let query_b = parse_template(
+        db.catalog(),
+        "SELECT id, v FROM items WHERE feature_b_key = @p0",
+    )
+    .unwrap();
 
     let settings = DbSettings {
         auto_create: Setting::On,

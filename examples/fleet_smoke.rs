@@ -1,32 +1,61 @@
 //! Fleet-driver smoke run: the CI guard for the parallel control loop.
 //!
-//! Drives 64 tenants for 4 ticks on 4 worker threads, then replays the
-//! same fleet serially and checks the end-of-run state is
-//! byte-identical — the determinism contract, exercised at a fleet size
-//! big enough to force real work stealing, small enough to finish well
-//! inside CI's two-minute budget.
+//! Default shape: 64 mixed-tier tenants for 4 ticks on 4 worker
+//! threads, then a serial replay of the same fleet, checking the
+//! end-of-run state is byte-identical — the determinism contract,
+//! exercised at a fleet size big enough to force real work stealing,
+//! small enough to finish well inside CI's two-minute budget.
+//!
+//! Flags reshape the run for scheduler smokes (CI drives a
+//! 2048-tenant, 95%-idle sparse sweep through these):
 //!
 //! ```text
 //! cargo run -p bench --release --example fleet_smoke
+//! cargo run -p bench --release --example fleet_smoke -- \
+//!     --tenants 2048 --active-pct 0.05 --sparse --ticks 6 --threads 4
 //! ```
+//!
+//! `--tenants N` / `--active-pct P` switch to the mostly-idle
+//! scheduler-bench fleet; `--sparse` / `--dense` pin the scheduling
+//! mode (default: the driver's default mode).
 
-use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy};
+use bench::{sparse_fleet, Args};
+use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy, SchedulingMode};
 use sqlmini::clock::Duration;
-use workload::fleet::{generate_fleet, TierMix};
+use workload::fleet::{generate_fleet, Tenant, TierMix};
 
 fn main() {
-    let tenants = 64;
-    let ticks = 4;
-    let fleet = |s| {
-        generate_fleet(
-            tenants,
-            TierMix {
-                basic: 0.9,
-                standard: 0.1,
-                premium: 0.0,
-            },
-            s,
-        )
+    let args = Args::parse();
+    let ticks = args.get_u64("ticks", 4) as u32;
+    let threads = args.get_usize("threads", 4);
+    let seed = args.get_u64("seed", 7);
+    let scheduling = if args.has("sparse") {
+        SchedulingMode::Sparse
+    } else if args.has("dense") {
+        SchedulingMode::Dense
+    } else {
+        SchedulingMode::default()
+    };
+
+    // `--tenants`/`--active-pct` select the mostly-idle scheduler fleet;
+    // the default remains the original mixed-tier 64-tenant smoke.
+    let scheduler_fleet = args.has("tenants") || args.has("active-pct");
+    let tenants = args.get_usize("tenants", 64);
+    let active_pct = args.get_f64("active-pct", 0.05);
+    let fleet = |s: u64| -> Vec<Tenant> {
+        if scheduler_fleet {
+            sparse_fleet(tenants, active_pct, s)
+        } else {
+            generate_fleet(
+                tenants,
+                TierMix {
+                    basic: 0.9,
+                    standard: 0.1,
+                    premium: 0.0,
+                },
+                s,
+            )
+        }
     };
     let driver = FleetDriver::new(FleetDriverConfig {
         policy: PlanePolicy {
@@ -37,10 +66,11 @@ fn main() {
         fault_seed: Some(2024),
         fault_transient_prob: 0.1,
         fault_fatal_prob: 0.01,
+        scheduling,
         ..FleetDriverConfig::default()
     });
 
-    let parallel = driver.run(fleet(7), ticks, 4);
+    let parallel = driver.run(fleet(seed), ticks, threads);
     println!(
         "parallel: {} tenants x {} ticks on {} threads in {:.2?} ({:.1} tenant-ticks/s)",
         parallel.tenants.len(),
@@ -50,9 +80,17 @@ fn main() {
         parallel.throughput(),
     );
     println!("fleet states: {:?}", parallel.by_state);
-    println!("telemetry:\n{}", parallel.telemetry.export_json());
+    println!(
+        "scheduler ({:?}): {} control passes executed, {} skipped",
+        scheduling,
+        parallel.control_ticks_executed(),
+        parallel.control_ticks_skipped(),
+    );
+    if !scheduler_fleet {
+        println!("telemetry:\n{}", parallel.telemetry.export_json());
+    }
 
-    let serial = driver.run(fleet(7), ticks, 1);
+    let serial = driver.run(fleet(seed), ticks, 1);
     println!(
         "serial replay in {:.2?} ({:.1} tenant-ticks/s)",
         serial.elapsed,

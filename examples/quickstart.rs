@@ -83,8 +83,16 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Ask the MI recommender.
     // ------------------------------------------------------------------
-    let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
-    println!("\nMI recommender produced {} recommendation(s):", analysis.recommendations.len());
+    let analysis = recommend(
+        &db,
+        &store,
+        &MiConfig::default(),
+        &ImpactClassifier::default(),
+    );
+    println!(
+        "\nMI recommender produced {} recommendation(s):",
+        analysis.recommendations.len()
+    );
     for r in &analysis.recommendations {
         println!(
             "  {}   est. improvement {:.0}%   est. size {} KiB",

@@ -49,8 +49,7 @@ fn main() {
     )
     .unwrap();
     // ...swamped by an ingest firehose.
-    let ingest =
-        parse_template(db.catalog(), "INSERT INTO events VALUES (@p0, @p1, 0.5)").unwrap();
+    let ingest = parse_template(db.catalog(), "INSERT INTO events VALUES (@p0, @p1, 0.5)").unwrap();
 
     let settings = DbSettings {
         auto_create: Setting::On,

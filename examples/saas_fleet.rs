@@ -107,7 +107,11 @@ fn main() {
     pop.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
     for (name, n) in pop.iter().take(8) {
         let frac = **n as f64 / FLEET as f64 * 100.0;
-        let marker = if frac >= 50.0 { "  <= fleet-wide candidate" } else { "" };
+        let marker = if frac >= 50.0 {
+            "  <= fleet-wide candidate"
+        } else {
+            ""
+        };
         println!("  {name}: beneficial on {n}/{FLEET} databases ({frac:.0}%){marker}");
     }
     println!(

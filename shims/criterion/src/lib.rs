@@ -15,14 +15,9 @@ const DEFAULT_MEASUREMENT: Duration = Duration::from_millis(300);
 /// Keep `cargo bench` bounded even when benches ask for long windows.
 const MAX_MEASUREMENT: Duration = Duration::from_secs(2);
 
+#[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion { filter: None }
-    }
 }
 
 impl Criterion {
@@ -30,9 +25,7 @@ impl Criterion {
     /// filter on benchmark names (cargo bench passes harness flags like
     /// `--bench`, which are ignored).
     pub fn from_args() -> Criterion {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 
@@ -198,7 +191,11 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
-    let mut b = Bencher { budget, iters: 0, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     if b.iters == 0 {
         println!("{name:<50} (no iterations recorded)");
@@ -214,7 +211,10 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
     } else {
         (per_iter, "ns")
     };
-    println!("{name:<50} time: {scaled:>10.3} {unit}/iter   ({} iters)", b.iters);
+    println!(
+        "{name:<50} time: {scaled:>10.3} {unit}/iter   ({} iters)",
+        b.iters
+    );
 }
 
 #[macro_export]

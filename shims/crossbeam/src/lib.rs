@@ -42,11 +42,17 @@ pub mod deque {
 
     impl<T> Worker<T> {
         pub fn new_fifo() -> Worker<T> {
-            Worker { inner: Arc::new(Mutex::new(VecDeque::new())), fifo: true }
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                fifo: true,
+            }
         }
 
         pub fn new_lifo() -> Worker<T> {
-            Worker { inner: Arc::new(Mutex::new(VecDeque::new())), fifo: false }
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                fifo: false,
+            }
         }
 
         pub fn push(&self, task: T) {
@@ -72,7 +78,10 @@ pub mod deque {
         }
 
         pub fn stealer(&self) -> Stealer<T> {
-            Stealer { inner: Arc::clone(&self.inner), owner_fifo: self.fifo }
+            Stealer {
+                inner: Arc::clone(&self.inner),
+                owner_fifo: self.fifo,
+            }
         }
     }
 
@@ -84,14 +93,21 @@ pub mod deque {
 
     impl<T> Clone for Stealer<T> {
         fn clone(&self) -> Stealer<T> {
-            Stealer { inner: Arc::clone(&self.inner), owner_fifo: self.owner_fifo }
+            Stealer {
+                inner: Arc::clone(&self.inner),
+                owner_fifo: self.owner_fifo,
+            }
         }
     }
 
     impl<T> Stealer<T> {
         pub fn steal(&self) -> Steal<T> {
             let mut q = self.inner.lock().unwrap();
-            let stolen = if self.owner_fifo { q.pop_back() } else { q.pop_front() };
+            let stolen = if self.owner_fifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            };
             match stolen {
                 Some(t) => Steal::Success(t),
                 None => Steal::Empty,
@@ -116,7 +132,9 @@ pub mod deque {
 
     impl<T> Injector<T> {
         pub fn new() -> Injector<T> {
-            Injector { inner: Mutex::new(VecDeque::new()) }
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
         }
 
         pub fn push(&self, task: T) {

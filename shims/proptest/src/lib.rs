@@ -80,7 +80,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+            self.generate(rng)
+        }))
     }
 }
 
@@ -118,7 +120,10 @@ pub struct Union<V>(Vec<BoxedStrategy<V>>);
 
 impl<V> Union<V> {
     pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
-        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union(alternatives)
     }
 }
@@ -316,20 +321,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
@@ -339,7 +353,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -375,9 +392,7 @@ where
     let base = seed_for(name);
     let mut rejects = 0u32;
     for case in 0..config.cases {
-        let mut rng = StdRng::seed_from_u64(
-            base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15),
-        );
+        let mut rng = StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let value = strategy.generate(&mut rng);
         let repr = format!("{value:?}");
         let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
@@ -490,8 +505,8 @@ macro_rules! prop_oneof {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
-        Just, ProptestConfig, Strategy, TestCaseError, Union,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 

@@ -50,7 +50,10 @@ impl Value {
 
     /// Field lookup in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 }
 
@@ -178,7 +181,9 @@ impl Serialize for char {
 }
 impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let s = v.as_str().ok_or_else(|| Error::msg("expected single-char string"))?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::msg("expected single-char string"))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -265,7 +270,10 @@ impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
             .as_array()
             .ok_or_else(|| Error::msg(format!("expected array, got {v:?}")))?;
         if items.len() != N {
-            return Err(Error::msg(format!("expected {N} elements, got {}", items.len())));
+            return Err(Error::msg(format!(
+                "expected {N} elements, got {}",
+                items.len()
+            )));
         }
         let mut out = [T::default(); N];
         for (slot, item) in out.iter_mut().zip(items) {

@@ -19,8 +19,14 @@ enum Fields {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<(String, Fields)> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
 }
 
 #[proc_macro_derive(Serialize)]
@@ -74,7 +80,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     };
     i += 1;
     if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("serde shim derive does not support generic type {name}"));
+        return Err(format!(
+            "serde shim derive does not support generic type {name}"
+        ));
     }
     match kind.as_str() {
         "struct" => {
@@ -95,7 +103,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 other => return Err(format!("expected enum body for {name}, got {other:?}")),
             };
-            Ok(Item::Enum { name, variants: parse_variants(body)? })
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
         }
         other => Err(format!("cannot derive for item kind {other}")),
     }
@@ -190,7 +201,9 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> 
                 Fields::Tuple(count_tuple_fields(g.stream()))
             }
             Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
-                return Err(format!("explicit discriminants unsupported (variant {name})"));
+                return Err(format!(
+                    "explicit discriminants unsupported (variant {name})"
+                ));
             }
             other => return Err(format!("unsupported variant shape {name}: {other:?}")),
         };

@@ -45,7 +45,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 }
 
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.parse_value()?;
     p.skip_ws();
@@ -306,13 +309,11 @@ impl<'a> Parser<'a> {
                                 self.expect(b'u')?;
                                 self.pos -= 1; // parse_hex4 advances past 'u' itself
                                 let lo = self.parse_hex4()?;
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::new("bad surrogate pair"))?
                             } else {
-                                char::from_u32(cp)
-                                    .ok_or_else(|| Error::new("bad \\u escape"))?
+                                char::from_u32(cp).ok_or_else(|| Error::new("bad \\u escape"))?
                             };
                             out.push(c);
                             // parse_hex4 leaves pos on the last hex digit.
@@ -330,8 +331,7 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar (input is valid UTF-8 by
                     // construction: we came from &str).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::new("invalid utf-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| Error::new("invalid utf-8"))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();

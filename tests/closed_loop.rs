@@ -112,14 +112,11 @@ fn implemented_indexes_change_plans_and_reduce_cost() {
     let mut mdb = ManagedDb::new(tenant.db, auto_settings(), ServerSettings::default());
     runner.run(&mut mdb.db, &model, Duration::from_hours(12));
     let early_cpu = mdb.db.total_cpu_us;
-    let early_stmts = mdb
-        .db
-        .query_store()
-        .total_resources(
-            sqlmini::querystore::Metric::CpuTime,
-            sqlmini::clock::Timestamp::EPOCH,
-            mdb.db.clock().now(),
-        );
+    let early_stmts = mdb.db.query_store().total_resources(
+        sqlmini::querystore::Metric::CpuTime,
+        sqlmini::clock::Timestamp::EPOCH,
+        mdb.db.clock().now(),
+    );
     assert!(early_cpu > 0.0 && early_stmts > 0.0);
 
     for _ in 0..36 {

@@ -2,9 +2,7 @@
 //! trace fork → replay on a clone → phased recommender comparison →
 //! statistically justified winner.
 
-use experiment::{
-    create_b_instance, run_phased_experiment, ExperimentConfig, Winner,
-};
+use experiment::{create_b_instance, run_phased_experiment, ExperimentConfig, Winner};
 use sqlmini::clock::Duration;
 use sqlmini::engine::ServiceTier;
 use workload::{generate_tenant, replay, ReplayFidelity, TenantConfig};

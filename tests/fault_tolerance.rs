@@ -69,8 +69,11 @@ fn loop_survives_stochastic_faults_everywhere() {
     for (_, state) in &open {
         assert!(matches!(
             state,
-            RecoState::Active | RecoState::Implementing | RecoState::Validating
-                | RecoState::Reverting | RecoState::Retry
+            RecoState::Active
+                | RecoState::Implementing
+                | RecoState::Validating
+                | RecoState::Reverting
+                | RecoState::Retry
         ));
     }
     assert!(plane.faults.injected > 0, "the test must actually inject");
@@ -127,5 +130,8 @@ fn fatal_faults_raise_incidents_not_hangs() {
     assert!(!plane.telemetry.incidents().is_empty());
     // All the affected recommendations are in Error (terminal), none stuck
     // in Implementing.
-    assert!(plane.store.all().all(|r| r.state != RecoState::Implementing));
+    assert!(plane
+        .store
+        .all()
+        .all(|r| r.state != RecoState::Implementing));
 }

@@ -135,7 +135,9 @@ fn faults_injected_during_parallel_run_do_not_deadlock_and_reverts_fire() {
         "reverts must fire during the parallel run: {}",
         parallel.telemetry.export_json()
     );
-    let fault_hits = parallel.telemetry.count(EventKind::ImplementFailedTransient)
+    let fault_hits = parallel
+        .telemetry
+        .count(EventKind::ImplementFailedTransient)
         + parallel.telemetry.count(EventKind::ImplementFailedFatal)
         + parallel.telemetry.count(EventKind::RevertFailedTransient);
     assert!(

@@ -56,7 +56,7 @@ proptest! {
             }
         }
         prop_assert_eq!(tree.len(), model.len());
-        tree.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        tree.check_invariants().map_err(TestCaseError::fail)?;
         let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
         let want: Vec<(u16, u32)> = model.into_iter().collect();
         prop_assert_eq!(got, want);

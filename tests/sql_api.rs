@@ -45,12 +45,7 @@ fn shop_db() -> Database {
     );
     db.load_rows(
         customers,
-        (0..200i64).map(|i| {
-            vec![
-                Value::Int(i),
-                Value::Str(format!("region_{}", i % 4)),
-            ]
-        }),
+        (0..200i64).map(|i| vec![Value::Int(i), Value::Str(format!("region_{}", i % 4))]),
     );
     db.rebuild_all_stats();
     db
@@ -127,7 +122,12 @@ fn sql_driven_workload_feeds_recommender() {
         db.clock().advance(Duration::from_hours(1));
         store.take_snapshot(&db);
     }
-    let analysis = recommend(&db, &store, &MiConfig::default(), &ImpactClassifier::default());
+    let analysis = recommend(
+        &db,
+        &store,
+        &MiConfig::default(),
+        &ImpactClassifier::default(),
+    );
     assert_eq!(analysis.recommendations.len(), 1);
     let RecoAction::CreateIndex { def } = &analysis.recommendations[0].action else {
         panic!("expected a create");
