@@ -3,10 +3,15 @@
 //! scheduler, on a mostly-idle fleet — the shape §8 of the paper runs
 //! at: millions of databases, most of them quiet at any given hour.
 //!
-//! Both modes drive the *same* seeded fleet and must end byte-identical
-//! (the tentpole invariant); the sparse run must additionally execute at
-//! least 5x fewer control passes. Results are written to
-//! `BENCH_fleet.json` to seed the scaling table in EXPERIMENTS.md.
+//! The full matrix is {dense, sparse} x {1, 4 threads} x {plan cache
+//! on, off}. All eight runs drive the *same* seeded fleet and must end
+//! byte-identical (the tentpole invariant): the sparse scheduler may
+//! only skip provably-idle control passes, and the plan-selection cache
+//! may only change wall-clock. The sparse run must additionally execute
+//! at least 5x fewer control passes, and the cached run must serve at
+//! least 80% of statement executions from memoized plans. Results are
+//! written to `BENCH_fleet.json` to seed the scaling table in
+//! EXPERIMENTS.md.
 //!
 //! ```text
 //! cargo run -p bench --release --bin fleet_bench               # full (2048 tenants)
@@ -26,7 +31,7 @@ struct Scenario {
     seed: u64,
 }
 
-fn config(scheduling: SchedulingMode) -> FleetDriverConfig {
+fn config(scheduling: SchedulingMode, plan_cache: bool) -> FleetDriverConfig {
     FleetDriverConfig {
         policy: PlanePolicy {
             // A daily analysis pass over hourly ticks: the cadence §4
@@ -37,14 +42,20 @@ fn config(scheduling: SchedulingMode) -> FleetDriverConfig {
             ..PlanePolicy::default()
         },
         scheduling,
+        plan_cache,
         ..FleetDriverConfig::default()
     }
 }
 
-fn timed_run(sc: &Scenario, mode: SchedulingMode, threads: usize) -> (FleetReport, f64) {
+fn timed_run(
+    sc: &Scenario,
+    mode: SchedulingMode,
+    threads: usize,
+    plan_cache: bool,
+) -> (FleetReport, f64) {
     let fleet = sparse_fleet(sc.tenants, sc.active_pct, sc.seed);
     let t0 = Instant::now();
-    let report = FleetDriver::new(config(mode)).run(fleet, sc.ticks, threads);
+    let report = FleetDriver::new(config(mode, plan_cache)).run(fleet, sc.ticks, threads);
     (report, t0.elapsed().as_secs_f64() * 1e3)
 }
 
@@ -58,12 +69,24 @@ struct BenchResult {
     sparse_control_passes: u64,
     sparse_skipped_passes: u64,
     pass_reduction: f64,
+    // Headline walls: plan cache ON (the shipping configuration).
     wall_ms_dense_1t: f64,
     wall_ms_dense_4t: f64,
     wall_ms_sparse_1t: f64,
     wall_ms_sparse_4t: f64,
+    // Differential-oracle walls: plan cache OFF (recompile everything).
+    wall_ms_dense_1t_nocache: f64,
+    wall_ms_dense_4t_nocache: f64,
+    wall_ms_sparse_1t_nocache: f64,
+    wall_ms_sparse_4t_nocache: f64,
     speedup_1t: f64,
     speedup_4t: f64,
+    /// Cache-off over cache-on wall, sparse single-thread.
+    cache_speedup_1t: f64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_invalidations: u64,
+    plan_cache_hit_rate: f64,
     identical_end_state: bool,
 }
 
@@ -86,20 +109,33 @@ fn main() {
         sc.seed
     );
 
-    let (dense_1, wall_dense_1) = timed_run(&sc, SchedulingMode::Dense, 1);
-    let (dense_4, wall_dense_4) = timed_run(&sc, SchedulingMode::Dense, 4);
-    let (sparse_1, wall_sparse_1) = timed_run(&sc, SchedulingMode::Sparse, 1);
-    let (sparse_4, wall_sparse_4) = timed_run(&sc, SchedulingMode::Sparse, 4);
+    let (dense_1, wall_dense_1) = timed_run(&sc, SchedulingMode::Dense, 1, true);
+    let (dense_4, wall_dense_4) = timed_run(&sc, SchedulingMode::Dense, 4, true);
+    let (sparse_1, wall_sparse_1) = timed_run(&sc, SchedulingMode::Sparse, 1, true);
+    let (sparse_4, wall_sparse_4) = timed_run(&sc, SchedulingMode::Sparse, 4, true);
+    let (dense_1_nc, wall_dense_1_nc) = timed_run(&sc, SchedulingMode::Dense, 1, false);
+    let (dense_4_nc, wall_dense_4_nc) = timed_run(&sc, SchedulingMode::Dense, 4, false);
+    let (sparse_1_nc, wall_sparse_1_nc) = timed_run(&sc, SchedulingMode::Sparse, 1, false);
+    let (sparse_4_nc, wall_sparse_4_nc) = timed_run(&sc, SchedulingMode::Sparse, 4, false);
 
-    // The tentpole invariant, enforced at benchmark scale: every mode and
-    // thread count converges to the same canonical fleet state.
+    // The tentpole invariant, enforced at benchmark scale: every mode,
+    // thread count, and cache setting converges to the same canonical
+    // fleet state.
     let canon = dense_1.canonical_string();
-    let identical = canon == sparse_1.canonical_string()
-        && canon == dense_4.canonical_string()
-        && canon == sparse_4.canonical_string();
+    let identical = [
+        &dense_4,
+        &sparse_1,
+        &sparse_4,
+        &dense_1_nc,
+        &dense_4_nc,
+        &sparse_1_nc,
+        &sparse_4_nc,
+    ]
+    .iter()
+    .all(|r| r.canonical_string() == canon);
     assert!(
         identical,
-        "sparse/dense or serial/parallel end states diverged"
+        "sparse/dense, serial/parallel, or cache-on/off end states diverged"
     );
 
     let dense_passes = dense_1.control_ticks_executed();
@@ -110,7 +146,7 @@ fn main() {
         dense_passes + dense_1.control_ticks_skipped(),
         "scheduler accounting must cover every tenant-tick"
     );
-    // The headline acceptance bar presumes a mostly-idle fleet; a run
+    // The headline acceptance bars presume a mostly-idle fleet; a run
     // explicitly asked for a busy one (`--active-pct 0.5`) measures
     // without asserting.
     if sc.active_pct <= 0.10 {
@@ -120,6 +156,17 @@ fn main() {
             (1.0 - sc.active_pct) * 100.0
         );
     }
+    let hit_rate = sparse_1.plan_cache_hit_rate();
+    assert!(
+        hit_rate >= 0.80,
+        "steady-state plan-cache hit rate must be >=80%, got {:.1}%",
+        hit_rate * 100.0
+    );
+    assert_eq!(
+        sparse_1_nc.plan_cache_hits(),
+        0,
+        "the cache-off oracle must never consult a cache"
+    );
 
     println!("{:>22} {:>12} {:>12}", "", "dense", "sparse");
     println!(
@@ -140,7 +187,20 @@ fn main() {
         wall_sparse_4,
         wall_dense_4 / wall_sparse_4.max(1e-9)
     );
-    println!("end states: byte-identical across modes and thread counts");
+    println!(
+        "{:>22} {:>10.0}ms {:>10.0}ms   (cache off, 1 thread)",
+        "wall, no plan cache", wall_dense_1_nc, wall_sparse_1_nc
+    );
+    println!(
+        "plan cache: {:.1}% hit rate ({} hits / {} misses / {} invalidations), \
+         {:.2}x vs recompile-every-statement",
+        hit_rate * 100.0,
+        sparse_1.plan_cache_hits(),
+        sparse_1.plan_cache_misses(),
+        sparse_1.plan_cache_invalidations(),
+        wall_sparse_1_nc / wall_sparse_1.max(1e-9)
+    );
+    println!("end states: byte-identical across modes, thread counts, and cache settings");
 
     let result = BenchResult {
         tenants: sc.tenants,
@@ -155,8 +215,17 @@ fn main() {
         wall_ms_dense_4t: wall_dense_4,
         wall_ms_sparse_1t: wall_sparse_1,
         wall_ms_sparse_4t: wall_sparse_4,
+        wall_ms_dense_1t_nocache: wall_dense_1_nc,
+        wall_ms_dense_4t_nocache: wall_dense_4_nc,
+        wall_ms_sparse_1t_nocache: wall_sparse_1_nc,
+        wall_ms_sparse_4t_nocache: wall_sparse_4_nc,
         speedup_1t: wall_dense_1 / wall_sparse_1.max(1e-9),
         speedup_4t: wall_dense_4 / wall_sparse_4.max(1e-9),
+        cache_speedup_1t: wall_sparse_1_nc / wall_sparse_1.max(1e-9),
+        plan_cache_hits: sparse_1.plan_cache_hits(),
+        plan_cache_misses: sparse_1.plan_cache_misses(),
+        plan_cache_invalidations: sparse_1.plan_cache_invalidations(),
+        plan_cache_hit_rate: hit_rate,
         identical_end_state: identical,
     };
     let json = serde_json::to_string_pretty(&result).expect("result serializes");

@@ -38,10 +38,12 @@
 //! changes no state, emits no telemetry, and draws no fault randomness —
 //! so sparse and dense runs produce byte-identical
 //! [`FleetReport::canonical_string`] output. Dense mode is kept as the
-//! replay oracle for exactly that property. (One documented exception:
-//! *scripted* [`FaultPoint::JournalTear`] faults are consumed per
-//! control pass, so their firing tick shifts when passes are skipped;
-//! stochastic injectors never arm that point.)
+//! replay oracle for exactly that property. Scripted
+//! [`FaultPoint::JournalTear`] faults are probed at the start of every
+//! non-quarantined tick — keyed by `(tenant, tick)`, not by executed
+//! control passes — so their firing ticks are identical in both modes; a
+//! tear forces that tick's control pass (dense would have run it anyway)
+//! so the recovered state is reprocessed at the same instant everywhere.
 
 use crate::faults::{FaultInjector, FaultKind, FaultPoint};
 use crate::metrics::MetricsRegistry;
@@ -72,6 +74,10 @@ pub struct TenantScript {
     pub point: FaultPoint,
     pub count: u32,
     pub kind: FaultKind,
+    /// When set, the script arms at the start of this tick instead of at
+    /// worker setup — keying the fault by `(tenant, tick)` so its firing
+    /// point is identical under dense and sparse scheduling.
+    pub at_tick: Option<u64>,
 }
 
 /// How the fleet driver decides which ticks take a control-plane pass.
@@ -91,8 +97,7 @@ impl Default for SchedulingMode {
     /// Sparse ships as the default: it is byte-equivalent to the dense
     /// oracle (pinned by `tests/sparse_dense.rs`) and does O(active)
     /// control work per tick instead of O(fleet). Dense remains
-    /// available as the oracle for equivalence tests and for the one
-    /// documented divergence (scripted `JournalTear` timing).
+    /// available as the replay oracle for equivalence tests.
     fn default() -> SchedulingMode {
         SchedulingMode::Sparse
     }
@@ -144,6 +149,11 @@ pub struct FleetDriverConfig {
     pub trace: bool,
     /// Dense (oracle) vs sparse (due-time-indexed) control scheduling.
     pub scheduling: SchedulingMode,
+    /// Whether each tenant's engine memoizes compiled plans across
+    /// executions. `false` recompiles every statement — the differential
+    /// oracle for the plan-cache equivalence tests, byte-identical to
+    /// the cached mode in everything but speed.
+    pub plan_cache: bool,
 }
 
 impl Default for FleetDriverConfig {
@@ -163,6 +173,7 @@ impl Default for FleetDriverConfig {
             auto_fraction: None,
             trace: false,
             scheduling: SchedulingMode::default(),
+            plan_cache: true,
         }
     }
 }
@@ -378,12 +389,18 @@ impl FleetReport {
         DashboardSnapshot::from_metrics(&self.metrics, self.sim_time)
     }
 
-    /// The §8.1 ops table plus the fleet-scheduler block (control passes
-    /// executed vs skipped). Mode-dependent by construction — use
-    /// [`FleetReport::dashboard`] when comparing runs across modes.
+    /// The §8.1 ops table plus the fleet-scheduler and plan-cache blocks
+    /// (driver bookkeeping). Mode-dependent by construction — use
+    /// [`FleetReport::dashboard`] when comparing runs across modes or
+    /// across cache settings.
     pub fn dashboard_with_scheduler(&self) -> DashboardSnapshot {
         self.dashboard()
             .with_scheduler(self.control_ticks_executed(), self.control_ticks_skipped())
+            .with_plan_cache(
+                self.plan_cache_hits(),
+                self.plan_cache_misses(),
+                self.plan_cache_invalidations(),
+            )
     }
 
     /// Control-plane passes that actually ran.
@@ -394,6 +411,32 @@ impl FleetReport {
     /// Control-plane passes the sparse scheduler proved unnecessary.
     pub fn control_ticks_skipped(&self) -> u64 {
         self.scheduler_metrics.counter("scheduler.ticks_skipped")
+    }
+
+    /// Statement executions served by a memoized plan, fleet-wide.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.scheduler_metrics.counter("plan_cache.hits")
+    }
+
+    /// Statement executions that compiled a plan (cache miss or cache
+    /// disabled).
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.scheduler_metrics.counter("plan_cache.misses")
+    }
+
+    /// Cached plans discarded because the tenant's catalog fingerprint
+    /// moved (index DDL, stats refresh, schema change, restart).
+    pub fn plan_cache_invalidations(&self) -> u64 {
+        self.scheduler_metrics.counter("plan_cache.invalidations")
+    }
+
+    /// Fleet-wide plan-cache hit rate in [0, 1].
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits() + self.plan_cache_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_cache_hits() as f64 / total as f64
     }
 
     /// Canonical serialization of the end-of-run fleet state: one JSON
@@ -531,7 +574,12 @@ impl FleetDriver {
                 self.config.fault_fatal_prob,
             );
         }
-        for s in self.config.scripts.iter().filter(|s| s.tenant == index) {
+        for s in self
+            .config
+            .scripts
+            .iter()
+            .filter(|s| s.tenant == index && s.at_tick.is_none())
+        {
             plane.faults.script(s.point, s.count, s.kind);
         }
         let Tenant {
@@ -546,6 +594,7 @@ impl FleetDriver {
         // its time stream — otherwise driving one clone of a fleet would
         // advance time for every other clone and wreck replay.
         db.detach_clock();
+        db.config.plan_cache = self.config.plan_cache;
         // Per-tenant settings: either the uniform config, or (§8.1) a
         // hash-chosen fraction of the fleet on full auto and the rest in
         // recommend-only mode.
@@ -604,7 +653,9 @@ impl FleetDriver {
     /// One tick of one tenant. `control_due` is the scheduler's verdict
     /// (always true in dense mode); quarantine takes precedence either
     /// way. The workload slice runs on every path — only the control
-    /// pass is ever skipped.
+    /// pass is ever skipped. Returns whether a control pass executed, so
+    /// the serial sparse driver can refresh its wake heap after a pass
+    /// it did not itself schedule (see the journal-tear probe below).
     ///
     /// The tick is *supervised*: it runs under `catch_unwind`, so a
     /// panicking tenant is frozen and reported as
@@ -613,7 +664,7 @@ impl FleetDriver {
     /// the chaos `crash_every_writes` knob crash-recovers the journaled
     /// store at tick boundaries. All supervision decisions derive from
     /// per-tenant state only, so they replay deterministically.
-    fn step_tenant(&self, w: &mut TenantWorker, tick: u32, control_due: bool) {
+    fn step_tenant(&self, w: &mut TenantWorker, tick: u32, control_due: bool) -> bool {
         let interval = self.config.tick_interval;
         if tick < w.quarantined_until {
             // Cool-down: the customer's workload keeps running, the
@@ -622,7 +673,34 @@ impl FleetDriver {
             w.plane.metrics.inc("fleet.quarantined_ticks");
             w.runner
                 .run_slice_into(&mut w.mdb.db, &w.model, interval, &mut w.run);
-            return;
+            return false;
+        }
+        // Arm tick-keyed scripts, then take the tick-boundary
+        // process-death probe. JournalTear models the process dying
+        // between ticks, so it is consumed here — keyed by
+        // `(tenant, tick)`, identical under dense and sparse scheduling —
+        // not inside the control pass, where sparse skips would shift its
+        // firing tick. The count toward the quarantine breaker starts
+        // here too, so a tear is a faulted tick in both modes.
+        for s in self
+            .config
+            .scripts
+            .iter()
+            .filter(|s| s.tenant == w.index && s.at_tick == Some(tick as u64))
+        {
+            w.plane.faults.script(s.point, s.count, s.kind);
+        }
+        let injected_before = w.plane.faults.injected;
+        let mut control_due = control_due;
+        if w.plane.faults.check(FaultPoint::JournalTear).is_some() {
+            let now = w.mdb.db.clock().now();
+            let name = w.mdb.db.name.clone();
+            w.plane.store.corrupt_journal_tail();
+            w.plane.recover_store(&name, now);
+            // Recovery may have reparked mid-flight recommendations,
+            // invalidating the recorded wake schedule. Run the pass this
+            // tick — dense would have — instead of trusting it.
+            control_due = true;
         }
         if !control_due {
             // Sparse skip: the schedule proves no stage has due work, so
@@ -641,7 +719,7 @@ impl FleetDriver {
             }));
             if let Err(payload) = unwound {
                 self.poison(w, tick, payload);
-                return;
+                return false;
             }
             if self.config.trace {
                 let now = w.mdb.db.clock().now();
@@ -649,10 +727,9 @@ impl FleetDriver {
                 w.plane.tracer.end(now);
             }
             w.consecutive_faulted = 0;
-            return;
+            return false;
         }
         w.sched.inc("scheduler.ticks_executed");
-        let injected_before = w.plane.faults.injected;
         let unwound = catch_unwind(AssertUnwindSafe(|| {
             w.runner
                 .run_slice_into(&mut w.mdb.db, &w.model, interval, &mut w.run);
@@ -664,7 +741,7 @@ impl FleetDriver {
         match unwound {
             Err(payload) => {
                 self.poison(w, tick, payload);
-                return;
+                return false;
             }
             Ok(schedule) => {
                 let now = w.mdb.db.clock().now();
@@ -717,6 +794,7 @@ impl FleetDriver {
                 w.mdb.db.clock().now(),
             );
         }
+        true
     }
 
     /// End-of-run accounting for one worker: the §8.2-flavor
@@ -729,9 +807,17 @@ impl FleetDriver {
             run,
             supervision,
             t_start,
-            sched,
+            mut sched,
             ..
         } = w;
+        // Plan-selection cache counters land in the driver bookkeeping
+        // registry, not the canonical one: cache-on and cache-off runs
+        // must stay byte-identical in everything observable, and hit
+        // counts differ between them by construction.
+        let pcs = mdb.db.plan_cache_stats;
+        sched.add("plan_cache.hits", pcs.hits);
+        sched.add("plan_cache.misses", pcs.misses);
+        sched.add("plan_cache.invalidations", pcs.invalidations);
         // Workload-impact roll-up (§8.2 flavor): fixed-count CPU cost of
         // the first observation window vs the last, per query. Counts
         // are pinned to the first window so the comparison measures
@@ -814,8 +900,12 @@ impl FleetDriver {
                     continue;
                 }
                 let claimed = due[w.index];
-                self.step_tenant(w, tick, claimed);
-                if claimed && !w.done {
+                let executed = self.step_tenant(w, tick, claimed);
+                // Re-arm on any executed pass, not just claimed ones: a
+                // journal tear forces a pass the heap never scheduled,
+                // and the recovered schedule supersedes the old entry
+                // (which goes stale in the heap).
+                if (claimed || executed) && !w.done {
                     // The pop released the tenant; re-arm it. A pass
                     // suppressed by quarantine resumes at the cool-down
                     // boundary — unless the schedule says later, or the

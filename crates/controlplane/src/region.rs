@@ -121,6 +121,14 @@ pub struct DashboardSnapshot {
     pub sched_ticks_executed: u64,
     /// Control-plane passes the sparse scheduler proved unnecessary.
     pub sched_ticks_skipped: u64,
+    /// Plan-selection cache hits across the fleet's tenant engines (0
+    /// when built without driver context — see
+    /// [`DashboardSnapshot::with_plan_cache`]).
+    pub plan_cache_hits: u64,
+    /// Plan-selection cache misses (compilations actually run).
+    pub plan_cache_misses: u64,
+    /// Cached plans discarded because the catalog fingerprint moved.
+    pub plan_cache_invalidations: u64,
 }
 
 impl DashboardSnapshot {
@@ -152,6 +160,9 @@ impl DashboardSnapshot {
             what_if_saved_pruning: metrics.counter("dta.whatif.saved.pruning"),
             sched_ticks_executed: 0,
             sched_ticks_skipped: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_invalidations: 0,
         }
     }
 
@@ -162,6 +173,31 @@ impl DashboardSnapshot {
         self.sched_ticks_executed = executed;
         self.sched_ticks_skipped = skipped;
         self
+    }
+
+    /// Attach plan-selection cache counters (non-canonical driver
+    /// bookkeeping, like the scheduler counters, so they arrive via this
+    /// builder rather than `from_metrics`). Gates the "plan cache"
+    /// render block.
+    pub fn with_plan_cache(
+        mut self,
+        hits: u64,
+        misses: u64,
+        invalidations: u64,
+    ) -> DashboardSnapshot {
+        self.plan_cache_hits = hits;
+        self.plan_cache_misses = misses;
+        self.plan_cache_invalidations = invalidations;
+        self
+    }
+
+    /// Fraction of statement executions served by a memoized plan.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_cache_hits as f64 / total as f64
     }
 
     /// Fraction of scheduled control passes skipped as provably idle.
@@ -333,6 +369,22 @@ impl DashboardSnapshot {
                 "  control passes skipped        {:>8}  ({:.1}% provably idle)\n",
                 self.sched_ticks_skipped,
                 self.sched_skip_fraction() * 100.0
+            ));
+        }
+        if self.plan_cache_hits + self.plan_cache_misses > 0 {
+            out.push_str("plan cache\n");
+            out.push_str(&format!(
+                "  hits                          {:>8}  ({:.1}% hit rate)\n",
+                self.plan_cache_hits,
+                self.plan_cache_hit_rate() * 100.0
+            ));
+            out.push_str(&format!(
+                "  misses (compilations)         {:>8}\n",
+                self.plan_cache_misses
+            ));
+            out.push_str(&format!(
+                "  invalidations                 {:>8}\n",
+                self.plan_cache_invalidations
             ));
         }
         out.push_str(&format!(

@@ -270,6 +270,7 @@ fn journal_tears_during_live_run_park_in_retry_not_corruption() {
             point: FaultPoint::JournalTear,
             count: 6,
             kind: FaultKind::Transient,
+            at_tick: None,
         }],
         scheduling: sched_mode(),
         ..FleetDriverConfig::default()
@@ -309,6 +310,7 @@ fn poisoned_tenant_is_isolated_from_the_fleet() {
             point: FaultPoint::TenantPanic,
             count: 1,
             kind: FaultKind::Fatal,
+            at_tick: None,
         }],
         ..clean_cfg.clone()
     };
@@ -342,25 +344,23 @@ fn poisoned_tenant_is_isolated_from_the_fleet() {
 #[test]
 fn quarantine_breaker_trips_and_replays_deterministically() {
     let seed = chaos_seed();
-    // Pinned to dense: the script arms JournalTear, which is probed once
-    // per *executed* control pass, and the breaker wants the three tears
-    // on consecutive ticks. Sparse mode legitimately skips passes in
-    // between (the documented scripted-JournalTear divergence), so the
-    // consecutive-tick premise only holds on the dense grid. The
-    // breaker-under-sparse interaction is pinned by the driver's own
-    // `sparse_serial_heap_matches_sparse_parallel` test with stochastic
-    // faults, whose timing is mode-independent.
+    // Tears scripted at ticks 2, 3, 4 — the (tenant, tick) keying makes
+    // them fire on those exact ticks under dense *and* sparse
+    // scheduling, so the consecutive-tick premise holds on both grids
+    // and the test runs in whichever mode the matrix selects.
+    let tears = (2..5).map(|t| TenantScript {
+        tenant: 1,
+        point: FaultPoint::JournalTear,
+        count: 1,
+        kind: FaultKind::Transient,
+        at_tick: Some(t),
+    });
     let cfg = FleetDriverConfig {
         policy: fast_policy(),
         quarantine_threshold: 3,
         quarantine_cooldown: 4,
-        scripts: vec![TenantScript {
-            tenant: 1,
-            point: FaultPoint::JournalTear,
-            count: 3,
-            kind: FaultKind::Transient,
-        }],
-        scheduling: SchedulingMode::Dense,
+        scripts: tears.collect(),
+        scheduling: sched_mode(),
         ..FleetDriverConfig::default()
     };
     let fleet = small_fleet(4, seed);
@@ -589,4 +589,55 @@ fn sparse_crash_sweep_recovers_wakeups_identically() {
     })
     .run(fleet, 20, 1);
     assert_eq!(uncrashed.canonical_string(), dense.canonical_string());
+}
+
+/// The plan cache under crash sweep: memoized plans are engine-private
+/// and never journaled, so crash-recovering every tenant's store after
+/// every journal write with the cache ON must land byte-identical to
+/// (a) the uncrashed cache-on run and (b) the crash-swept cache-OFF
+/// oracle — recovery transparency in both directions. A recovered
+/// store simply re-misses and recompiles; nothing observable moves.
+#[test]
+fn crash_sweep_with_plan_cache_matches_uncrashed_and_oracle() {
+    let seed = chaos_seed();
+    let base = FleetDriverConfig {
+        policy: fast_policy(),
+        fault_seed: Some(seed),
+        fault_transient_prob: 0.15,
+        fault_fatal_prob: 0.01,
+        scheduling: sched_mode(),
+        plan_cache: true,
+        ..FleetDriverConfig::default()
+    };
+    let fleet = small_fleet(6, seed);
+    let uncrashed = FleetDriver::new(base.clone()).run(fleet.clone(), 20, 1);
+    let swept = FleetDriver::new(FleetDriverConfig {
+        crash_every_writes: Some(1),
+        ..base.clone()
+    })
+    .run(fleet.clone(), 20, 1);
+    assert_eq!(
+        uncrashed.canonical_string(),
+        swept.canonical_string(),
+        "cache-on crash sweep must replay the uncrashed run exactly"
+    );
+    let oracle = FleetDriver::new(FleetDriverConfig {
+        crash_every_writes: Some(1),
+        plan_cache: false,
+        ..base
+    })
+    .run(fleet, 20, 1);
+    assert_eq!(
+        swept.canonical_string(),
+        oracle.canonical_string(),
+        "crash-swept cache-on must equal the crash-swept cache-off oracle"
+    );
+    assert_eq!(swept.dashboard().render(), oracle.dashboard().render());
+    assert!(
+        swept.plan_cache_hits() > 0 && oracle.plan_cache_hits() == 0,
+        "the sweep must actually exercise the cache ({} hits) and the \
+         oracle must not ({})",
+        swept.plan_cache_hits(),
+        oracle.plan_cache_hits()
+    );
 }

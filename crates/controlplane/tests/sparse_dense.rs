@@ -7,8 +7,9 @@
 //! Only stochastic (uniform) fault injection is exercised here: the
 //! stochastic injector draws RNG exclusively on executed stage work,
 //! which lands on the same ticks in both modes. Scripted
-//! `JournalTear`, the one documented mode-divergent fault point, is
-//! covered (dense-pinned) in `tests/chaos.rs`.
+//! `JournalTear` is keyed by `(tenant, tick)` at the driver's
+//! tick-boundary probe — also mode-independent — and is covered in
+//! `tests/chaos.rs`.
 
 use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy, SchedulingMode};
 use proptest::prelude::*;

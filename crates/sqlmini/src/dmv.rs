@@ -170,6 +170,14 @@ impl IndexUsageDmv {
         self.usage.entry(ix).or_default().user_updates += 1;
     }
 
+    /// Record `n` maintenance updates in one map probe (the per-row loop
+    /// was hot on bulk writes).
+    pub fn note_updates(&mut self, ix: IndexId, n: u64) {
+        if n > 0 {
+            self.usage.entry(ix).or_default().user_updates += n;
+        }
+    }
+
     pub fn usage(&self, ix: IndexId) -> IndexUsage {
         self.usage.get(&ix).copied().unwrap_or_default()
     }

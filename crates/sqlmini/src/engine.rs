@@ -88,6 +88,11 @@ pub struct DbConfig {
     pub cost_model: CostModel,
     pub query_store_interval: Duration,
     pub query_store_retention: Duration,
+    /// Whether compiled plans are memoized across executions (keyed by
+    /// query id + catalog-epoch fingerprint). Disabling it recompiles
+    /// every statement — the differential-test oracle, which must be
+    /// byte-identical to the cached mode in everything but speed.
+    pub plan_cache: bool,
 }
 
 impl Default for DbConfig {
@@ -102,6 +107,7 @@ impl Default for DbConfig {
             cost_model: CostModel::default(),
             query_store_interval: Duration::from_hours(1),
             query_store_retention: Duration::from_days(60),
+            plan_cache: true,
         }
     }
 }
@@ -145,7 +151,7 @@ pub struct ExecOutcome {
     pub query_id: QueryId,
     pub plan_id: PlanId,
     /// Names of indexes the executed plan referenced.
-    pub referenced_indexes: Vec<String>,
+    pub referenced_indexes: std::sync::Arc<Vec<String>>,
     pub metrics: ActualMetrics,
     /// Wall-clock duration in microseconds (CPU / cores × noise).
     pub duration_us: f64,
@@ -167,14 +173,66 @@ pub struct IndexBuildReport {
     pub build_duration: Duration,
 }
 
-#[derive(Debug, Clone)]
+/// Everything the engine derives from one compilation, interned behind an
+/// `Arc` so cache hits stop re-allocating per execution. All fields are
+/// pure functions of `(statement, config fingerprint)`: the pinned
+/// parameter binding, the geometry snapshot, and the catalog are all
+/// fixed for the lifetime of the fingerprint.
+#[derive(Debug)]
 struct CachedPlan {
     plan: Plan,
     /// Missing-index observations made when the plan was compiled; they
     /// are re-recorded into the MI DMV on *every* execution (matching the
     /// DMV's per-execution `user_seeks` semantics).
     missing: Vec<MissingIndexObservation>,
-    config_version: u64,
+    /// Tables whose catalog epoch governs this plan's validity.
+    tables: Vec<TableId>,
+    /// Catalog-epoch fingerprint over `tables` at compile time.
+    fingerprint: u64,
+    /// Query Store references: plan-referenced indexes plus, for writes,
+    /// the maintained-index set. `Arc`'d so per-execution outcomes share
+    /// the interned list instead of cloning the strings each tick.
+    refs: std::sync::Arc<Vec<String>>,
+    /// Plan identity (for writes: folded with the maintenance set).
+    plan_id: PlanId,
+    estimates: PlanEstimates,
+    /// Every index on the statement's primary table (write maintenance
+    /// accounting for the usage DMV).
+    maintained: Vec<IndexId>,
+}
+
+/// Plan-cache effectiveness counters. Deliberately *not* part of any
+/// canonical/deterministic surface: cached and uncached runs must agree
+/// everywhere else, while these (like `optimizer_calls`) differ by design.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanCacheStats {
+    /// Executions served by a fingerprint-valid cached plan.
+    pub hits: u64,
+    /// Compilations because no entry existed for the query id.
+    pub misses: u64,
+    /// Compilations because the entry's fingerprint was stale.
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of executions served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.invalidations;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Per-table snapshot of the physical geometry the planner sees. Captured
+/// at every catalog-epoch bump so compilation is a pure function of the
+/// epoch — live heap/index sizes drift with every write, which would make
+/// an eager recompile (cache-off) diverge from a memoized plan (cache-on).
+#[derive(Debug, Clone)]
+struct PlanningGeom {
+    heap_pages: f64,
+    indexes: Vec<IndexGeom>,
 }
 
 /// One tenant database.
@@ -190,9 +248,25 @@ pub struct Database {
     query_store: QueryStore,
     mi_dmv: MissingIndexDmv,
     usage_dmv: IndexUsageDmv,
-    plan_cache: BTreeMap<QueryId, CachedPlan>,
-    /// Bumped on any DDL or statistics change; invalidates cached plans.
+    plan_cache: BTreeMap<QueryId, std::sync::Arc<CachedPlan>>,
+    /// Global catalog-epoch counter; per-table epochs take their values
+    /// from it so any DDL/statistics change is totally ordered.
     config_version: u64,
+    /// Per-table catalog epoch: bumped on index create/drop, statistics
+    /// refresh, and schema change for that table.
+    table_epochs: BTreeMap<TableId, u64>,
+    /// Planner geometry snapshots, refreshed at each epoch bump.
+    geom: BTreeMap<TableId, PlanningGeom>,
+    /// First parameter binding ever seen per query id (parameter
+    /// sniffing, pinned so recompiles are deterministic). Cleared on
+    /// restart, exactly like the plan cache.
+    pinned_params: BTreeMap<QueryId, Vec<Value>>,
+    /// Test hook: when set, epoch bumps stop invalidating cached plans
+    /// (geometry snapshots still refresh), deliberately leaving the cache
+    /// stale — proves the differential tests can detect divergence.
+    epochs_frozen: bool,
+    /// Plan-cache effectiveness counters (non-canonical surface).
+    pub plan_cache_stats: PlanCacheStats,
     rng: StdRng,
     /// Count of optimizer invocations (what-if overhead accounting).
     pub optimizer_calls: u64,
@@ -218,6 +292,11 @@ impl Database {
             usage_dmv: IndexUsageDmv::new(),
             plan_cache: BTreeMap::new(),
             config_version: 0,
+            table_epochs: BTreeMap::new(),
+            geom: BTreeMap::new(),
+            pinned_params: BTreeMap::new(),
+            epochs_frozen: false,
+            plan_cache_stats: PlanCacheStats::default(),
             rng,
             optimizer_calls: 0,
             total_cpu_us: 0.0,
@@ -238,7 +317,7 @@ impl Database {
             id,
             TableStats::build_full(std::iter::empty::<&Row>(), n_cols),
         );
-        self.bump_config();
+        self.bump_table(id);
         Ok(id)
     }
 
@@ -255,6 +334,9 @@ impl Database {
                 }
             }
         }
+        // Bulk loads move the table's physical geometry wholesale; refresh
+        // the planning snapshot so compiles see the populated table.
+        self.bump_table(table);
     }
 
     /// Rebuild statistics for a table (full or sampled per config).
@@ -273,7 +355,7 @@ impl Database {
             )
         };
         self.stats.insert(table, stats);
-        self.bump_config();
+        self.bump_table(table);
     }
 
     /// Rebuild statistics for every table.
@@ -284,8 +366,63 @@ impl Database {
         }
     }
 
+    /// Bump every table's catalog epoch (coarse invalidation for callers
+    /// without table context, e.g. restart).
     pub(crate) fn bump_config(&mut self) {
-        self.config_version += 1;
+        let tables: Vec<TableId> = self.catalog.tables().map(|(t, _)| t).collect();
+        for t in tables {
+            self.bump_table(t);
+        }
+    }
+
+    /// Bump one table's catalog epoch and refresh its planning-geometry
+    /// snapshot. Called on index create/drop, statistics refresh, and
+    /// schema change — the three invalidation sources of the plan cache.
+    pub(crate) fn bump_table(&mut self, t: TableId) {
+        let heap_pages = self
+            .heaps
+            .get(&t)
+            .map(|h| h.page_count() as f64)
+            .unwrap_or(1.0);
+        let indexes = self.index_geoms(t);
+        self.geom.insert(
+            t,
+            PlanningGeom {
+                heap_pages,
+                indexes,
+            },
+        );
+        if !self.epochs_frozen {
+            self.config_version += 1;
+            self.table_epochs.insert(t, self.config_version);
+        }
+    }
+
+    /// Current catalog epoch of one table (0 until first bumped).
+    pub fn table_epoch(&self, t: TableId) -> u64 {
+        self.table_epochs.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Fingerprint of the catalog epochs of `tables` — the per-tenant
+    /// generalization of [`WhatIfSession::config_fingerprint`]: two
+    /// compiles of the same statement under equal fingerprints are
+    /// bit-identical, which is what licenses the execution plan cache.
+    pub fn config_fingerprint(&self, tables: &[TableId]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for t in tables {
+            t.hash(&mut h);
+            self.table_epoch(*t).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Test hook: freeze (or thaw) catalog epochs, leaving cached plans
+    /// deliberately stale across DDL. Exists so the differential tests
+    /// can prove they detect a broken invalidation story.
+    #[doc(hidden)]
+    pub fn debug_freeze_epochs(&mut self, frozen: bool) {
+        self.epochs_frozen = frozen;
     }
 
     /// Total modifications recorded against a table since its statistics
@@ -386,58 +523,138 @@ impl Database {
             }
         }
 
-        // Plan cache with parameter sniffing: the first binding after an
-        // invalidation compiles the plan everyone reuses.
-        let cached = self
-            .plan_cache
-            .get(&qid)
-            .filter(|c| c.config_version == self.config_version)
-            .map(|c| (c.plan.clone(), c.missing.clone()));
-        let (plan, missing) = match cached {
-            Some(pm) => pm,
-            None => {
-                let pm = self.compile(&template.statement, params);
-                self.plan_cache.insert(
-                    qid,
-                    CachedPlan {
-                        plan: pm.0.clone(),
-                        missing: pm.1.clone(),
-                        config_version: self.config_version,
-                    },
-                );
-                pm
-            }
-        };
+        // Plan-selection memoization: hits validate the entry's catalog-
+        // epoch fingerprint and reuse the interned compilation wholesale.
+        // With the cache disabled (the differential oracle) every
+        // execution recompiles; pinned parameter sniffing plus the
+        // geometry snapshots make both paths bit-identical.
+        let entry = self.lookup_or_compile(qid, template, params);
         // The MI DMV accumulates per execution, not per compile.
-        for obs in &missing {
+        for obs in &entry.missing {
             self.mi_dmv.record(obs, now);
         }
 
-        let result = self.run_plan(&template.statement, &plan, params);
+        let result = self.run_plan(&template.statement, &entry.plan, params);
         let result = match result {
             Ok(r) => r,
             Err(ExecError::MissingIndex(_)) | Err(ExecError::HypotheticalPlan) => {
                 // Stale plan (index dropped since compile): recompile once.
-                let (plan, missing) = self.compile(&template.statement, params);
-                self.plan_cache.insert(
-                    qid,
-                    CachedPlan {
-                        plan: plan.clone(),
-                        missing,
-                        config_version: self.config_version,
-                    },
-                );
-                let retry = self.run_plan(&template.statement, &plan, params);
+                let entry = self.compile_entry(qid, template, params);
+                if self.config.plan_cache {
+                    self.plan_cache.insert(qid, std::sync::Arc::clone(&entry));
+                }
+                let retry = self.run_plan(&template.statement, &entry.plan, params);
                 match retry {
                     Ok(res) => {
-                        return self.finish_execution(template, params, &plan, res, now);
+                        return self.finish_execution(template, params, qid, &entry, res, now);
                     }
                     Err(e) => return Err(e.into()),
                 }
             }
             Err(e) => return Err(e.into()),
         };
-        self.finish_execution(template, params, &plan, result, now)
+        self.finish_execution(template, params, qid, &entry, result, now)
+    }
+
+    /// Cache lookup with epoch validation, falling back to compilation.
+    fn lookup_or_compile(
+        &mut self,
+        qid: QueryId,
+        template: &QueryTemplate,
+        params: &[Value],
+    ) -> std::sync::Arc<CachedPlan> {
+        if self.config.plan_cache {
+            match self.plan_cache.get(&qid) {
+                Some(c) if c.fingerprint == self.config_fingerprint(&c.tables) => {
+                    self.plan_cache_stats.hits += 1;
+                    return std::sync::Arc::clone(c);
+                }
+                Some(_) => self.plan_cache_stats.invalidations += 1,
+                None => self.plan_cache_stats.misses += 1,
+            }
+            let entry = self.compile_entry(qid, template, params);
+            self.plan_cache.insert(qid, std::sync::Arc::clone(&entry));
+            entry
+        } else {
+            self.compile_entry(qid, template, params)
+        }
+    }
+
+    /// Compile a statement into an interned cache entry. Compilation is a
+    /// pure function of `(statement, config_fingerprint)`: parameters are
+    /// pinned to the first binding ever seen for this query id, and the
+    /// planner reads epoch-stable geometry snapshots — so cached and
+    /// uncached executions derive identical plans.
+    fn compile_entry(
+        &mut self,
+        qid: QueryId,
+        template: &QueryTemplate,
+        params: &[Value],
+    ) -> std::sync::Arc<CachedPlan> {
+        let sniffed: Vec<Value> = match self.pinned_params.get(&qid) {
+            Some(p) => p.clone(),
+            None => {
+                self.pinned_params.insert(qid, params.to_vec());
+                params.to_vec()
+            }
+        };
+        let tables = template.statement.tables_touched();
+        let fingerprint = self.config_fingerprint(&tables);
+        let (plan, missing) = self.compile(&template.statement, &sniffed);
+
+        // Query Store references. Write plans contain maintenance
+        // operators for every index they touch (as SQL Server update
+        // plans do), so a write statement's plan references — and plan
+        // identity — include the maintained indexes. This is what lets
+        // the validator attribute "writes got more expensive" regressions
+        // to a new index (§8.1).
+        let mut refs: Vec<String> = plan
+            .referenced_indexes()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut maintained: Vec<IndexId> = Vec::new();
+        if template.statement.is_write() {
+            let table = template.statement.table();
+            maintained = self.catalog.indexes_on(table).map(|(id, _)| id).collect();
+            let set_cols: Option<Vec<ColumnId>> = match &template.statement {
+                Statement::Update { set, .. } => Some(set.iter().map(|(c, _)| *c).collect()),
+                _ => None,
+            };
+            for (_, def) in self.catalog.indexes_on(table) {
+                let in_refs = match &set_cols {
+                    // Updates only maintain indexes containing a SET column.
+                    Some(cols) => def.leaf_columns().any(|lc| cols.contains(&lc)),
+                    // Inserts/deletes maintain every index on the table.
+                    None => true,
+                };
+                if in_refs && !refs.iter().any(|r| r == &def.name) {
+                    refs.push(def.name.clone());
+                }
+            }
+        }
+        let plan_id = if template.statement.is_write() {
+            // Fold the maintenance set into the plan identity so adding or
+            // dropping an index changes the write's plan.
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            plan.plan_id().0.hash(&mut h);
+            refs.hash(&mut h);
+            PlanId(h.finish())
+        } else {
+            plan.plan_id()
+        };
+        let estimates = plan.estimates();
+        std::sync::Arc::new(CachedPlan {
+            plan,
+            missing,
+            tables,
+            fingerprint,
+            refs: std::sync::Arc::new(refs),
+            plan_id,
+            estimates,
+            maintained,
+        })
     }
 
     fn compile(
@@ -473,11 +690,11 @@ impl Database {
         &mut self,
         template: &QueryTemplate,
         params: &[Value],
-        plan: &Plan,
+        qid: QueryId,
+        entry: &CachedPlan,
         mut result: crate::exec::ExecResult,
         now: Timestamp,
     ) -> Result<ExecOutcome, EngineError> {
-        let qid = template.query_id();
         // Concurrency noise: logical metrics get small noise, duration big.
         let cpu_mult = self.lognormal(self.config.cpu_noise_sigma);
         result.metrics.cpu_us *= cpu_mult;
@@ -490,56 +707,22 @@ impl Database {
             if let Some(st) = self.stats.get_mut(&template.statement.table()) {
                 st.note_modifications(affected.max(1));
             }
-            self.note_maintenance(template.statement.table(), affected);
+            for id in &entry.maintained {
+                self.usage_dmv.note_updates(*id, affected);
+            }
         }
 
         // Usage DMV from plan shape.
-        self.note_usage(plan, result.metrics.rows_returned, now);
+        self.note_usage(&entry.plan, result.metrics.rows_returned, now);
 
-        // Query Store. Write plans contain maintenance operators for every
-        // index they touch (as SQL Server update plans do), so a write
-        // statement's plan references — and plan identity — include the
-        // maintained indexes. This is what lets the validator attribute
-        // "writes got more expensive" regressions to a new index (§8.1).
-        let mut refs: Vec<String> = plan
-            .referenced_indexes()
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        if template.statement.is_write() {
-            let table = template.statement.table();
-            let set_cols: Option<Vec<crate::schema::ColumnId>> = match &template.statement {
-                Statement::Update { set, .. } => Some(set.iter().map(|(c, _)| *c).collect()),
-                _ => None,
-            };
-            for (_, def) in self.catalog.indexes_on(table) {
-                let maintained = match &set_cols {
-                    // Updates only maintain indexes containing a SET column.
-                    Some(cols) => def.leaf_columns().any(|lc| cols.contains(&lc)),
-                    // Inserts/deletes maintain every index on the table.
-                    None => true,
-                };
-                if maintained && !refs.iter().any(|r| r == &def.name) {
-                    refs.push(def.name.clone());
-                }
-            }
-        }
-        let plan_id = if template.statement.is_write() {
-            // Fold the maintenance set into the plan identity so adding or
-            // dropping an index changes the write's plan.
-            use std::hash::{Hash, Hasher};
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            plan.plan_id().0.hash(&mut h);
-            refs.hash(&mut h);
-            PlanId(h.finish())
-        } else {
-            plan.plan_id()
-        };
-        self.query_store.record(
+        // Query Store (references and plan identity are interned in the
+        // cache entry — see `compile_entry`).
+        self.query_store.record_prehashed(
+            qid,
             template,
             params,
-            plan_id,
-            &refs,
+            entry.plan_id,
+            &entry.refs,
             &result.metrics,
             duration_us,
             now,
@@ -548,11 +731,11 @@ impl Database {
 
         Ok(ExecOutcome {
             query_id: qid,
-            plan_id,
-            referenced_indexes: refs,
+            plan_id: entry.plan_id,
+            referenced_indexes: std::sync::Arc::clone(&entry.refs),
             metrics: result.metrics,
             duration_us,
-            estimates: plan.estimates(),
+            estimates: entry.estimates,
             rows: result.rows,
         })
     }
@@ -671,6 +854,9 @@ impl Database {
     pub fn restart(&mut self) {
         self.mi_dmv.reset();
         self.plan_cache.clear();
+        // Sniffed parameters live in the plan cache's process memory; a
+        // failover loses them with it, and the next execution re-pins.
+        self.pinned_params.clear();
         self.bump_config();
     }
 
@@ -695,6 +881,7 @@ impl Database {
             db: self,
             added: Vec::new(),
             removed: Vec::new(),
+            base_geoms: std::cell::RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -717,7 +904,11 @@ impl Database {
     }
 }
 
-/// Planner environment over the live configuration.
+/// Planner environment over the epoch-stable geometry snapshots. Reading
+/// snapshots instead of live heap/index sizes keeps compilation a pure
+/// function of the catalog epoch: live sizes drift with every write,
+/// which would make eager recompiles (the cache-off oracle) diverge from
+/// memoized plans.
 struct EngineEnv<'a> {
     db: &'a Database,
 }
@@ -730,14 +921,14 @@ impl PlannerEnv for EngineEnv<'_> {
         self.db.stats.get(&t).expect("planner stats")
     }
     fn heap_pages(&self, t: TableId) -> f64 {
-        self.db
-            .heaps
-            .get(&t)
-            .map(|h| h.page_count() as f64)
-            .unwrap_or(1.0)
+        self.db.geom.get(&t).map(|g| g.heap_pages).unwrap_or(1.0)
     }
     fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
-        self.db.index_geoms(t)
+        self.db
+            .geom
+            .get(&t)
+            .map(|g| g.indexes.clone())
+            .unwrap_or_default()
     }
     fn cost_model(&self) -> &CostModel {
         &self.db.config.cost_model
@@ -751,6 +942,13 @@ pub struct WhatIfSession<'a> {
     db: &'a mut Database,
     added: Vec<IndexDef>,
     removed: Vec<IndexId>,
+    /// Per-table *real*-index geometry, resolved lazily on first touch and
+    /// shared by every subsequent `cost` in the session — the catalog and
+    /// materialized indexes cannot change while the session borrows the
+    /// database, so one resolution walk serves the whole batch. Session
+    /// removals are filtered at use, hypotheticals are layered on top, so
+    /// neither invalidates the memo.
+    base_geoms: std::cell::RefCell<BTreeMap<TableId, Vec<IndexGeom>>>,
 }
 
 impl WhatIfSession<'_> {
@@ -821,10 +1019,36 @@ impl WhatIfSession<'_> {
             db: self.db,
             added: &self.added,
             removed: &self.removed,
+            base_geoms: &self.base_geoms,
         };
         let r = optimize(&env, &template.statement, params);
         let est = r.plan.estimates();
         (r.plan, est)
+    }
+
+    /// Batch-cost one statement under many single-index alternatives.
+    ///
+    /// Each alternative is costed as if it were the only hypothetical
+    /// added on top of the session's current configuration; the base
+    /// (real-index) geometry for the statement's tables is resolved once
+    /// and shared across the whole batch instead of being rebuilt per
+    /// candidate. Each alternative still counts as one optimizer
+    /// invocation, and every result is bit-identical to the sequential
+    /// `add_hypothetical` → `cost` → `clear` dance it replaces (costing
+    /// is a pure function of the visible configuration).
+    pub fn cost_batch(
+        &mut self,
+        template: &QueryTemplate,
+        params: &[Value],
+        alternatives: &[IndexDef],
+    ) -> Vec<(Plan, PlanEstimates)> {
+        let mut out = Vec::with_capacity(alternatives.len());
+        for def in alternatives {
+            self.added.push(def.clone());
+            out.push(self.cost(template, params));
+            self.added.pop();
+        }
+        out
     }
 }
 
@@ -832,6 +1056,7 @@ struct WhatIfEnv<'a> {
     db: &'a Database,
     added: &'a [IndexDef],
     removed: &'a [IndexId],
+    base_geoms: &'a std::cell::RefCell<BTreeMap<TableId, Vec<IndexGeom>>>,
 }
 
 impl PlannerEnv for WhatIfEnv<'_> {
@@ -849,15 +1074,16 @@ impl PlannerEnv for WhatIfEnv<'_> {
             .unwrap_or(1.0)
     }
     fn indexes_on(&self, t: TableId) -> Vec<IndexGeom> {
-        let mut geoms: Vec<IndexGeom> = self
-            .db
-            .index_geoms(t)
-            .into_iter()
+        let mut memo = self.base_geoms.borrow_mut();
+        let base = memo.entry(t).or_insert_with(|| self.db.index_geoms(t));
+        let mut geoms: Vec<IndexGeom> = base
+            .iter()
             .filter(|g| {
                 g.rref
                     .real_id()
                     .is_none_or(|id| !self.removed.contains(&id))
             })
+            .cloned()
             .collect();
         let rows = self
             .db
@@ -1000,6 +1226,43 @@ mod tests {
         assert_eq!(db.optimizer_calls, baseline_calls + 2);
         // Nothing was created.
         assert_eq!(db.catalog().n_indexes(), 0);
+    }
+
+    #[test]
+    fn cost_batch_matches_sequential_costing() {
+        let (mut db, t) = orders_db();
+        // One real index so the memoized base geometry is non-trivial.
+        db.create_index(IndexDef::new("ix_status", t, vec![ColumnId(2)], vec![]))
+            .unwrap();
+        let tpl = select_customer(t);
+        let alts: Vec<IndexDef> = vec![
+            IndexDef::new("h0", t, vec![ColumnId(1)], vec![]),
+            IndexDef::new("h1", t, vec![ColumnId(1)], vec![ColumnId(0), ColumnId(3)]),
+            IndexDef::new("h2", t, vec![ColumnId(3)], vec![]),
+        ];
+
+        // Sequential oracle: add → cost → clear, fresh session each time.
+        let mut sequential = Vec::new();
+        for def in &alts {
+            let mut s = db.what_if();
+            s.add_hypothetical(def.clone());
+            sequential.push(s.cost(&tpl, &[Value::Int(7)]));
+        }
+
+        let calls_before = db.optimizer_calls;
+        let mut s = db.what_if();
+        let batched = s.cost_batch(&tpl, &[Value::Int(7)], &alts);
+        drop(s);
+        assert_eq!(
+            db.optimizer_calls,
+            calls_before + alts.len() as u64,
+            "each alternative counts as one optimizer invocation"
+        );
+        assert_eq!(batched.len(), sequential.len());
+        for ((bp, be), (sp, se)) in batched.iter().zip(&sequential) {
+            assert_eq!(bp, sp, "batched plan differs from sequential");
+            assert_eq!(be, se, "batched estimates differ from sequential");
+        }
     }
 
     #[test]

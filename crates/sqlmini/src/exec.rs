@@ -14,7 +14,7 @@ use crate::index::{ColBound, SecondaryIndex};
 use crate::optimizer::CostModel;
 use crate::plan::{Access, AggStrategy, DmlPlan, JoinStrategy, Plan, RangeBound, SelectPlan};
 use crate::query::{AggFunc, CmpOp, Predicate, Scalar, SelectQuery, Statement};
-use crate::schema::{IndexId, TableId};
+use crate::schema::{IndexDef, IndexId, TableId};
 use crate::types::{Row, Value};
 use std::collections::{BTreeMap, HashMap};
 
@@ -108,13 +108,37 @@ fn resolve_bound(b: &Option<RangeBound>, params: &[Value], is_lo: bool) -> ColBo
     }
 }
 
-/// Fetch the base rows selected by an access path. Returns full rows (via
-/// heap lookup) or sparse rows materialized from index leaves when the
-/// access is covering.
+/// Materialize a sparse full-width row from a covering index leaf,
+/// cloning only the values the row actually carries.
+fn leaf_to_row(def: &IndexDef, width: usize, key_vals: &[Value], included: &[Value]) -> Row {
+    let mut row = vec![Value::Null; width];
+    for (&c, v) in def.key_columns.iter().zip(key_vals) {
+        row[c.0 as usize] = v.clone();
+    }
+    for (&c, v) in def.included_columns.iter().zip(included) {
+        row[c.0 as usize] = v.clone();
+    }
+    row
+}
+
+fn residual_keep(preds: &[Predicate], residual: &[usize], params: &[Value], row: &Row) -> bool {
+    residual.iter().all(|&i| preds[i].matches(row, params))
+}
+
+/// Fetch the base rows selected by an access path and apply the plan's
+/// residual predicates. Returns full rows (via heap lookup) or sparse rows
+/// materialized from index leaves when the access is covering.
+///
+/// Filtering happens on *borrowed* rows so only survivors are cloned — the
+/// old fetch-everything-then-filter shape dominated hot-pass allocation.
+/// The metric accounting (order and counts of `add_*` calls) is identical
+/// to the old `run_access` + `apply_residual` sequence.
 fn run_access(
     ctx: &mut ExecContext<'_>,
     table: TableId,
     access: &Access,
+    preds: &[Predicate],
+    residual: &[usize],
     params: &[Value],
     m: &mut ActualMetrics,
 ) -> Result<Vec<(RowId, Row)>, ExecError> {
@@ -131,10 +155,15 @@ fn run_access(
                 .get(&table)
                 .ok_or(ExecError::UnknownTable(table))?;
             m.add_pages_read(cm, heap.page_count());
-            let rows: Vec<(RowId, Row)> =
-                heap.scan_quiet().map(|(rid, r)| (rid, r.clone())).collect();
-            m.add_rows_examined(cm, rows.len() as u64);
-            Ok(rows)
+            m.add_rows_examined(cm, heap.len() as u64);
+            if !residual.is_empty() {
+                m.add_pred_evals(cm, heap.len() as u64 * residual.len() as u64);
+            }
+            Ok(heap
+                .scan_quiet()
+                .filter(|(_, r)| residual_keep(preds, residual, params, r))
+                .map(|(rid, r)| (rid, r.clone()))
+                .collect())
         }
         Access::IndexSeek {
             index,
@@ -149,43 +178,29 @@ fn run_access(
                 .get(&id)
                 .ok_or_else(|| ExecError::MissingIndex(index.name().to_string()))?;
             let eq_vals: Vec<Value> = eq.iter().map(|s| s.resolve(params).clone()).collect();
-            let res = ix.seek(
-                &eq_vals,
-                resolve_bound(lo, params, true),
-                resolve_bound(hi, params, false),
-            );
-            m.add_pages_read(cm, res.pages_visited);
-            m.add_rows_examined(cm, res.entries.len() as u64);
+            let lo_b = resolve_bound(lo, params, true);
+            let hi_b = resolve_bound(hi, params, false);
             if *covering {
-                let def = ix.def.clone();
-                Ok(res
-                    .entries
-                    .into_iter()
-                    .map(|e| {
-                        let mut row = vec![Value::Null; width];
-                        for (i, &c) in def.key_columns.iter().enumerate() {
-                            row[c.0 as usize] = e.key_vals[i].clone();
-                        }
-                        for (i, &c) in def.included_columns.iter().enumerate() {
-                            row[c.0 as usize] = e.included_vals[i].clone();
-                        }
-                        (e.rid, row)
-                    })
-                    .collect())
-            } else {
-                let heap = ctx
-                    .heaps
-                    .get(&table)
-                    .ok_or(ExecError::UnknownTable(table))?;
-                let mut out = Vec::with_capacity(res.entries.len());
-                for e in &res.entries {
-                    // One bookmark lookup page per row.
-                    m.add_pages_read(cm, 1);
-                    if let Some(r) = heap.peek(e.rid) {
-                        out.push((e.rid, r.clone()));
+                let def = &ix.def;
+                let mut rows: Vec<(RowId, Row)> = Vec::new();
+                let (n, pages) = ix.seek_visit(&eq_vals, lo_b, hi_b, |rid, kv, iv| {
+                    let row = leaf_to_row(def, width, kv, iv);
+                    if residual_keep(preds, residual, params, &row) {
+                        rows.push((rid, row));
                     }
+                });
+                m.add_pages_read(cm, pages);
+                m.add_rows_examined(cm, n);
+                if !residual.is_empty() {
+                    m.add_pred_evals(cm, n * residual.len() as u64);
                 }
-                Ok(out)
+                Ok(rows)
+            } else {
+                let mut rids: Vec<RowId> = Vec::new();
+                let (n, pages) = ix.seek_visit(&eq_vals, lo_b, hi_b, |rid, _, _| rids.push(rid));
+                m.add_pages_read(cm, pages);
+                m.add_rows_examined(cm, n);
+                fetch_and_filter(ctx, table, &rids, preds, residual, params, m)
             }
         }
         Access::IndexScan { index, covering } => {
@@ -194,41 +209,64 @@ fn run_access(
                 .indexes
                 .get(&id)
                 .ok_or_else(|| ExecError::MissingIndex(index.name().to_string()))?;
-            let res = ix.scan_all();
-            m.add_pages_read(cm, ix.leaf_pages() + ix.height() as u64);
-            m.add_rows_examined(cm, res.entries.len() as u64);
             if *covering {
-                let def = ix.def.clone();
-                Ok(res
-                    .entries
-                    .into_iter()
-                    .map(|e| {
-                        let mut row = vec![Value::Null; width];
-                        for (i, &c) in def.key_columns.iter().enumerate() {
-                            row[c.0 as usize] = e.key_vals[i].clone();
-                        }
-                        for (i, &c) in def.included_columns.iter().enumerate() {
-                            row[c.0 as usize] = e.included_vals[i].clone();
-                        }
-                        (e.rid, row)
-                    })
-                    .collect())
-            } else {
-                let heap = ctx
-                    .heaps
-                    .get(&table)
-                    .ok_or(ExecError::UnknownTable(table))?;
-                let mut out = Vec::with_capacity(res.entries.len());
-                for e in &res.entries {
-                    m.add_pages_read(cm, 1);
-                    if let Some(r) = heap.peek(e.rid) {
-                        out.push((e.rid, r.clone()));
+                let def = &ix.def;
+                let mut rows: Vec<(RowId, Row)> = Vec::new();
+                let (n, _) = ix.scan_visit(|rid, kv, iv| {
+                    let row = leaf_to_row(def, width, kv, iv);
+                    if residual_keep(preds, residual, params, &row) {
+                        rows.push((rid, row));
                     }
+                });
+                m.add_pages_read(cm, ix.leaf_pages() + ix.height() as u64);
+                m.add_rows_examined(cm, n);
+                if !residual.is_empty() {
+                    m.add_pred_evals(cm, n * residual.len() as u64);
                 }
-                Ok(out)
+                Ok(rows)
+            } else {
+                let mut rids: Vec<RowId> = Vec::new();
+                let (n, _) = ix.scan_visit(|rid, _, _| rids.push(rid));
+                m.add_pages_read(cm, ix.leaf_pages() + ix.height() as u64);
+                m.add_rows_examined(cm, n);
+                fetch_and_filter(ctx, table, &rids, preds, residual, params, m)
             }
         }
     }
+}
+
+/// Bookmark-lookup the given row ids and apply residual predicates,
+/// cloning only surviving rows.
+fn fetch_and_filter(
+    ctx: &ExecContext<'_>,
+    table: TableId,
+    rids: &[RowId],
+    preds: &[Predicate],
+    residual: &[usize],
+    params: &[Value],
+    m: &mut ActualMetrics,
+) -> Result<Vec<(RowId, Row)>, ExecError> {
+    let cm = ctx.cost_model;
+    let heap = ctx
+        .heaps
+        .get(&table)
+        .ok_or(ExecError::UnknownTable(table))?;
+    let mut fetched: Vec<(RowId, &Row)> = Vec::with_capacity(rids.len());
+    for &rid in rids {
+        // One bookmark lookup page per row.
+        m.add_pages_read(cm, 1);
+        if let Some(r) = heap.peek(rid) {
+            fetched.push((rid, r));
+        }
+    }
+    if !residual.is_empty() {
+        m.add_pred_evals(cm, fetched.len() as u64 * residual.len() as u64);
+    }
+    Ok(fetched
+        .into_iter()
+        .filter(|(_, r)| residual_keep(preds, residual, params, r))
+        .map(|(rid, r)| (rid, r.clone()))
+        .collect())
 }
 
 fn apply_residual(
@@ -259,8 +297,15 @@ pub fn execute_select(
     let cm = ctx.cost_model;
     let mut m = ActualMetrics::default();
 
-    let rows = run_access(ctx, q.table, &plan.access, params, &mut m)?;
-    let rows = apply_residual(rows, &q.predicates, &plan.residual, params, cm, &mut m);
+    let rows = run_access(
+        ctx,
+        q.table,
+        &plan.access,
+        &q.predicates,
+        &plan.residual,
+        params,
+        &mut m,
+    )?;
 
     // Join.
     let mut joined: Vec<(Row, Option<Row>)> = match (&q.join, &plan.join) {
@@ -269,15 +314,15 @@ pub fn execute_select(
             let mut out = Vec::new();
             match &jplan.strategy {
                 JoinStrategy::Hash { inner_access } => {
-                    let inner_rows = run_access(ctx, jspec.table, inner_access, params, &mut m)?;
-                    let inner_rows = apply_residual(
-                        inner_rows,
+                    let inner_rows = run_access(
+                        ctx,
+                        jspec.table,
+                        inner_access,
                         &jspec.predicates,
                         &jplan.residual,
                         params,
-                        cm,
                         &mut m,
-                    );
+                    )?;
                     let mut ht: HashMap<Value, Vec<Row>> = HashMap::new();
                     m.add_hash_ops(cm, inner_rows.len() as u64);
                     for (_, r) in inner_rows {
@@ -305,40 +350,43 @@ pub fn execute_select(
                         .table(jspec.table)
                         .map_err(|_| ExecError::UnknownTable(jspec.table))?;
                     let inner_width = inner_tdef.columns.len();
+                    let mut rids: Vec<RowId> = Vec::new();
                     for (_, outer) in rows {
-                        let key = outer[jspec.outer_col.0 as usize].clone();
                         let ix = ctx
                             .indexes
                             .get(&id)
                             .ok_or_else(|| ExecError::MissingIndex(inner_index.name().into()))?;
-                        let res = ix.seek(
-                            std::slice::from_ref(&key),
-                            ColBound::Unbounded,
-                            ColBound::Unbounded,
-                        );
-                        m.add_pages_read(cm, res.pages_visited);
-                        m.add_rows_examined(cm, res.entries.len() as u64);
-                        let def = ix.def.clone();
+                        let key = std::slice::from_ref(&outer[jspec.outer_col.0 as usize]);
                         let mut inner_matched: Vec<Row> = Vec::new();
                         if *covering {
-                            for e in &res.entries {
-                                let mut row = vec![Value::Null; inner_width];
-                                for (i, &c) in def.key_columns.iter().enumerate() {
-                                    row[c.0 as usize] = e.key_vals[i].clone();
-                                }
-                                for (i, &c) in def.included_columns.iter().enumerate() {
-                                    row[c.0 as usize] = e.included_vals[i].clone();
-                                }
-                                inner_matched.push(row);
-                            }
+                            let def = &ix.def;
+                            let (n, pages) = ix.seek_visit(
+                                key,
+                                ColBound::Unbounded,
+                                ColBound::Unbounded,
+                                |_, kv, iv| {
+                                    inner_matched.push(leaf_to_row(def, inner_width, kv, iv));
+                                },
+                            );
+                            m.add_pages_read(cm, pages);
+                            m.add_rows_examined(cm, n);
                         } else {
+                            rids.clear();
+                            let (n, pages) = ix.seek_visit(
+                                key,
+                                ColBound::Unbounded,
+                                ColBound::Unbounded,
+                                |rid, _, _| rids.push(rid),
+                            );
+                            m.add_pages_read(cm, pages);
+                            m.add_rows_examined(cm, n);
                             let heap = ctx
                                 .heaps
                                 .get(&jspec.table)
                                 .ok_or(ExecError::UnknownTable(jspec.table))?;
-                            for e in &res.entries {
+                            for &rid in &rids {
                                 m.add_pages_read(cm, 1);
-                                if let Some(r) = heap.peek(e.rid) {
+                                if let Some(r) = heap.peek(rid) {
                                     inner_matched.push(r.clone());
                                 }
                             }
@@ -654,7 +702,9 @@ fn find_targets(
     m: &mut ActualMetrics,
 ) -> Result<Vec<(RowId, Row)>, ExecError> {
     let cm = ctx.cost_model;
-    let rows = run_access(ctx, table, &dp.access, params, m)?;
+    // Residual is applied after the (possible) covering re-fetch below, so
+    // pass no residual into the access itself.
+    let rows = run_access(ctx, table, &dp.access, &[], &[], params, m)?;
     // DML always needs full rows: covering sparse rows are insufficient, so
     // re-fetch via heap when the access was covering.
     let needs_fetch = matches!(

@@ -198,7 +198,7 @@ mod tests {
     use crate::types::Value;
 
     fn row(i: i64) -> Row {
-        vec![Value::Int(i), Value::Str(format!("r{i}"))]
+        vec![Value::Int(i), Value::Str(format!("r{i}").into())]
     }
 
     #[test]

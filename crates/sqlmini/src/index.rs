@@ -184,6 +184,35 @@ impl SecondaryIndex {
     /// B+ tree seek supports multiple equality predicates but only one
     /// inequality (on the column ordered right after the equalities).
     pub fn seek(&self, eq_prefix: &[Value], lo: ColBound, hi: ColBound) -> SeekResult {
+        let mut entries = Vec::new();
+        let (_, pages_visited) = self.seek_visit(eq_prefix, lo, hi, |rid, key_vals, included| {
+            entries.push(IndexEntry {
+                rid,
+                key_vals: key_vals.to_vec(),
+                included_vals: included.to_vec(),
+            });
+        });
+        SeekResult {
+            entries,
+            pages_visited,
+        }
+    }
+
+    /// Seek without materializing owned [`IndexEntry`]s: `f` is called
+    /// once per qualifying entry, in key order, with the entry's row id
+    /// and *borrowed* key / included values. Returns `(entries_visited,
+    /// pages_visited)`.
+    ///
+    /// This is the executor's hot path — the per-entry `Vec` clones of
+    /// [`seek`] dominated control-pass allocation, and most callers only
+    /// need a subset of the values (or just the row ids).
+    pub fn seek_visit<F: FnMut(RowId, &[Value], &[Value])>(
+        &self,
+        eq_prefix: &[Value],
+        lo: ColBound,
+        hi: ColBound,
+        mut f: F,
+    ) -> (u64, u64) {
         assert!(
             eq_prefix.len() <= self.def.key_columns.len(),
             "equality prefix longer than key"
@@ -208,19 +237,19 @@ impl SecondaryIndex {
             }
         };
         let lo_excl_val = match &lo {
-            ColBound::Excluded(v) => Some(v.clone()),
+            ColBound::Excluded(v) => Some(v),
             _ => None,
         };
 
         let prefix_len = eq_prefix.len();
         let range_idx = prefix_len; // position of the range column, if any
-        let mut entries = Vec::new();
+        let mut visited = 0u64;
         for (key, payload) in self.tree.range(Bound::Included(&lo_key), Bound::Unbounded) {
             // Stop once the equality prefix no longer matches.
             if key.vals[..prefix_len] != eq_prefix[..] {
                 break;
             }
-            if let Some(ex) = &lo_excl_val {
+            if let Some(ex) = lo_excl_val {
                 if &key.vals[range_idx] == ex {
                     continue;
                 }
@@ -238,23 +267,22 @@ impl SecondaryIndex {
                 }
                 ColBound::Unbounded => {}
             }
-            entries.push(IndexEntry {
-                rid: key.rid,
-                key_vals: key.vals.clone(),
-                included_vals: payload.clone(),
-            });
+            visited += 1;
+            f(key.rid, &key.vals, payload);
         }
         // Convert node visits into page visits; at least the descent.
         let pages_visited = (self.tree.read_visits() - reads_before).max(self.tree.height() as u64);
-        SeekResult {
-            entries,
-            pages_visited,
-        }
+        (visited, pages_visited)
     }
 
     /// Full scan of the index in key order (an ordered covering scan).
     pub fn scan_all(&self) -> SeekResult {
         self.seek(&[], ColBound::Unbounded, ColBound::Unbounded)
+    }
+
+    /// Visitor form of [`scan_all`], mirroring [`seek_visit`].
+    pub fn scan_visit<F: FnMut(RowId, &[Value], &[Value])>(&self, f: F) -> (u64, u64) {
+        self.seek_visit(&[], ColBound::Unbounded, ColBound::Unbounded, f)
     }
 
     /// Leaf pages the index occupies (for scan costing).

@@ -234,7 +234,7 @@ impl<'a> Parser<'a> {
         match self.next() {
             Some(Tok::Int(i)) => Ok(Scalar::Lit(Value::Int(i))),
             Some(Tok::Float(f)) => Ok(Scalar::Lit(Value::Float(f))),
-            Some(Tok::Str(s)) => Ok(Scalar::Lit(Value::Str(s))),
+            Some(Tok::Str(s)) => Ok(Scalar::Lit(Value::Str(s.into()))),
             Some(Tok::Param(p)) => Ok(Scalar::Param(p)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Scalar::Lit(Value::Null)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => {

@@ -340,13 +340,54 @@ pub enum TextFidelity {
 }
 
 /// A parameterized statement template.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryTemplate {
     pub statement: Statement,
     /// Number of parameters the template takes.
     pub n_params: u16,
     /// Fidelity of the captured text (drives DTA's ability to cost it).
     pub fidelity: TextFidelity,
+    /// Memoized [`query_id`](Self::query_id). Deriving the id Debug-formats
+    /// the whole statement, which is far too expensive to repeat on every
+    /// execution; the fields above are only mutated through constructors,
+    /// so the cached value can never go stale.
+    cached_id: std::cell::OnceCell<QueryId>,
+}
+
+impl PartialEq for QueryTemplate {
+    fn eq(&self, other: &QueryTemplate) -> bool {
+        self.statement == other.statement
+            && self.n_params == other.n_params
+            && self.fidelity == other.fidelity
+    }
+}
+
+// Hand-written (de)serialization: the memo cell is an implementation
+// detail and must not appear on the wire, so the serialized shape is
+// exactly the three semantic fields the derive used to emit.
+impl serde::Serialize for QueryTemplate {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("statement".into(), self.statement.to_value()),
+            ("n_params".into(), self.n_params.to_value()),
+            ("fidelity".into(), self.fidelity.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for QueryTemplate {
+    fn from_value(v: &serde::Value) -> Result<QueryTemplate, serde::Error> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| serde::Error::msg(format!("QueryTemplate missing field {k}")))
+        };
+        Ok(QueryTemplate {
+            statement: serde::Deserialize::from_value(field("statement")?)?,
+            n_params: serde::Deserialize::from_value(field("n_params")?)?,
+            fidelity: serde::Deserialize::from_value(field("fidelity")?)?,
+            cached_id: std::cell::OnceCell::new(),
+        })
+    }
 }
 
 impl QueryTemplate {
@@ -355,22 +396,26 @@ impl QueryTemplate {
             statement,
             n_params,
             fidelity: TextFidelity::Complete,
+            cached_id: std::cell::OnceCell::new(),
         }
     }
 
     pub fn with_fidelity(mut self, f: TextFidelity) -> QueryTemplate {
         self.fidelity = f;
+        self.cached_id = std::cell::OnceCell::new();
         self
     }
 
     /// Stable fingerprint of the template's structure.
     pub fn query_id(&self) -> QueryId {
-        let mut h = DefaultHasher::new();
-        // Hash the serialized structure; serde_json is not a dependency of
-        // this crate, so hash a debug rendering (stable within a build, and
-        // templates are compared only within one simulation).
-        format!("{:?}|{}|{:?}", self.statement, self.n_params, self.fidelity).hash(&mut h);
-        QueryId(h.finish())
+        *self.cached_id.get_or_init(|| {
+            let mut h = DefaultHasher::new();
+            // Hash the serialized structure; serde_json is not a dependency
+            // of this crate, so hash a debug rendering (stable within a
+            // build, and templates are compared only within one simulation).
+            format!("{:?}|{}|{:?}", self.statement, self.n_params, self.fidelity).hash(&mut h);
+            QueryId(h.finish())
+        })
     }
 
     /// Whether the tuner's what-if path can cost this statement. BULK

@@ -187,6 +187,33 @@ impl QueryStore {
         now: Timestamp,
     ) {
         let qid = template.query_id();
+        self.record_prehashed(
+            qid,
+            template,
+            params,
+            plan,
+            index_refs,
+            metrics,
+            duration_us,
+            now,
+        );
+    }
+
+    /// [`record`](Self::record) for callers that already hold the query
+    /// id (the engine's hot path interns it in its plan cache); avoids
+    /// re-deriving it per execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_prehashed(
+        &mut self,
+        qid: QueryId,
+        template: &QueryTemplate,
+        params: &[Value],
+        plan: PlanId,
+        index_refs: &[String],
+        metrics: &ActualMetrics,
+        duration_us: f64,
+        now: Timestamp,
+    ) {
         let iv = self.interval_of(now);
         self.data
             .entry((iv, qid, plan))

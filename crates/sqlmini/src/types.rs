@@ -55,14 +55,62 @@ impl fmt::Display for ValueType {
 /// `Value` has a total order (`Null` sorts first, then by type, then by
 /// value) so composite index keys can be compared without panicking even
 /// when schemas are heterogeneous.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+///
+/// Strings are reference-counted (`Arc<str>`): rows are cloned on every
+/// scan, index leaf materialization, and join probe, and sharing the
+/// backing buffer turns those clones into refcount bumps.
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(std::sync::Arc<str>),
     Bool(bool),
     Date(i32),
+}
+
+// Hand-written serde impls: the wire shape must stay identical to what the
+// derive produced when `Str` held a `String` (unit variant -> bare string,
+// one-field variant -> single-key object), so journals and canonical dumps
+// are unaffected by the Arc<str> representation.
+impl serde::Serialize for Value {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Value::Null => serde::Value::Str("Null".to_string()),
+            Value::Int(i) => serde::Value::Object(vec![("Int".to_string(), i.to_value())]),
+            Value::Float(f) => serde::Value::Object(vec![("Float".to_string(), f.to_value())]),
+            Value::Str(s) => {
+                serde::Value::Object(vec![("Str".to_string(), serde::Value::Str(s.to_string()))])
+            }
+            Value::Bool(b) => serde::Value::Object(vec![("Bool".to_string(), b.to_value())]),
+            Value::Date(d) => serde::Value::Object(vec![("Date".to_string(), d.to_value())]),
+        }
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s == "Null" => Ok(Value::Null),
+            serde::Value::Object(fields) if fields.len() == 1 => {
+                let (tag, inner) = &fields[0];
+                match tag.as_str() {
+                    "Int" => Ok(Value::Int(i64::from_value(inner)?)),
+                    "Float" => Ok(Value::Float(f64::from_value(inner)?)),
+                    "Str" => inner
+                        .as_str()
+                        .map(|s| Value::Str(s.into()))
+                        .ok_or_else(|| serde::Error::msg("expected string for Value::Str")),
+                    "Bool" => Ok(Value::Bool(bool::from_value(inner)?)),
+                    "Date" => Ok(Value::Date(i32::from_value(inner)?)),
+                    other => Err(serde::Error::msg(format!("unknown Value variant {other}"))),
+                }
+            }
+            other => Err(serde::Error::msg(format!(
+                "cannot deserialize Value from {other:?}"
+            ))),
+        }
+    }
 }
 
 impl Value {
@@ -213,12 +261,12 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(v.into())
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 impl From<bool> for Value {

@@ -66,7 +66,7 @@ fn best_index_chosen_among_several() {
     let out = db
         .execute(&QueryTemplate::new(Statement::Select(q), 0), &[])
         .unwrap();
-    assert_eq!(out.referenced_indexes, vec!["ix_cust_status".to_string()]);
+    assert_eq!(*out.referenced_indexes, vec!["ix_cust_status".to_string()]);
     // Semantics: rows where i%250==9 and i%7==2.
     let expected = (0..20_000i64)
         .filter(|i| i % 250 == 9 && i % 7 == 2)

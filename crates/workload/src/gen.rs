@@ -164,7 +164,7 @@ impl TableSpec {
                 }
                 ColumnDist::UniformFloat { max } => Value::Float(rng.random::<f64>() * max),
                 ColumnDist::Category { n } => {
-                    Value::Str(format!("cat_{}", rng.random_range(0..(*n).max(1))))
+                    Value::Str(format!("cat_{}", rng.random_range(0..(*n).max(1))).into())
                 }
                 ColumnDist::DerivedFrom { column, divisor } => {
                     // Derive from the already-generated column value.

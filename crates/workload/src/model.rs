@@ -70,7 +70,7 @@ impl ParamGen {
                 Value::Float(lo + rng.random::<f64>() * (hi - lo).max(0.0))
             }
             ParamGen::Category { n } => {
-                Value::Str(format!("cat_{}", rng.random_range(0..(*n).max(1))))
+                Value::Str(format!("cat_{}", rng.random_range(0..(*n).max(1))).into())
             }
             ParamGen::FreshPk { table } => Value::Int(fresh_pk(*table)),
             ParamGen::RecentDate { days } => {

@@ -322,7 +322,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
         (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-z]{0,6}".prop_map(Value::Str),
+        "[a-z]{0,6}".prop_map(|s| Value::Str(s.into())),
         any::<bool>().prop_map(Value::Bool),
         any::<i32>().prop_map(Value::Date),
     ]

@@ -45,7 +45,12 @@ fn shop_db() -> Database {
     );
     db.load_rows(
         customers,
-        (0..200i64).map(|i| vec![Value::Int(i), Value::Str(format!("region_{}", i % 4))]),
+        (0..200i64).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Str(format!("region_{}", i % 4).into()),
+            ]
+        }),
     );
     db.rebuild_all_stats();
     db
