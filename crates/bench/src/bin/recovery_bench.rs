@@ -1,0 +1,298 @@
+//! Bounded-replay benchmark: journal size and crash-recovery cost with
+//! checkpointing ON vs OFF, as run length grows 10×.
+//!
+//! The append-only-forever journal makes recovery cost — frames read,
+//! bytes scanned — grow linearly with tenant lifetime, which is
+//! untenable for the paper's always-on fleet. Checkpoint + compaction
+//! caps the journal at roughly two checkpoints plus one compaction
+//! interval, so recovery replays a bounded tail no matter how long the
+//! tenant has lived. This bench drives the same seeded tenants for T
+//! and 10×T hourly ticks under both policies, then crash-recovers every
+//! store and measures the difference. Asserted here:
+//!
+//! * compaction OFF: recovery frame-reads grow ≥4× across the 10× run;
+//! * compaction ON: frame-reads grow ≤2× (bounded by the compaction
+//!   interval, not run length) and stay under the static frame cap;
+//! * the long compacted journal is ≤⅓ the bytes of the uncompacted one;
+//! * every recovery is exact: state counts, schedules, and the
+//!   monotonic write counter survive byte-for-byte.
+//!
+//! ```text
+//! cargo run -p bench --release --bin recovery_bench              # full
+//! cargo run -p bench --release --bin recovery_bench -- --smoke  # CI
+//! cargo run -p bench --release --bin recovery_bench -- --out PATH --seed 7
+//! ```
+
+use bench::Args;
+use controlplane::{CompactionPolicy, ControlPlane, ManagedDb, PlanePolicy, StateStore};
+use sqlmini::clock::Duration;
+use sqlmini::engine::ServiceTier;
+use std::time::Instant;
+use workload::fleet::{generate_tenant, TenantConfig};
+
+/// The benchmark's compaction policy: a fixed frame trigger (no
+/// garbage-ratio scaling) so the journal's *frame count* has a static
+/// bound — `2 × min_frames + 2` — independent of run length.
+const MIN_FRAMES: usize = 32;
+
+fn compaction(enabled: bool) -> CompactionPolicy {
+    CompactionPolicy {
+        enabled,
+        min_frames: MIN_FRAMES,
+        garbage_ratio: 0.0,
+    }
+}
+
+#[derive(Default, serde::Serialize)]
+struct RunStats {
+    ticks: u32,
+    tenants: usize,
+    /// Frames retained across all tenant journals at end of run.
+    journal_frames: usize,
+    /// Bytes retained across all tenant journals at end of run.
+    journal_bytes: usize,
+    /// Monotonic logical appends — identical for both policies.
+    journal_writes: u64,
+    /// Frames read (validated) to crash-recover every store.
+    recovery_frame_reads: usize,
+    /// Wall time to crash-recover every store, milliseconds.
+    recovery_ms: f64,
+    checkpoints_written: u64,
+    frames_compacted: u64,
+    bytes_reclaimed: u64,
+}
+
+fn drive(ticks: u32, tenants: usize, seed: u64, policy: CompactionPolicy) -> RunStats {
+    let mut stats = RunStats {
+        ticks,
+        tenants,
+        ..RunStats::default()
+    };
+    for i in 0..tenants {
+        let mut cfg = TenantConfig::new(
+            format!("rb{i:02}"),
+            seed.wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(i as u64 + 1),
+            ServiceTier::Basic,
+        );
+        cfg.schema.min_tables = 1;
+        cfg.schema.max_tables = 2;
+        cfg.schema.min_rows = 1_000;
+        cfg.schema.max_rows = 3_000;
+        cfg.workload.base_rate_per_hour = 120.0;
+        let t = generate_tenant(&cfg);
+        let (model, mut runner) = (t.model.clone(), t.runner.clone());
+        let mut mdb = ManagedDb::new(
+            t.db,
+            controlplane::DbSettings::all_on(),
+            controlplane::ServerSettings::default(),
+        );
+        let mut plane = ControlPlane::new(PlanePolicy {
+            analysis_interval: Duration::from_hours(2),
+            validation_min_wait: Duration::from_hours(1),
+            journal: policy.clone(),
+            ..PlanePolicy::default()
+        });
+        for _ in 0..ticks {
+            runner.run_slice_into(
+                &mut mdb.db,
+                &model,
+                Duration::from_hours(1),
+                &mut Default::default(),
+            );
+            plane.tick(&mut mdb);
+        }
+
+        stats.journal_frames += plane.store.journal_len();
+        stats.journal_bytes += plane.store.journal_bytes();
+        stats.journal_writes += plane.store.journal_writes();
+        let cp = plane.store.checkpoint_stats();
+        stats.checkpoints_written += cp.checkpoints_written;
+        stats.frames_compacted += cp.frames_compacted;
+        stats.bytes_reclaimed += cp.bytes_reclaimed;
+
+        // Crash-recover the finished store and demand exactness.
+        let t0 = Instant::now();
+        let (recovered, report) = StateStore::recovered_from(plane.store.journal_lines().to_vec());
+        stats.recovery_ms += t0.elapsed().as_secs_f64() * 1e3;
+        stats.recovery_frame_reads += report.frame_reads;
+        assert!(
+            !report.torn_tail && report.corrupt_mid == 0,
+            "clean journal"
+        );
+        assert!(
+            report.reparked.is_empty(),
+            "end-of-run recovery is a tick boundary: nothing mid-flight"
+        );
+        assert_eq!(
+            report.checkpoint_used,
+            policy.enabled && cp.checkpoints_written > 0,
+            "recovery must restore from a checkpoint exactly when one exists"
+        );
+        assert_eq!(
+            recovered.count_by_state(),
+            plane.store.count_by_state(),
+            "recovered state counts must match the live store"
+        );
+        assert_eq!(
+            recovered.journal_writes(),
+            plane.store.journal_writes(),
+            "the monotonic write counter must survive recovery"
+        );
+        let name = mdb.db.name.clone();
+        assert_eq!(
+            recovered.schedule(&name),
+            plane.store.schedule(&name),
+            "the wake schedule must survive recovery"
+        );
+    }
+    stats
+}
+
+#[derive(serde::Serialize)]
+struct BenchResult {
+    seed: u64,
+    min_frames: usize,
+    short_plain: RunStats,
+    long_plain: RunStats,
+    short_compacted: RunStats,
+    long_compacted: RunStats,
+    /// Frame-read growth across the 10× run, compaction off (≈10×).
+    frame_read_growth_plain: f64,
+    /// Frame-read growth across the 10× run, compaction on (≈1×).
+    frame_read_growth_compacted: f64,
+    /// Journal-byte growth across the 10× run, per policy.
+    byte_growth_plain: f64,
+    byte_growth_compacted: f64,
+    /// Long-run uncompacted bytes over compacted bytes.
+    byte_reduction_10x: f64,
+    /// Long-run uncompacted frame reads over compacted frame reads.
+    frame_read_reduction_10x: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let tenants = args.get_usize("tenants", if smoke { 2 } else { 4 });
+    let base_ticks = args.get_u64("ticks", if smoke { 96 } else { 240 }) as u32;
+    let seed = args.get_u64("seed", 42);
+    let out_path = args.get_str("out", "BENCH_recovery.json");
+
+    println!(
+        "== recovery benchmark: {tenants} tenants, {base_ticks} vs {} hourly ticks (seed {seed}) ==",
+        base_ticks * 10
+    );
+
+    let short_plain = drive(base_ticks, tenants, seed, compaction(false));
+    let long_plain = drive(base_ticks * 10, tenants, seed, compaction(false));
+    let short_compacted = drive(base_ticks, tenants, seed, compaction(true));
+    let long_compacted = drive(base_ticks * 10, tenants, seed, compaction(true));
+
+    // Checkpointing may not change what the control plane does — only
+    // what the journal looks like. The logical write counter is the
+    // cross-policy invariant.
+    assert_eq!(
+        short_plain.journal_writes, short_compacted.journal_writes,
+        "compaction must not change logical writes (short run)"
+    );
+    assert_eq!(
+        long_plain.journal_writes, long_compacted.journal_writes,
+        "compaction must not change logical writes (long run)"
+    );
+    assert!(
+        long_compacted.checkpoints_written > 10 * tenants as u64,
+        "the long run must checkpoint many times, got {}",
+        long_compacted.checkpoints_written
+    );
+
+    let ratio = |a: usize, b: usize| a as f64 / b.max(1) as f64;
+    let frame_read_growth_plain = ratio(
+        long_plain.recovery_frame_reads,
+        short_plain.recovery_frame_reads,
+    );
+    let frame_read_growth_compacted = ratio(
+        long_compacted.recovery_frame_reads,
+        short_compacted.recovery_frame_reads,
+    );
+    let byte_growth_plain = ratio(long_plain.journal_bytes, short_plain.journal_bytes);
+    let byte_growth_compacted = ratio(long_compacted.journal_bytes, short_compacted.journal_bytes);
+    let byte_reduction_10x = ratio(long_plain.journal_bytes, long_compacted.journal_bytes);
+    let frame_read_reduction_10x = ratio(
+        long_plain.recovery_frame_reads,
+        long_compacted.recovery_frame_reads,
+    );
+
+    // The bounded-replay acceptance bars.
+    assert!(
+        frame_read_growth_plain >= 4.0,
+        "without compaction, recovery cost must track run length: {frame_read_growth_plain:.2}x"
+    );
+    // "Bounded" is a static cap, not a growth ratio: however long the
+    // run, a compacted journal holds at most two checkpoints plus one
+    // compaction interval per tenant, and recovery reads at most that.
+    let frame_cap = tenants * (2 * MIN_FRAMES + 4);
+    assert!(
+        long_compacted.journal_frames <= frame_cap,
+        "compacted journals must respect the static frame cap: {} > {frame_cap} frames",
+        long_compacted.journal_frames
+    );
+    assert!(
+        long_compacted.recovery_frame_reads <= frame_cap,
+        "compacted recovery must read a bounded tail: {} > {frame_cap} frames",
+        long_compacted.recovery_frame_reads
+    );
+    assert!(
+        byte_reduction_10x >= 3.0,
+        "10x-run compacted journal must be <=1/3 the bytes of append-only: {byte_reduction_10x:.2}x"
+    );
+
+    println!(
+        "{:>26} {:>14} {:>14} {:>14} {:>14}",
+        "", "short plain", "long plain", "short ckpt", "long ckpt"
+    );
+    let row = |label: &str, f: &dyn Fn(&RunStats) -> String| {
+        println!(
+            "{label:>26} {:>14} {:>14} {:>14} {:>14}",
+            f(&short_plain),
+            f(&long_plain),
+            f(&short_compacted),
+            f(&long_compacted)
+        );
+    };
+    row("journal frames", &|s| s.journal_frames.to_string());
+    row("journal bytes", &|s| s.journal_bytes.to_string());
+    row("recovery frame reads", &|s| {
+        s.recovery_frame_reads.to_string()
+    });
+    row("recovery wall (ms)", &|s| format!("{:.2}", s.recovery_ms));
+    row("checkpoints written", &|s| {
+        s.checkpoints_written.to_string()
+    });
+    println!(
+        "10x growth: frame reads {frame_read_growth_plain:.1}x plain vs \
+         {frame_read_growth_compacted:.1}x compacted; bytes {byte_growth_plain:.1}x plain vs \
+         {byte_growth_compacted:.1}x compacted"
+    );
+    println!(
+        "long run: compaction reads {frame_read_reduction_10x:.1}x fewer frames, \
+         keeps {byte_reduction_10x:.1}x fewer bytes"
+    );
+
+    let result = BenchResult {
+        seed,
+        min_frames: MIN_FRAMES,
+        short_plain,
+        long_plain,
+        short_compacted,
+        long_compacted,
+        frame_read_growth_plain,
+        frame_read_growth_compacted,
+        byte_growth_plain,
+        byte_growth_compacted,
+        byte_reduction_10x,
+        frame_read_reduction_10x,
+    };
+    let json = serde_json::to_string_pretty(&result).expect("result serializes");
+    std::fs::write(out_path, json).expect("write BENCH_recovery.json");
+    println!("wrote {out_path}");
+}

@@ -34,6 +34,11 @@ pub enum FaultPoint {
     /// The whole tenant worker panics mid-tick. Opt-in only; consumed by
     /// the fleet driver's supervisor, not by the control plane.
     TenantPanic,
+    /// The process died mid-checkpoint-write, tearing the checkpoint
+    /// frame compaction just appended. Recovery must step down the
+    /// fallback ladder (previous checkpoint, then full replay).
+    /// Opt-in only: [`FaultInjector::uniform`] does not arm it.
+    CheckpointTear,
 }
 
 /// Kind of injected failure.
@@ -216,6 +221,7 @@ mod tests {
         let mut f = FaultInjector::uniform(3, 1.0, 1.0);
         assert_eq!(f.check(FaultPoint::JournalTear), None);
         assert_eq!(f.check(FaultPoint::TenantPanic), None);
+        assert_eq!(f.check(FaultPoint::CheckpointTear), None);
         assert_eq!(f.check(FaultPoint::IndexBuild), Some(FaultKind::Fatal));
     }
 

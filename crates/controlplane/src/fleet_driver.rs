@@ -135,6 +135,12 @@ pub struct FleetDriverConfig {
     /// there), so a sweep with an intact journal must replay
     /// byte-identically to an uncrashed run.
     pub crash_every_writes: Option<u64>,
+    /// Chaos knob: crash + recover each tenant's store at the *start* of
+    /// every `k`-th tick (`0`/`None` disables). A pure function of the
+    /// tick number — identical under dense/sparse scheduling and any
+    /// thread count — so end-to-end runs (e.g. `fleet_smoke
+    /// --crash-every`) exercise recovery without perturbing replay.
+    pub crash_every_ticks: Option<u32>,
     /// Deterministic per-tenant fault scripts, applied at worker setup.
     pub scripts: Vec<TenantScript>,
     /// When set, this fraction of tenants (chosen by a pure hash of the
@@ -169,6 +175,7 @@ impl Default for FleetDriverConfig {
             quarantine_threshold: 0,
             quarantine_cooldown: 0,
             crash_every_writes: None,
+            crash_every_ticks: None,
             scripts: Vec::new(),
             auto_fraction: None,
             trace: false,
@@ -219,8 +226,11 @@ pub struct TenantOutcome {
     /// Fault/failure counters (transient + fatal + lock timeouts).
     pub faults: BTreeMap<String, u64>,
     pub incidents: usize,
-    /// Journal length — proxy for state-store write traffic.
-    pub journal_len: usize,
+    /// Logical journal writes ever made — proxy for state-store write
+    /// traffic. Monotonic across compaction and crash-recovery
+    /// (checkpoint frames excluded), so compaction-on and compaction-off
+    /// runs agree on it byte-for-byte.
+    pub journal_writes: u64,
     /// Final index names on the tenant database, sorted.
     pub indexes: Vec<String>,
     pub statements: u64,
@@ -278,7 +288,7 @@ impl TenantOutcome {
             verdicts: counter_map(&VERDICT_KINDS),
             faults: counter_map(&FAULT_KINDS),
             incidents: plane.telemetry.incidents().len(),
-            journal_len: plane.store.journal_len(),
+            journal_writes: plane.store.journal_writes(),
             indexes,
             statements: run.statements,
             errors: run.errors,
@@ -401,6 +411,12 @@ impl FleetReport {
                 self.plan_cache_misses(),
                 self.plan_cache_invalidations(),
             )
+            .with_journal(
+                self.checkpoints_written(),
+                self.frames_compacted(),
+                self.journal_bytes_reclaimed(),
+                self.fallback_recoveries(),
+            )
     }
 
     /// Control-plane passes that actually ran.
@@ -428,6 +444,38 @@ impl FleetReport {
     /// moved (index DDL, stats refresh, schema change, restart).
     pub fn plan_cache_invalidations(&self) -> u64 {
         self.scheduler_metrics.counter("plan_cache.invalidations")
+    }
+
+    /// Store crash-recoveries across the fleet (chaos sweeps + faults).
+    pub fn store_recoveries(&self) -> u64 {
+        self.scheduler_metrics.counter("journal.recoveries")
+    }
+
+    /// Checkpoint frames written by journal compaction, fleet-wide.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.scheduler_metrics
+            .counter("journal.checkpoints_written")
+    }
+
+    /// Journal frames truncated away by compaction, fleet-wide.
+    pub fn frames_compacted(&self) -> u64 {
+        self.scheduler_metrics.counter("journal.frames_compacted")
+    }
+
+    /// Journal bytes reclaimed by compaction, fleet-wide.
+    pub fn journal_bytes_reclaimed(&self) -> u64 {
+        self.scheduler_metrics.counter("journal.bytes_reclaimed")
+    }
+
+    /// Recoveries that stepped down the checkpoint fallback ladder.
+    pub fn fallback_recoveries(&self) -> u64 {
+        self.scheduler_metrics
+            .counter("journal.fallback_recoveries")
+    }
+
+    /// End-of-run journal bytes summed over all tenant stores.
+    pub fn journal_bytes(&self) -> u64 {
+        self.scheduler_metrics.counter("journal.bytes")
     }
 
     /// Fleet-wide plan-cache hit rate in [0, 1].
@@ -692,6 +740,19 @@ impl FleetDriver {
         }
         let injected_before = w.plane.faults.injected;
         let mut control_due = control_due;
+        // Chaos knob: a process restart at the start of every k-th tick.
+        // Silent (no telemetry), like the crash_every_writes sweep: an
+        // intact-journal recovery must replay byte-identically to an
+        // uncrashed run. Only a re-park (a reco caught mid-flight) can
+        // invalidate the recorded schedule; run the pass then.
+        if let Some(k) = self.config.crash_every_ticks {
+            if k > 0 && tick > 0 && tick.is_multiple_of(k) {
+                let report = w.plane.store.crash_and_recover();
+                if !report.reparked.is_empty() {
+                    control_due = true;
+                }
+            }
+        }
         if w.plane.faults.check(FaultPoint::JournalTear).is_some() {
             let now = w.mdb.db.clock().now();
             let name = w.mdb.db.name.clone();
@@ -756,10 +817,10 @@ impl FleetDriver {
         // byte-identically to an uncrashed run; the recovery stats
         // remain inspectable via `StateStore::recovery_stats`.
         if let Some(k) = self.config.crash_every_writes {
-            let written = w.plane.store.journal_len() as u64;
+            let written = w.plane.store.journal_writes();
             if written >= w.writes_at_last_crash.saturating_add(k.max(1)) {
                 w.plane.store.crash_and_recover();
-                w.writes_at_last_crash = w.plane.store.journal_len() as u64;
+                w.writes_at_last_crash = w.plane.store.journal_writes();
                 // Re-derive the wake from the *recovered* schedule.
                 // Recovery may have reparked mid-flight recommendations
                 // (which invalidates the recorded schedule for this db);
@@ -818,6 +879,21 @@ impl FleetDriver {
         sched.add("plan_cache.hits", pcs.hits);
         sched.add("plan_cache.misses", pcs.misses);
         sched.add("plan_cache.invalidations", pcs.invalidations);
+        // Journal/recovery bookkeeping follows the same rule: compaction
+        // changes journal geometry (bytes, checkpoint counts) without
+        // changing canonical state, so its counters live in the driver
+        // registry and surface through the §8.1 journal/recovery block.
+        let (recoveries, truncated, reparked) = plane.store.recovery_stats();
+        sched.add("journal.recoveries", recoveries);
+        sched.add("journal.truncated_frames", truncated);
+        sched.add("journal.reparked", reparked);
+        let cs = plane.store.checkpoint_stats();
+        sched.add("journal.checkpoints_written", cs.checkpoints_written);
+        sched.add("journal.frames_compacted", cs.frames_compacted);
+        sched.add("journal.bytes_reclaimed", cs.bytes_reclaimed);
+        sched.add("journal.fallback_recoveries", cs.fallback_recoveries);
+        sched.add("journal.corrupt_frames", cs.corrupt_frames);
+        sched.add("journal.bytes", plane.store.journal_bytes() as u64);
         // Workload-impact roll-up (§8.2 flavor): fixed-count CPU cost of
         // the first observation window vs the last, per query. Counts
         // are pinned to the first window so the comparison measures

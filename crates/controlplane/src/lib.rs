@@ -34,7 +34,7 @@ pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy, RetryPo
 pub use region::{DashboardSnapshot, GlobalDashboard, Region};
 pub use stages::{NextDue, Stage, WakeSchedule};
 pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};
-pub use store::{RecoveryReport, StateStore};
+pub use store::{CheckpointStats, CompactionPolicy, RecoveryReport, StateStore};
 pub use telemetry::{EventKind, Telemetry};
 pub use trace::{Span, Tracer};
 pub use wakeup::WakeupHeap;

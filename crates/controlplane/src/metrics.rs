@@ -69,6 +69,19 @@ impl Histogram {
         vec![0, 1, 2, 5, 10, 20, 50, 100, 1_000]
     }
 
+    /// Default bounds for byte-size observations: 1 KiB … 256 MiB.
+    pub fn bytes_bounds() -> Vec<u64> {
+        vec![
+            1_024,
+            16_384,
+            65_536,
+            262_144,
+            1_048_576,
+            16_777_216,
+            268_435_456,
+        ]
+    }
+
     pub fn observe(&mut self, value: u64) {
         let bucket = self
             .bounds

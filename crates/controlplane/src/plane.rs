@@ -26,7 +26,7 @@ use crate::metrics::MetricsRegistry;
 use crate::scheduler::SchedulerConfig;
 use crate::stages::{Stage, WakeSchedule};
 use crate::state::{effective, DbSettings, RecoId, RecoState, ServerSettings};
-use crate::store::StateStore;
+use crate::store::{CompactionPolicy, StateStore};
 use crate::telemetry::{EventKind, Telemetry};
 use crate::trace::Tracer;
 use autoindex::drops::DropConfig;
@@ -146,6 +146,11 @@ pub struct PlanePolicy {
     pub validator: ValidatorConfig,
     pub drops: DropConfig,
     pub scheduler: SchedulerConfig,
+    /// Journal checkpointing/compaction trigger. The check runs at the
+    /// end of every executed tick, after the wake schedule is recorded;
+    /// it is deterministic in journaled state only, so serial, parallel,
+    /// and sparse replays compact at identical points.
+    pub journal: CompactionPolicy,
 }
 
 impl Default for PlanePolicy {
@@ -167,6 +172,7 @@ impl Default for PlanePolicy {
             validator: ValidatorConfig::default(),
             drops: DropConfig::default(),
             scheduler: SchedulerConfig::default(),
+            journal: CompactionPolicy::default(),
         }
     }
 }
@@ -272,7 +278,27 @@ impl ControlPlane {
         self.tracer.end(mdb.db.clock().now());
         let schedule = WakeSchedule::compute(self, mdb);
         self.store.record_schedule(&mdb.db.name, &schedule);
+        self.maybe_checkpoint(mdb);
         schedule
+    }
+
+    /// End-of-tick compaction check. A skipped (provably idle) tick
+    /// appends nothing to the journal, so the trigger cannot fire on it
+    /// — sparse and dense replays compact at identical points. The
+    /// armed [`FaultPoint::CheckpointTear`] path tears the checkpoint
+    /// frame just written and immediately restart-recovers, exercising
+    /// the fallback ladder live; an unarmed check draws no randomness.
+    fn maybe_checkpoint(&mut self, mdb: &ManagedDb) {
+        if !self.store.should_compact(&self.policy.journal) {
+            return;
+        }
+        self.store.compact();
+        if self.faults.check(FaultPoint::CheckpointTear).is_some() {
+            let now = mdb.db.clock().now();
+            let name = mdb.db.name.clone();
+            self.store.corrupt_last_checkpoint();
+            self.recover_store(&name, now);
+        }
     }
 
     /// Outstanding (Active, awaiting implementation) recommendations by
@@ -364,7 +390,12 @@ impl ControlPlane {
     /// telemetry: one `StoreRecovered` event, one `JournalEntryTruncated`
     /// per dropped record, one `RecommendationReparked` per mid-flight
     /// recommendation parked back into Retry, and an incident whenever
-    /// data was actually lost.
+    /// data was actually lost. Checkpoint outcomes are reported
+    /// distinctly: `CheckpointRestored` when recovery started from a
+    /// snapshot, `CheckpointFallback` (plus an incident) when a damaged
+    /// checkpoint forced a step down the ladder, and one
+    /// `JournalFrameCorrupt` (plus an incident) per mid-journal frame
+    /// skipped — bit-rot is not the same signal as a torn tail.
     pub fn recover_store(&mut self, db_name: &str, now: Timestamp) -> crate::store::RecoveryReport {
         let report = self.store.crash_and_recover();
         self.telemetry.emit(
@@ -397,6 +428,66 @@ impl ControlPlane {
             report.replayed as u64,
             &crate::metrics::Histogram::count_bounds(),
         );
+        self.metrics.observe_with(
+            "recovery.frame_reads",
+            report.frame_reads as u64,
+            &crate::metrics::Histogram::count_bounds(),
+        );
+        self.metrics.observe_with(
+            "recovery.journal_bytes",
+            self.store.journal_bytes() as u64,
+            &crate::metrics::Histogram::bytes_bounds(),
+        );
+        if report.checkpoint_used {
+            self.telemetry.emit(
+                EventKind::CheckpointRestored,
+                db_name,
+                format!("{} frame reads", report.frame_reads),
+                now,
+            );
+            self.metrics.inc("recovery.from_checkpoint");
+        }
+        if report.corrupt_mid > 0 {
+            for _ in 0..report.corrupt_mid {
+                self.telemetry
+                    .emit(EventKind::JournalFrameCorrupt, db_name, "", now);
+            }
+            self.metrics
+                .add("recovery.corrupt_frames", report.corrupt_mid as u64);
+            self.incident(
+                db_name,
+                format!(
+                    "mid-journal corruption: {} frames skipped (intact records follow them)",
+                    report.corrupt_mid
+                ),
+                now,
+            );
+        }
+        if report.checkpoint_fallback {
+            self.telemetry.emit(
+                EventKind::CheckpointFallback,
+                db_name,
+                if report.checkpoint_used {
+                    "fell back to previous checkpoint"
+                } else {
+                    "fell back to full replay"
+                },
+                now,
+            );
+            self.metrics.inc("recovery.checkpoint_fallback");
+            self.incident(
+                db_name,
+                format!(
+                    "checkpoint torn/corrupt: recovery fell back to {} (lossless)",
+                    if report.checkpoint_used {
+                        "the previous checkpoint"
+                    } else {
+                        "full replay"
+                    }
+                ),
+                now,
+            );
+        }
         if report.torn_tail {
             self.metrics.inc("recovery.torn_tail");
             self.incident(

@@ -129,6 +129,15 @@ pub struct DashboardSnapshot {
     pub plan_cache_misses: u64,
     /// Cached plans discarded because the catalog fingerprint moved.
     pub plan_cache_invalidations: u64,
+    /// Checkpoint frames written by journal compaction (0 when built
+    /// without driver context — see [`DashboardSnapshot::with_journal`]).
+    pub checkpoints_written: u64,
+    /// Journal frames truncated away by compaction.
+    pub frames_compacted: u64,
+    /// Journal bytes reclaimed by compaction.
+    pub journal_bytes_reclaimed: u64,
+    /// Recoveries that stepped down the checkpoint fallback ladder.
+    pub fallback_recoveries: u64,
 }
 
 impl DashboardSnapshot {
@@ -163,6 +172,10 @@ impl DashboardSnapshot {
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_cache_invalidations: 0,
+            checkpoints_written: 0,
+            frames_compacted: 0,
+            journal_bytes_reclaimed: 0,
+            fallback_recoveries: 0,
         }
     }
 
@@ -188,6 +201,24 @@ impl DashboardSnapshot {
         self.plan_cache_hits = hits;
         self.plan_cache_misses = misses;
         self.plan_cache_invalidations = invalidations;
+        self
+    }
+
+    /// Attach journal/recovery counters (non-canonical driver
+    /// bookkeeping — compaction changes journal geometry without
+    /// changing canonical state). Gates the "journal / recovery"
+    /// render block.
+    pub fn with_journal(
+        mut self,
+        checkpoints_written: u64,
+        frames_compacted: u64,
+        bytes_reclaimed: u64,
+        fallback_recoveries: u64,
+    ) -> DashboardSnapshot {
+        self.checkpoints_written = checkpoints_written;
+        self.frames_compacted = frames_compacted;
+        self.journal_bytes_reclaimed = bytes_reclaimed;
+        self.fallback_recoveries = fallback_recoveries;
         self
     }
 
@@ -385,6 +416,25 @@ impl DashboardSnapshot {
             out.push_str(&format!(
                 "  invalidations                 {:>8}\n",
                 self.plan_cache_invalidations
+            ));
+        }
+        if self.checkpoints_written + self.fallback_recoveries > 0 {
+            out.push_str("journal / recovery\n");
+            out.push_str(&format!(
+                "  checkpoints written           {:>8}\n",
+                self.checkpoints_written
+            ));
+            out.push_str(&format!(
+                "  frames compacted              {:>8}\n",
+                self.frames_compacted
+            ));
+            out.push_str(&format!(
+                "  bytes reclaimed               {:>8}\n",
+                self.journal_bytes_reclaimed
+            ));
+            out.push_str(&format!(
+                "  fallback recoveries           {:>8}\n",
+                self.fallback_recoveries
             ));
         }
         out.push_str(&format!(

@@ -153,6 +153,21 @@ impl WakeSchedule {
         }
     }
 
+    /// The maximally conservative schedule: every stage re-polled next
+    /// tick. Crash recovery journals this over a schedule invalidated by
+    /// a re-park — over-waking is harmless (invariant above), while a
+    /// stale `At` could sleep through the retry it just created.
+    pub fn immediate() -> WakeSchedule {
+        WakeSchedule {
+            recommend: NextDue::NextTick,
+            retry: NextDue::NextTick,
+            implement: NextDue::NextTick,
+            validate: NextDue::NextTick,
+            expire: NextDue::NextTick,
+            health: NextDue::NextTick,
+        }
+    }
+
     /// Stage dues in pipeline order (parallel to [`Stage::ALL`]).
     pub fn stages(&self) -> [NextDue; 6] {
         [

@@ -10,6 +10,21 @@
 //! mid-`Reverting` is re-parked in the paper's Retry state rather than
 //! silently resumed, because the crash may or may not have completed
 //! the underlying engine action.
+//!
+//! # Checkpointing and compaction
+//!
+//! Append-only forever means replay cost and journal size grow with
+//! history, making long-lived tenants the *least* recoverable ones. A
+//! [`JournalEntry::Checkpoint`] frame snapshots the whole canonical
+//! store state under the same framing as every other record; when the
+//! [`CompactionPolicy`] trigger fires, [`StateStore::compact`] appends
+//! a fresh checkpoint and truncates everything *before the previous
+//! checkpoint*. Keeping the previous checkpoint makes a damaged latest
+//! checkpoint lossless: every logical frame since the previous one is
+//! still present, so recovery falls back one rung on the ladder —
+//! latest checkpoint → previous checkpoint → full replay — and loses
+//! nothing. Checkpoint frames are pure redundancy, never the only copy
+//! of any state.
 
 use crate::stages::WakeSchedule;
 use crate::state::{RecoId, TrackedReco};
@@ -34,6 +49,78 @@ enum JournalEntry {
         database: String,
         schedule: WakeSchedule,
     },
+    /// A full snapshot of canonical store state, written by compaction.
+    /// Recovery restores from the newest intact checkpoint and replays
+    /// only the tail after it.
+    Checkpoint(Box<CheckpointState>),
+}
+
+/// Everything a checkpoint must carry to make the prefix before it
+/// disposable: the tracked recommendations, the wake schedules, the
+/// id-allocation state, and the cumulative recovery counters (which
+/// must survive full process restarts, not just in-memory crashes).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct CheckpointState {
+    recos: Vec<TrackedReco>,
+    schedules: BTreeMap<String, WakeSchedule>,
+    id_base: u64,
+    next_id: u64,
+    writes_total: u64,
+    recoveries: u64,
+    truncated_total: u64,
+    reparked_total: u64,
+}
+
+/// When the journal gets compacted. Lives on
+/// [`PlanePolicy`](crate::plane::PlanePolicy) as `journal`; the store
+/// itself stays policy-free (the trigger check takes the policy as an
+/// argument), so replacing a plane's store never desynchronizes policy.
+///
+/// The trigger is deterministic in journaled state only —
+/// `appends_since_checkpoint >= max(min_frames, ⌈garbage_ratio × live⌉)`
+/// where `live` counts tracked recommendations + schedules + 1 — so
+/// serial, parallel, and sparse replays compact at identical points.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CompactionPolicy {
+    /// Master switch; `false` restores the append-only-forever behavior
+    /// (the differential oracle for the equivalence proofs).
+    pub enabled: bool,
+    /// Never compact before this many logical appends accumulated since
+    /// the last checkpoint — a floor that stops tiny stores from
+    /// checkpointing on every other write.
+    pub min_frames: usize,
+    /// Compact once the appends since the last checkpoint exceed this
+    /// multiple of the live-entry count — i.e. once replaying the tail
+    /// costs more than this factor over re-reading a snapshot.
+    pub garbage_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            enabled: true,
+            min_frames: 64,
+            garbage_ratio: 2.0,
+        }
+    }
+}
+
+/// Cumulative checkpoint/compaction counters for one store — driver
+/// bookkeeping (non-canonical), surfaced in the §8.1 journal/recovery
+/// dashboard block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoint frames written by compaction.
+    pub checkpoints_written: u64,
+    /// Journal frames truncated away by compaction.
+    pub frames_compacted: u64,
+    /// Journal bytes reclaimed by compaction.
+    pub bytes_reclaimed: u64,
+    /// Recoveries that could not use the newest checkpoint and stepped
+    /// down the fallback ladder.
+    pub fallback_recoveries: u64,
+    /// Mid-journal corrupt frames skipped (as opposed to torn tails).
+    pub corrupt_frames: u64,
 }
 
 /// FNV-1a over the payload bytes — the journal frame checksum.
@@ -71,16 +158,35 @@ fn parse_frame(line: &str) -> Option<&str> {
     Some(payload)
 }
 
+/// Cheap structural test (no checksum work): does this frame's payload
+/// start like a checkpoint record? Used by the backward recovery scan to
+/// touch only checkpoint candidates, and to classify damaged frames
+/// that *were* checkpoints (a frame torn shorter than the marker simply
+/// counts as ordinary corruption — recovery is still correct, only the
+/// fallback attribution is lost).
+fn looks_like_checkpoint(line: &str) -> bool {
+    line.splitn(3, '|')
+        .nth(2)
+        .is_some_and(|payload| payload.starts_with("{\"Checkpoint\""))
+}
+
 /// What one [`StateStore::crash_and_recover`] pass did.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RecoveryReport {
-    /// Journal entries successfully replayed.
+    /// Journal entries successfully replayed (a restored checkpoint
+    /// counts as one).
     pub replayed: usize,
-    /// Entries dropped from the tail (first torn/corrupt record onward).
+    /// Entries dropped from the tail (the maximal invalid suffix).
     pub truncated: usize,
     /// True when truncation happened because a record failed frame or
     /// checksum validation (as opposed to a clean, complete journal).
     pub torn_tail: bool,
+    /// Invalid frames found *mid*-journal — an intact frame follows
+    /// them, so they are bit-rot or a damaged checkpoint, not a torn
+    /// tail. Skipped and dropped from the rebuilt journal; safe because
+    /// upserts carry absolute state, schedules self-heal on the next
+    /// pass, and checkpoints are redundant by construction.
+    pub corrupt_mid: usize,
     /// Recommendations found mid-`Implementing`/`Reverting` and
     /// re-parked into Retry.
     pub reparked: Vec<RecoId>,
@@ -88,6 +194,24 @@ pub struct RecoveryReport {
     pub id_base: u64,
     /// The next id the recovered store will allocate.
     pub next_id: u64,
+    /// True when recovery restored from a checkpoint (plus tail replay)
+    /// instead of replaying the whole journal.
+    pub checkpoint_used: bool,
+    /// True when at least one checkpoint frame was torn or corrupt and
+    /// recovery stepped down the ladder (previous checkpoint, or full
+    /// replay). Lossless by the keep-previous-checkpoint invariant, but
+    /// reported — it means a checkpoint write died mid-flight.
+    pub checkpoint_fallback: bool,
+    /// Frames read (validated) during recovery — the bounded-replay cost
+    /// metric: with compaction this stays ≈ checkpoint + tail while the
+    /// uncompacted baseline reads the entire history.
+    pub frame_reads: usize,
+    /// Databases whose stale wake schedule was rewritten to the
+    /// conservative [`WakeSchedule::immediate`] because a re-park
+    /// invalidated it. Journaled (like the re-park itself), so repeated
+    /// recoveries — from a checkpoint or from full replay — converge on
+    /// the same schedule instead of resurrecting the stale one.
+    pub rescheduled: usize,
 }
 
 /// The state store: in-memory view + append-only journal.
@@ -104,6 +228,22 @@ pub struct StateStore {
     recoveries: u64,
     truncated_total: u64,
     reparked_total: u64,
+    /// Logical journal appends ever made (Upsert/Meta/Schedule, NOT
+    /// checkpoint frames). Monotonic: unlike `journal.len()` it survives
+    /// compaction, truncation, and crash-recovery, which makes it the
+    /// canonical write-traffic proxy — identical between compaction-on
+    /// and compaction-off runs by construction.
+    writes_total: u64,
+    /// Index of the newest checkpoint frame in `journal`, if any.
+    last_checkpoint: Option<usize>,
+    /// Logical appends since the last checkpoint (compaction trigger).
+    appends_since_checkpoint: usize,
+    /// Compaction/fallback bookkeeping (see [`CheckpointStats`]).
+    checkpoints_written: u64,
+    frames_compacted: u64,
+    bytes_reclaimed: u64,
+    fallback_recoveries: u64,
+    corrupt_frames_total: u64,
 }
 
 impl StateStore {
@@ -123,17 +263,22 @@ impl StateStore {
             ..StateStore::default()
         };
         if base > 0 {
-            let line = serde_json::to_string(&JournalEntry::Meta { id_base: base })
-                .expect("meta serializes");
-            s.journal.push(frame(&line));
+            s.append(&JournalEntry::Meta { id_base: base });
         }
         s
     }
 
-    fn journal_upsert(&mut self, r: &TrackedReco) {
-        let line = serde_json::to_string(&JournalEntry::Upsert(Box::new(r.clone())))
-            .expect("reco serializes");
+    /// Append one logical record under framing, counting it toward the
+    /// monotonic write total and the compaction trigger.
+    fn append(&mut self, entry: &JournalEntry) {
+        let line = serde_json::to_string(entry).expect("journal entry serializes");
         self.journal.push(frame(&line));
+        self.writes_total += 1;
+        self.appends_since_checkpoint += 1;
+    }
+
+    fn journal_upsert(&mut self, r: &TrackedReco) {
+        self.append(&JournalEntry::Upsert(Box::new(r.clone())));
     }
 
     /// Track a new recommendation (state: Active).
@@ -180,12 +325,10 @@ impl StateStore {
         if self.schedules.get(database) == Some(schedule) {
             return;
         }
-        let line = serde_json::to_string(&JournalEntry::Schedule {
+        self.append(&JournalEntry::Schedule {
             database: database.to_string(),
             schedule: *schedule,
-        })
-        .expect("schedule serializes");
-        self.journal.push(frame(&line));
+        });
         self.schedules.insert(database.to_string(), *schedule);
     }
 
@@ -237,6 +380,19 @@ impl StateStore {
         self.journal.len()
     }
 
+    /// Total journal size in bytes — the quantity compaction bounds
+    /// (append-only-forever grows this linearly with history).
+    pub fn journal_bytes(&self) -> usize {
+        self.journal.iter().map(String::len).sum()
+    }
+
+    /// Logical journal appends ever made — monotonic across compaction,
+    /// truncation, and crash-recovery (checkpoint frames excluded). The
+    /// canonical write-traffic proxy.
+    pub fn journal_writes(&self) -> u64 {
+        self.writes_total
+    }
+
     /// The raw framed journal lines (chaos-test surface).
     pub fn journal_lines(&self) -> &[String] {
         &self.journal
@@ -247,18 +403,90 @@ impl StateStore {
     pub fn tear_journal_tail(&mut self, n: usize) {
         let keep = self.journal.len().saturating_sub(n);
         self.journal.truncate(keep);
+        self.last_checkpoint = self.journal.iter().rposition(|l| looks_like_checkpoint(l));
     }
 
-    /// Mangle the final journal record — models a write torn mid-record
-    /// by the crash. The frame's length prefix and checksum make the
-    /// damage detectable on recovery.
-    pub fn corrupt_journal_tail(&mut self) {
-        if let Some(last) = self.journal.last_mut() {
-            let mut k = last.len() / 2;
-            while k > 0 && !last.is_char_boundary(k) {
+    /// Mangle journal record `i` — models bit-rot or a record torn
+    /// mid-write. Works anywhere in the journal (including checkpoint
+    /// frames), so mid-journal corruption and checkpoint-fallback paths
+    /// are testable, not just the final record. The frame's length
+    /// prefix and checksum make the damage detectable on recovery.
+    pub fn corrupt_journal_frame(&mut self, i: usize) {
+        if let Some(line) = self.journal.get_mut(i) {
+            let mut k = line.len() / 2;
+            while k > 0 && !line.is_char_boundary(k) {
                 k -= 1;
             }
-            last.truncate(k);
+            line.truncate(k);
+        }
+    }
+
+    /// Mangle the final journal record — the classic torn-tail shape.
+    pub fn corrupt_journal_tail(&mut self) {
+        if !self.journal.is_empty() {
+            self.corrupt_journal_frame(self.journal.len() - 1);
+        }
+    }
+
+    /// Mangle the newest checkpoint frame — models the process dying
+    /// mid-checkpoint-write ([`FaultPoint::CheckpointTear`]
+    /// (crate::faults::FaultPoint::CheckpointTear)). Recovery must step
+    /// down the fallback ladder, losing nothing.
+    pub fn corrupt_last_checkpoint(&mut self) {
+        if let Some(i) = self.last_checkpoint {
+            self.corrupt_journal_frame(i);
+        }
+    }
+
+    /// Does the compaction trigger fire? Deterministic in journaled
+    /// state only: serial/parallel/sparse replays agree.
+    pub fn should_compact(&self, policy: &CompactionPolicy) -> bool {
+        if !policy.enabled {
+            return false;
+        }
+        let live = self.recos.len() + self.schedules.len() + 1;
+        let by_ratio = (policy.garbage_ratio.max(0.0) * live as f64).ceil() as usize;
+        self.appends_since_checkpoint >= policy.min_frames.max(1).max(by_ratio)
+    }
+
+    /// Write a checkpoint frame and truncate the prefix before the
+    /// *previous* checkpoint. Keeping one full checkpoint-to-checkpoint
+    /// interval behind the new snapshot is what makes a torn latest
+    /// checkpoint lossless: the ladder steps back to the previous
+    /// checkpoint and re-replays the (still present) interval. Returns
+    /// `(frames truncated, bytes reclaimed)`.
+    pub fn compact(&mut self) -> (usize, u64) {
+        let state = CheckpointState {
+            recos: self.recos.values().cloned().collect(),
+            schedules: self.schedules.clone(),
+            id_base: self.id_base,
+            next_id: self.next_id,
+            writes_total: self.writes_total,
+            recoveries: self.recoveries,
+            truncated_total: self.truncated_total,
+            reparked_total: self.reparked_total,
+        };
+        let line = serde_json::to_string(&JournalEntry::Checkpoint(Box::new(state)))
+            .expect("checkpoint serializes");
+        let cut = self.last_checkpoint.unwrap_or(0);
+        let bytes: u64 = self.journal[..cut].iter().map(|l| l.len() as u64).sum();
+        self.journal.drain(..cut);
+        self.journal.push(frame(&line));
+        self.last_checkpoint = Some(self.journal.len() - 1);
+        self.appends_since_checkpoint = 0;
+        self.checkpoints_written += 1;
+        self.frames_compacted += cut as u64;
+        self.bytes_reclaimed += bytes;
+        (cut, bytes)
+    }
+
+    /// Compact iff the policy trigger fires. Returns whether it did.
+    pub fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+        if self.should_compact(policy) {
+            self.compact();
+            true
+        } else {
+            false
         }
     }
 
@@ -273,22 +501,98 @@ impl StateStore {
         (self.recoveries, self.truncated_total, self.reparked_total)
     }
 
-    /// Build a store by replaying framed journal lines. Replay stops at
-    /// the first torn or corrupt record — everything from there on is
-    /// truncated (the durable prefix wins, the torn tail is lost) — and
-    /// never panics. Mid-flight recommendations (`Implementing`,
-    /// `Reverting`) are re-parked into Retry, with the re-park journaled
-    /// so a second crash recovers to the same place.
+    /// Cumulative checkpoint/compaction counters.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        CheckpointStats {
+            checkpoints_written: self.checkpoints_written,
+            frames_compacted: self.frames_compacted,
+            bytes_reclaimed: self.bytes_reclaimed,
+            fallback_recoveries: self.fallback_recoveries,
+            corrupt_frames: self.corrupt_frames_total,
+        }
+    }
+
+    /// Restore maps, id state, and cumulative counters from a decoded
+    /// checkpoint snapshot.
+    fn restore_checkpoint(&mut self, state: CheckpointState) {
+        self.recos = state.recos.into_iter().map(|r| (r.id, r)).collect();
+        self.schedules = state.schedules;
+        self.id_base = state.id_base;
+        self.next_id = state.next_id;
+        self.writes_total = state.writes_total;
+        self.recoveries = state.recoveries;
+        self.truncated_total = state.truncated_total;
+        self.reparked_total = state.reparked_total;
+    }
+
+    /// Build a store by replaying framed journal lines.
+    ///
+    /// Recovery first scans *backward* for the newest intact checkpoint
+    /// (touching only checkpoint-shaped frames), restores it, then
+    /// replays the tail after it — so frame reads stay ≈ checkpoint +
+    /// tail instead of the full history. Invalid tail frames are
+    /// classified: the maximal invalid *suffix* is a torn tail and is
+    /// truncated (the durable prefix wins); an invalid frame with an
+    /// intact frame after it is mid-journal corruption, which is
+    /// skipped and reported distinctly instead of costing the whole
+    /// suffix. A torn/corrupt checkpoint makes recovery fall back to
+    /// the previous checkpoint or full replay — lossless, because
+    /// compaction always keeps the previous checkpoint's interval.
+    /// Never panics. Mid-flight recommendations (`Implementing`,
+    /// `Reverting`) are re-parked into Retry, with the re-park
+    /// journaled so a second crash recovers to the same place.
     pub fn recovered_from(journal: Vec<String>) -> (StateStore, RecoveryReport) {
         let mut s = StateStore::default();
         let mut report = RecoveryReport::default();
-        let mut good = 0usize;
-        for line in &journal {
-            let entry = parse_frame(line)
+        let mut frame_reads = 0usize;
+
+        // Phase 1: backward scan for the newest intact checkpoint.
+        let mut base: Option<usize> = None;
+        for i in (0..journal.len()).rev() {
+            if !looks_like_checkpoint(&journal[i]) {
+                continue;
+            }
+            frame_reads += 1;
+            let entry = parse_frame(&journal[i])
                 .and_then(|payload| serde_json::from_str::<JournalEntry>(payload).ok());
+            match entry {
+                Some(JournalEntry::Checkpoint(state)) => {
+                    s.restore_checkpoint(*state);
+                    report.replayed += 1;
+                    report.checkpoint_used = true;
+                    base = Some(i);
+                    break;
+                }
+                // Damaged would-be checkpoint: step down the ladder and
+                // keep scanning for an older intact one.
+                _ => report.checkpoint_fallback = true,
+            }
+        }
+        let start = base.map_or(0, |i| i + 1);
+
+        // Phase 2: validate the tail once, classifying invalid frames.
+        let tail: Vec<Option<JournalEntry>> = journal[start..]
+            .iter()
+            .map(|line| {
+                frame_reads += 1;
+                parse_frame(line)
+                    .and_then(|payload| serde_json::from_str::<JournalEntry>(payload).ok())
+            })
+            .collect();
+        let keep = tail.iter().rposition(Option::is_some).map_or(0, |i| i + 1);
+        report.truncated = tail.len() - keep;
+        report.torn_tail = report.truncated > 0;
+
+        // Phase 3: replay the kept tail, rebuilding the journal from the
+        // verbatim prefix (≤ previous checkpoint .. base) + intact tail.
+        let mut rebuilt: Vec<String> = journal[..start].to_vec();
+        for (j, entry) in tail.into_iter().take(keep).enumerate() {
             let Some(entry) = entry else {
-                report.torn_tail = true;
-                break;
+                report.corrupt_mid += 1;
+                if looks_like_checkpoint(&journal[start + j]) {
+                    report.checkpoint_fallback = true;
+                }
+                continue;
             };
             match entry {
                 JournalEntry::Upsert(r) => {
@@ -301,14 +605,26 @@ impl StateStore {
                 JournalEntry::Schedule { database, schedule } => {
                     s.schedules.insert(database, schedule);
                 }
+                // Unreachable (the backward scan would have picked it as
+                // the base), but harmless: treat it as a newer snapshot.
+                JournalEntry::Checkpoint(state) => {
+                    s.restore_checkpoint(*state);
+                    rebuilt.push(journal[start + j].clone());
+                    report.replayed += 1;
+                    continue;
+                }
             }
-            good += 1;
+            s.writes_total += 1;
+            report.replayed += 1;
+            rebuilt.push(journal[start + j].clone());
         }
-        report.replayed = good;
-        report.truncated = journal.len() - good;
-        s.journal = journal;
-        s.journal.truncate(good);
+        s.journal = rebuilt;
+        s.last_checkpoint = s.journal.iter().rposition(|l| looks_like_checkpoint(l));
+        s.appends_since_checkpoint = s
+            .last_checkpoint
+            .map_or(s.journal.len(), |i| s.journal.len() - i - 1);
         s.next_id = s.next_id.max(s.id_base);
+        report.frame_reads = frame_reads;
 
         // Re-park anything the crash caught mid-operation: the engine
         // action may or may not have completed, so the only safe state
@@ -327,9 +643,19 @@ impl StateStore {
             // The re-park gives the reco a retry deadline the journaled
             // schedule never saw — that schedule is stale now, and a
             // sparse driver trusting it could sleep through the retry.
-            // Dropping it forces a conservative wake-next-tick.
+            // Rewrite it to the conservative wake-everything-next-tick
+            // schedule, *journaled*: an in-memory drop would resurrect
+            // the stale schedule on the next recovery (checkpoint
+            // snapshots and retained Schedule frames both remember it),
+            // making recovery non-idempotent.
             if let Some(db) = s.recos.get(&id).map(|r| r.database.clone()) {
-                s.schedules.remove(&db);
+                if s.schedules.contains_key(&db) {
+                    let before = s.journal.len();
+                    s.record_schedule(&db, &WakeSchedule::immediate());
+                    if s.journal.len() > before {
+                        report.rescheduled += 1;
+                    }
+                }
             }
             s.update(id, |r| {
                 let _ = r.enter_retry(phase, at, "re-parked by crash recovery");
@@ -342,10 +668,13 @@ impl StateStore {
     }
 
     /// Simulate a control-plane crash: drop all in-memory state, then
-    /// recover from the journal. Tolerates a torn/corrupt tail by
-    /// truncating it (see [`StateStore::recovered_from`]); the outcome
-    /// is described by the returned [`RecoveryReport`] and retained for
-    /// [`StateStore::recover_report`].
+    /// recover from the journal. Tolerates torn tails, mid-journal
+    /// corruption, and damaged checkpoints (see
+    /// [`StateStore::recovered_from`]); the outcome is described by the
+    /// returned [`RecoveryReport`] and retained for
+    /// [`StateStore::recover_report`]. The monotonic write and
+    /// checkpoint counters are this store's own (cumulative across
+    /// recoveries), not reset to the recovered snapshot's.
     pub fn crash_and_recover(&mut self) -> RecoveryReport {
         let journal = std::mem::take(&mut self.journal);
         let (recovered, report) = StateStore::recovered_from(journal);
@@ -354,9 +683,20 @@ impl StateStore {
         self.id_base = recovered.id_base;
         self.journal = recovered.journal;
         self.schedules = recovered.schedules;
+        self.last_checkpoint = recovered.last_checkpoint;
+        self.appends_since_checkpoint = recovered.appends_since_checkpoint;
+        // `writes_total` stays monotonic across the simulated crash
+        // (torn frames were still writes the process attempted); only
+        // the re-park and schedule-rewrite writes recovery just
+        // appended are new.
+        self.writes_total += (report.reparked.len() + report.rescheduled) as u64;
         self.recoveries += 1;
         self.truncated_total += report.truncated as u64;
         self.reparked_total += report.reparked.len() as u64;
+        self.corrupt_frames_total += report.corrupt_mid as u64;
+        if report.checkpoint_fallback {
+            self.fallback_recoveries += 1;
+        }
         self.last_recovery = Some(report.clone());
         report
     }
@@ -440,17 +780,7 @@ mod tests {
         let (s, report) = StateStore::recovered_from(Vec::new());
         assert!(s.is_empty());
         assert_eq!(s.journal_len(), 0);
-        assert_eq!(
-            report,
-            RecoveryReport {
-                replayed: 0,
-                truncated: 0,
-                torn_tail: false,
-                reparked: vec![],
-                id_base: 0,
-                next_id: 0,
-            }
-        );
+        assert_eq!(report, RecoveryReport::default());
         // And an in-place crash of a never-written store is a no-op.
         let mut fresh = StateStore::new();
         let r = fresh.crash_and_recover();
@@ -588,6 +918,264 @@ mod tests {
         assert_eq!(report.next_id, 3_000_000);
         let id = s.insert("db1", reco(1), Timestamp(0));
         assert_eq!(id.0, 3_000_000, "id block must survive recovery");
+    }
+
+    /// A canonical fingerprint of everything a recovery must preserve.
+    fn canon(s: &StateStore) -> String {
+        let recos: Vec<String> = s.all().map(|r| serde_json::to_string(r).unwrap()).collect();
+        format!(
+            "{:?}|{}|{}|{:?}|{:?}",
+            recos,
+            s.id_base,
+            s.next_id,
+            s.schedules,
+            s.recovery_stats()
+        )
+    }
+
+    /// Drive `n` inserts + a state hop each, compacting under `policy`
+    /// after every mutation (the way the plane's tick hook does).
+    fn churn(s: &mut StateStore, n: u32, policy: Option<&CompactionPolicy>) {
+        for i in 0..n {
+            let id = s.insert("db1", reco(i), Timestamp(i as u64));
+            s.update(id, |r| {
+                r.transition(RecoState::Expired, Timestamp(i as u64 + 1), "")
+                    .unwrap()
+            });
+            if let Some(p) = policy {
+                s.maybe_compact(p);
+            }
+        }
+    }
+
+    /// A schedule that changes every tick — the long-lived-tenant
+    /// workload: live state stays constant (one schedule entry) while
+    /// the journal accumulates pure garbage.
+    fn sched(t: u64) -> WakeSchedule {
+        use crate::stages::NextDue;
+        WakeSchedule {
+            recommend: NextDue::At(Timestamp(t)),
+            retry: NextDue::Idle,
+            implement: NextDue::Idle,
+            validate: NextDue::Idle,
+            expire: NextDue::Idle,
+            health: NextDue::NextTick,
+        }
+    }
+
+    fn schedule_churn(s: &mut StateStore, n: u64, policy: Option<&CompactionPolicy>) {
+        for t in 0..n {
+            s.record_schedule("db1", &sched(t));
+            if let Some(p) = policy {
+                s.maybe_compact(p);
+            }
+        }
+    }
+
+    #[test]
+    fn journal_bounded_under_compaction_unbounded_without() {
+        // The failure mode the checkpoint work fixes: append-only
+        // forever grows linearly with history, while compaction keeps
+        // the journal at ~2 checkpoint intervals regardless of run
+        // length.
+        let policy = CompactionPolicy {
+            enabled: true,
+            min_frames: 8,
+            garbage_ratio: 0.0,
+            // ratio 0: the frame-count floor alone drives compaction.
+        };
+        let mut plain_short = StateStore::new();
+        let mut plain_long = StateStore::new();
+        let mut compacted = StateStore::new();
+        schedule_churn(&mut plain_short, 20, None);
+        schedule_churn(&mut plain_long, 200, None);
+        schedule_churn(&mut compacted, 200, Some(&policy));
+        assert_eq!(
+            plain_long.journal_len(),
+            10 * plain_short.journal_len(),
+            "uncompacted journal grows linearly with history"
+        );
+        assert!(
+            compacted.journal_len() <= 2 * policy.min_frames + 2,
+            "compacted journal stays within ~2 checkpoint intervals, got {}",
+            compacted.journal_len()
+        );
+        assert!(
+            compacted.journal_bytes() < plain_long.journal_bytes() / 4,
+            "compacted {} bytes vs uncompacted {} bytes",
+            compacted.journal_bytes(),
+            plain_long.journal_bytes()
+        );
+        // The monotonic write counter is compaction-independent.
+        assert_eq!(compacted.journal_writes(), plain_long.journal_writes());
+        let cs = compacted.checkpoint_stats();
+        assert!(cs.checkpoints_written > 10);
+        assert!(cs.frames_compacted > 150);
+        assert!(cs.bytes_reclaimed > 0);
+        assert_eq!(plain_long.checkpoint_stats(), CheckpointStats::default());
+    }
+
+    #[test]
+    fn checkpoint_plus_tail_recovery_equals_full_replay() {
+        let policy = CompactionPolicy {
+            enabled: true,
+            min_frames: 4,
+            garbage_ratio: 0.5,
+        };
+        let mut with_ckpt = StateStore::with_id_base(100);
+        let mut without = StateStore::with_id_base(100);
+        churn(&mut with_ckpt, 40, Some(&policy));
+        churn(&mut without, 40, None);
+        let (a, ra) = StateStore::recovered_from(with_ckpt.journal_lines().to_vec());
+        let (b, rb) = StateStore::recovered_from(without.journal_lines().to_vec());
+        assert!(ra.checkpoint_used && !rb.checkpoint_used);
+        assert!(
+            ra.frame_reads < rb.frame_reads / 2,
+            "checkpoint recovery must read far fewer frames ({} vs {})",
+            ra.frame_reads,
+            rb.frame_reads
+        );
+        assert_eq!(canon(&a), canon(&b), "recovered state must be identical");
+        assert_eq!((ra.id_base, ra.next_id), (rb.id_base, rb.next_id));
+    }
+
+    #[test]
+    fn compaction_keeps_the_previous_checkpoint() {
+        let policy = CompactionPolicy {
+            enabled: true,
+            min_frames: 6,
+            garbage_ratio: 0.0,
+        };
+        let mut s = StateStore::new();
+        churn(&mut s, 30, Some(&policy));
+        let ckpts: Vec<usize> = s
+            .journal_lines()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| super::looks_like_checkpoint(l))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            ckpts.len(),
+            2,
+            "the journal holds exactly the previous + latest checkpoint"
+        );
+        assert_eq!(
+            ckpts[0], 0,
+            "everything before the previous checkpoint was truncated"
+        );
+    }
+
+    #[test]
+    fn corrupt_latest_checkpoint_falls_back_losslessly() {
+        let policy = CompactionPolicy {
+            enabled: true,
+            min_frames: 4,
+            garbage_ratio: 0.0,
+        };
+        let mut s = StateStore::with_id_base(7);
+        churn(&mut s, 20, Some(&policy));
+        // A couple of tail writes after the last checkpoint.
+        let extra = s.insert("db2", reco(99), Timestamp(999));
+        let expected = canon(&s);
+        s.corrupt_last_checkpoint();
+        let report = s.crash_and_recover();
+        assert!(report.checkpoint_fallback, "fallback must be reported");
+        assert!(report.checkpoint_used, "the previous checkpoint takes over");
+        assert!(!report.torn_tail, "the tail after the damage is intact");
+        assert_eq!(report.corrupt_mid, 1, "the damaged checkpoint is skipped");
+        // Lossless: the keep-previous invariant means every logical
+        // frame since the previous checkpoint is still in the journal.
+        assert_eq!(canon_recovered(&s), expected);
+        assert!(s.get(extra).is_some());
+        assert_eq!(s.checkpoint_stats().fallback_recoveries, 1);
+        assert_eq!(s.checkpoint_stats().corrupt_frames, 1);
+        // A second crash over the rebuilt journal is clean.
+        let again = s.crash_and_recover();
+        assert!(!again.checkpoint_fallback);
+        assert_eq!(again.corrupt_mid, 0);
+    }
+
+    /// `canon` modulo the cumulative recovery counters, which a
+    /// crash_and_recover legitimately bumps on the live store.
+    fn canon_recovered(s: &StateStore) -> String {
+        let recos: Vec<String> = s.all().map(|r| serde_json::to_string(r).unwrap()).collect();
+        format!(
+            "{:?}|{}|{}|{:?}|{:?}",
+            recos,
+            s.id_base,
+            s.next_id,
+            s.schedules,
+            (0u64, 0u64, 0u64)
+        )
+    }
+
+    #[test]
+    fn no_checkpoint_and_corrupt_first_checkpoint_reaches_full_replay() {
+        // Bottom rung of the ladder: the only checkpoint in the journal
+        // is damaged, so recovery replays everything from the start.
+        let policy = CompactionPolicy {
+            enabled: true,
+            min_frames: 50,
+            garbage_ratio: 0.0,
+        };
+        let mut s = StateStore::new();
+        churn(&mut s, 30, Some(&policy)); // 60 frames → exactly 1 checkpoint
+        assert_eq!(s.checkpoint_stats().checkpoints_written, 1);
+        let expected = canon_recovered(&s);
+        s.corrupt_last_checkpoint();
+        let report = s.crash_and_recover();
+        assert!(report.checkpoint_fallback);
+        assert!(!report.checkpoint_used, "full replay, no checkpoint left");
+        assert_eq!(canon_recovered(&s), expected, "zero loss");
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_skipped_not_suffix_truncated() {
+        let mut s = seededish();
+        let before = s.journal_len();
+        // Corrupt an *interior* frame: c's insert record.
+        s.corrupt_journal_frame(2);
+        let report = s.crash_and_recover();
+        assert!(!report.torn_tail, "not a torn tail — a frame mid-journal");
+        assert_eq!(report.corrupt_mid, 1);
+        assert_eq!(report.truncated, 0);
+        assert_eq!(report.replayed, before - 1);
+        // The record whose only frame rotted is gone; everything before
+        // AND after it survives (the old code lost the whole suffix).
+        assert_eq!(s.len(), 2);
+        assert!(s.get(RecoId(0)).is_some());
+        assert!(s.get(RecoId(2)).is_none());
+        // b was caught mid-`Implementing`, so recovery re-parks it.
+        assert_eq!(s.get(RecoId(1)).unwrap().state, RecoState::Retry);
+        assert_eq!(report.reparked, vec![RecoId(1)]);
+        assert_eq!(s.checkpoint_stats().corrupt_frames, 1);
+    }
+
+    /// insert a, insert b, insert c, update b — four frames.
+    fn seededish() -> StateStore {
+        let mut s = StateStore::new();
+        s.insert("db1", reco(1), Timestamp(0));
+        let b = s.insert("db1", reco(2), Timestamp(1));
+        s.insert("db1", reco(3), Timestamp(2));
+        s.update(b, |r| {
+            r.transition(RecoState::Implementing, Timestamp(3), "go")
+                .unwrap()
+        });
+        s
+    }
+
+    #[test]
+    fn disabled_policy_never_compacts() {
+        let policy = CompactionPolicy {
+            enabled: false,
+            min_frames: 1,
+            garbage_ratio: 0.0,
+        };
+        let mut s = StateStore::new();
+        churn(&mut s, 10, Some(&policy));
+        assert_eq!(s.checkpoint_stats().checkpoints_written, 0);
+        assert_eq!(s.journal_len(), 20);
     }
 
     #[test]

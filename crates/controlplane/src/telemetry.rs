@@ -44,6 +44,15 @@ pub enum EventKind {
     TenantQuarantined,
     /// A tenant worker panicked and was isolated by the supervisor.
     TenantPoisoned,
+    /// Recovery restored state from a checkpoint frame (plus tail
+    /// replay) instead of replaying the whole journal.
+    CheckpointRestored,
+    /// A torn/corrupt checkpoint made recovery step down the fallback
+    /// ladder (previous checkpoint, or full replay).
+    CheckpointFallback,
+    /// An invalid frame was found *mid*-journal (an intact frame
+    /// follows it) and skipped — bit-rot, not a torn tail.
+    JournalFrameCorrupt,
 }
 
 /// One anonymized event: kind + database *hash* + time. The database name

@@ -21,8 +21,9 @@
 
 use controlplane::state::RecoSubState;
 use controlplane::{
-    ControlPlane, EventKind, FaultKind, FaultPoint, FleetDriver, FleetDriverConfig, ManagedDb,
-    PlanePolicy, RecoId, RecoState, RetryPolicy, SchedulingMode, StateStore, TenantScript,
+    CompactionPolicy, ControlPlane, EventKind, FaultKind, FaultPoint, FleetDriver,
+    FleetDriverConfig, ManagedDb, PlanePolicy, RecoId, RecoState, RetryPolicy, SchedulingMode,
+    StateStore, TenantScript,
 };
 use sqlmini::clock::{Duration, Timestamp};
 use sqlmini::engine::ServiceTier;
@@ -48,10 +49,37 @@ fn sched_mode() -> SchedulingMode {
     }
 }
 
+/// Journal compaction policy for the chaos suite. CI's chaos matrix
+/// sweeps `CHECKPOINT=on|off`: `on` compacts aggressively so even
+/// 20-tick sweeps cross several compaction boundaries; `off` disables
+/// checkpointing entirely, making the whole suite double as the
+/// compaction-off oracle. Unset defaults to aggressive-on — the mode
+/// with the most machinery to break.
+fn checkpoint_mode() -> CompactionPolicy {
+    match std::env::var("CHECKPOINT").as_deref() {
+        Ok("off") => CompactionPolicy {
+            enabled: false,
+            ..CompactionPolicy::default()
+        },
+        _ => aggressive_compaction(),
+    }
+}
+
+/// Compaction tuned far below the production default so short chaos
+/// runs checkpoint many times per tenant.
+fn aggressive_compaction() -> CompactionPolicy {
+    CompactionPolicy {
+        enabled: true,
+        min_frames: 4,
+        garbage_ratio: 0.5,
+    }
+}
+
 fn fast_policy() -> PlanePolicy {
     PlanePolicy {
         analysis_interval: Duration::from_hours(2),
         validation_min_wait: Duration::from_hours(1),
+        journal: checkpoint_mode(),
         ..PlanePolicy::default()
     }
 }
@@ -640,4 +668,138 @@ fn crash_sweep_with_plan_cache_matches_uncrashed_and_oracle() {
         swept.plan_cache_hits(),
         oracle.plan_cache_hits()
     );
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed journals: the compaction differential oracle.
+// ---------------------------------------------------------------------
+
+/// The tentpole proof for checkpointing: a crash-after-every-write sweep
+/// with aggressive compaction ON must land byte-identical — canonical
+/// string, merged metrics, dashboard render — to the compaction-OFF
+/// oracle, across {dense, sparse} × {1, 4 threads} × {plan cache
+/// on, off}. Checkpoints are pure journal geometry: crashing across a
+/// compaction boundary restores from the snapshot + tail instead of the
+/// full journal, and nothing observable may move.
+#[test]
+fn compaction_crash_sweep_matches_compaction_off_oracle() {
+    let seed = chaos_seed();
+    let fleet = small_fleet(8, seed);
+    let mk = |journal: CompactionPolicy, scheduling, plan_cache| FleetDriverConfig {
+        policy: PlanePolicy {
+            journal,
+            ..fast_policy()
+        },
+        fault_seed: Some(seed),
+        fault_transient_prob: 0.15,
+        fault_fatal_prob: 0.01,
+        crash_every_writes: Some(1),
+        scheduling,
+        plan_cache,
+        ..FleetDriverConfig::default()
+    };
+    let off = CompactionPolicy {
+        enabled: false,
+        ..CompactionPolicy::default()
+    };
+    let oracle = FleetDriver::new(mk(off, SchedulingMode::Dense, false)).run(fleet.clone(), 20, 1);
+    assert_eq!(
+        oracle.checkpoints_written(),
+        0,
+        "the oracle must never checkpoint"
+    );
+    for scheduling in [SchedulingMode::Dense, SchedulingMode::Sparse] {
+        for threads in [1usize, 4] {
+            for plan_cache in [false, true] {
+                let on = FleetDriver::new(mk(aggressive_compaction(), scheduling, plan_cache)).run(
+                    fleet.clone(),
+                    20,
+                    threads,
+                );
+                let tag = format!("{scheduling:?}/{threads} threads/cache={plan_cache}");
+                assert!(
+                    on.checkpoints_written() > 0,
+                    "{tag}: the sweep must actually cross compaction boundaries"
+                );
+                assert_eq!(
+                    oracle.canonical_string(),
+                    on.canonical_string(),
+                    "{tag}: compaction must be invisible in the canonical state"
+                );
+                assert_eq!(
+                    oracle.metrics, on.metrics,
+                    "{tag}: compaction must be invisible in the merged metrics"
+                );
+                assert_eq!(
+                    oracle.dashboard().render(),
+                    on.dashboard().render(),
+                    "{tag}: compaction must be invisible in the dashboard"
+                );
+            }
+        }
+    }
+}
+
+/// A checkpoint torn mid-write during a live run: recovery steps down
+/// the fallback ladder (previous checkpoint, else full replay) without
+/// panicking, raises the fallback incident, and loses nothing — the
+/// keep-previous-checkpoint layout makes a torn newest checkpoint pure
+/// redundancy. The faulted run replays deterministically in parallel.
+#[test]
+fn torn_checkpoint_falls_back_losslessly_and_reports() {
+    let seed = chaos_seed();
+    let mk = |scripts: Vec<TenantScript>| FleetDriverConfig {
+        policy: PlanePolicy {
+            // Explicitly aggressive (not `checkpoint_mode()`): this test
+            // needs compaction even under CHECKPOINT=off.
+            journal: aggressive_compaction(),
+            ..fast_policy()
+        },
+        scripts,
+        scheduling: sched_mode(),
+        ..FleetDriverConfig::default()
+    };
+    let tear = TenantScript {
+        tenant: 0,
+        point: FaultPoint::CheckpointTear,
+        count: 2,
+        kind: FaultKind::Transient,
+        at_tick: None,
+    };
+    let fleet = small_fleet(2, seed);
+    let clean = FleetDriver::new(mk(vec![])).run(fleet.clone(), 24, 1);
+    let torn = FleetDriver::new(mk(vec![tear.clone()])).run(fleet.clone(), 24, 1);
+
+    assert_eq!(torn.poisoned, 0);
+    assert!(
+        torn.fallback_recoveries() >= 1,
+        "the scripted tear must actually hit a checkpoint write"
+    );
+    assert!(torn.telemetry.count(EventKind::CheckpointFallback) >= 1);
+    assert!(torn.telemetry.count(EventKind::StoreRecovered) >= 1);
+    assert!(
+        torn.telemetry
+            .incidents()
+            .iter()
+            .any(|i| i.summary.contains("checkpoint torn/corrupt")),
+        "fallback must page: {:?}",
+        torn.telemetry.incidents()
+    );
+    // Lossless: every tenant's journaled state matches the un-torn run
+    // (the torn run additionally carries the recovery incidents).
+    for (c, t) in clean.tenants.iter().zip(&torn.tenants) {
+        assert_eq!(c.by_state, t.by_state, "{}: state drifted", c.name);
+        assert_eq!(c.indexes, t.indexes, "{}: indexes drifted", c.name);
+        assert_eq!(c.recommendations, t.recommendations);
+        assert_eq!(c.journal_writes, t.journal_writes);
+    }
+    for t in &torn.tenants {
+        for state in t.by_state.keys() {
+            assert_ne!(state, "Implementing");
+            assert_ne!(state, "Reverting");
+        }
+    }
+    // And the faulted episode itself is deterministic under threads.
+    let torn_parallel = FleetDriver::new(mk(vec![tear])).run(fleet, 24, 4);
+    assert_eq!(torn.canonical_string(), torn_parallel.canonical_string());
 }

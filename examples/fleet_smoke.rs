@@ -17,7 +17,11 @@
 //!
 //! `--tenants N` / `--active-pct P` switch to the mostly-idle
 //! scheduler-bench fleet; `--sparse` / `--dense` pin the scheduling
-//! mode (default: the driver's default mode).
+//! mode (default: the driver's default mode). `--crash-every K`
+//! crash-recovers every tenant's journaled store at the start of every
+//! K-th tick — the chaos smoke: recovery (checkpoint + tail replay
+//! under the default compaction policy) must be invisible in the
+//! determinism check.
 
 use bench::{sparse_fleet, Args};
 use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy, SchedulingMode};
@@ -36,6 +40,7 @@ fn main() {
     } else {
         SchedulingMode::default()
     };
+    let crash_every = args.get_u64("crash-every", 0) as u32;
 
     // `--tenants`/`--active-pct` select the mostly-idle scheduler fleet;
     // the default remains the original mixed-tier 64-tenant smoke.
@@ -67,6 +72,7 @@ fn main() {
         fault_transient_prob: 0.1,
         fault_fatal_prob: 0.01,
         scheduling,
+        crash_every_ticks: (crash_every > 0).then_some(crash_every),
         ..FleetDriverConfig::default()
     });
 
@@ -86,6 +92,17 @@ fn main() {
         parallel.control_ticks_executed(),
         parallel.control_ticks_skipped(),
     );
+    if crash_every > 0 {
+        println!(
+            "chaos (--crash-every {}): {} store recoveries, {} checkpoints written, \
+             {} frames compacted, {} journal bytes retained",
+            crash_every,
+            parallel.store_recoveries(),
+            parallel.checkpoints_written(),
+            parallel.frames_compacted(),
+            parallel.journal_bytes(),
+        );
+    }
     if !scheduler_fleet {
         println!("telemetry:\n{}", parallel.telemetry.export_json());
     }
