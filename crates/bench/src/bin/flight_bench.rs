@@ -1,0 +1,208 @@
+//! Flight benchmark: cost and latency of fleet-scale A/B policy
+//! flighting (§7 wired into §4) — how much replay work a region pays to
+//! turn a candidate `PlanePolicy` into a deterministic ship/no-ship
+//! verdict, and how long the verdict takes serial vs parallel.
+//!
+//! Two seeded flights run over the same fleet: a *good* candidate
+//! (tunes a fleet the idle control never touches — must ship) and a
+//! *regressive* one (the mirror image — must abort). Each is repeated
+//! across {serial, parallel} × {dense, sparse} × {cache on, off} and
+//! asserted byte-identical, so the benchmark doubles as the determinism
+//! oracle at benchmark scale. Results land in `BENCH_flight.json` to
+//! seed the ship/no-ship table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p bench --release --bin flight_bench               # full (24 tenants)
+//! cargo run -p bench --release --bin flight_bench -- --smoke    # 8 tenants (CI)
+//! cargo run -p bench --release --bin flight_bench -- --out PATH --seed 7
+//! ```
+
+use bench::{harness_tenant, Args};
+use controlplane::{FlightConfig, FlightDecision, FlightDriver, PlanePolicy, SchedulingMode};
+use sqlmini::clock::Duration;
+use sqlmini::engine::ServiceTier;
+use std::time::Instant;
+use workload::fleet::{generate_tenant, Tenant};
+
+fn fleet(n: usize, seed: u64) -> Vec<Tenant> {
+    (0..n)
+        .map(|i| {
+            let s = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 + 1);
+            generate_tenant(&harness_tenant(
+                format!("flight{i:03}"),
+                s,
+                ServiceTier::Basic,
+            ))
+        })
+        .collect()
+}
+
+fn tuning_policy() -> PlanePolicy {
+    PlanePolicy {
+        analysis_interval: Duration::from_hours(2),
+        validation_min_wait: Duration::from_hours(1),
+        ..PlanePolicy::default()
+    }
+}
+
+fn idle_policy() -> PlanePolicy {
+    PlanePolicy {
+        analysis_interval: Duration::from_hours(100_000),
+        ..PlanePolicy::default()
+    }
+}
+
+fn flight_config(seed: u64, good: bool) -> FlightConfig {
+    let (control, candidate) = if good {
+        (idle_policy(), tuning_policy())
+    } else {
+        (tuning_policy(), idle_policy())
+    };
+    FlightConfig {
+        id: format!("bench-{}-{seed:x}", if good { "good" } else { "bad" }),
+        seed,
+        cohort_fraction: 0.5,
+        control,
+        candidate,
+        baseline_ticks: 4,
+        measure_ticks: 12,
+        ..FlightConfig::default()
+    }
+}
+
+#[derive(serde::Serialize)]
+struct FlightOutcome {
+    decision: String,
+    cohort_tenants: usize,
+    improved: u64,
+    regressed: u64,
+    washed: u64,
+    discarded: u64,
+    replayed_events: u64,
+    replay_cpu_us: u64,
+    /// Verdict latency: wall-clock from flight start to decision.
+    verdict_ms_1t: f64,
+    verdict_ms_4t: f64,
+    parallel_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchResult {
+    tenants: usize,
+    seed: u64,
+    baseline_ticks: u32,
+    measure_ticks: u32,
+    good_candidate: FlightOutcome,
+    regressive_candidate: FlightOutcome,
+    /// Every mode/thread/cache combination reproduced both verdicts
+    /// byte-for-byte.
+    identical_across_modes: bool,
+}
+
+fn run_flight(fleet_ref: &[Tenant], cfg: &FlightConfig, threads: usize) -> (String, FlightOutcome) {
+    let t0 = Instant::now();
+    let report = FlightDriver::new(cfg.clone()).run(fleet_ref, 1);
+    let wall_1t = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let parallel = FlightDriver::new(cfg.clone()).run(fleet_ref, threads);
+    let wall_4t = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.canonical_string(),
+        parallel.canonical_string(),
+        "parallel flight diverged from serial"
+    );
+    let canon = report.canonical_string();
+    let outcome = FlightOutcome {
+        decision: match report.decision {
+            FlightDecision::Ship => "ship".to_string(),
+            FlightDecision::Abort => "abort".to_string(),
+        },
+        cohort_tenants: report.record.cohort.len(),
+        improved: report.improved,
+        regressed: report.regressed,
+        washed: report.washed,
+        discarded: report.discarded,
+        replayed_events: report.replayed_events,
+        replay_cpu_us: report.replay_cpu_us,
+        verdict_ms_1t: wall_1t,
+        verdict_ms_4t: wall_4t,
+        parallel_speedup: wall_1t / wall_4t.max(1e-9),
+    };
+    (canon, outcome)
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let tenants = args.get_usize("tenants", if smoke { 8 } else { 24 });
+    let seed = args.get_u64("seed", 42);
+    let threads = args.get_usize("threads", 4);
+    let out_path = args.get_str("out", "BENCH_flight.json");
+
+    println!("== flight benchmark: {tenants} tenants, seed {seed} ==");
+    let fl = fleet(tenants, seed);
+
+    let good_cfg = flight_config(seed, true);
+    let bad_cfg = flight_config(seed, false);
+    let (good_canon, good) = run_flight(&fl, &good_cfg, threads);
+    let (bad_canon, bad) = run_flight(&fl, &bad_cfg, threads);
+
+    assert_eq!(good.decision, "ship", "tuning candidate must ship");
+    assert_eq!(bad.decision, "abort", "regressive candidate must abort");
+    assert!(good.improved >= 1 && good.regressed == 0);
+    assert!(bad.regressed >= 1);
+    assert!(good.replayed_events > 0, "arms must replay real traffic");
+
+    // Determinism oracle at benchmark scale: sweep the full mode matrix
+    // and demand byte-identical canonical reports.
+    let mut identical = true;
+    for scheduling in [SchedulingMode::Dense, SchedulingMode::Sparse] {
+        for plan_cache in [true, false] {
+            for (base, canon) in [(&good_cfg, &good_canon), (&bad_cfg, &bad_canon)] {
+                let cfg = FlightConfig {
+                    scheduling,
+                    plan_cache,
+                    ..base.clone()
+                };
+                let report = FlightDriver::new(cfg).run(&fl, threads);
+                identical &= report.canonical_string() == *canon;
+            }
+        }
+    }
+    assert!(
+        identical,
+        "flight verdicts diverged across scheduling/cache modes"
+    );
+
+    for (label, o) in [("good candidate", &good), ("regressive candidate", &bad)] {
+        println!(
+            "{label:>22}: {} (cohort {}, improved {}, regressed {}, wash {}, discarded {})",
+            o.decision, o.cohort_tenants, o.improved, o.regressed, o.washed, o.discarded
+        );
+        println!(
+            "{:>22}  replay {} events / {:.1}ms sim CPU; verdict in {:.0}ms serial, {:.0}ms x{threads} ({:.2}x)",
+            "",
+            o.replayed_events,
+            o.replay_cpu_us as f64 / 1e3,
+            o.verdict_ms_1t,
+            o.verdict_ms_4t,
+            o.parallel_speedup
+        );
+    }
+    println!("verdicts: byte-identical across scheduling modes, thread counts, and cache settings");
+
+    let result = BenchResult {
+        tenants,
+        seed,
+        baseline_ticks: good_cfg.baseline_ticks,
+        measure_ticks: good_cfg.measure_ticks,
+        good_candidate: good,
+        regressive_candidate: bad,
+        identical_across_modes: identical,
+    };
+    let json = serde_json::to_string_pretty(&result).expect("result serializes");
+    std::fs::write(out_path, json).expect("write BENCH_flight.json");
+    println!("wrote {out_path}");
+}

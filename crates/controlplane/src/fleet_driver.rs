@@ -185,15 +185,22 @@ impl Default for FleetDriverConfig {
     }
 }
 
-/// Deterministic uniform draw in [0, 1) from a fleet index — splitmix64
-/// finalizer, so auto-implement assignment replays regardless of
-/// threading and of any fault seeding.
-fn index_uniform01(index: usize) -> f64 {
-    let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA070_F8AC;
+/// Deterministic uniform draw in [0, 1) from a fleet index and a salt —
+/// splitmix64 finalizer, so sampled assignments replay regardless of
+/// threading and of any fault seeding. Distinct salts give independent
+/// streams over the same fleet (auto-implement assignment vs flight
+/// cohorts).
+pub fn index_hash01(index: usize, salt: u64) -> f64 {
+    let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The auto-fraction stream (historical salt, kept byte-identical).
+fn index_uniform01(index: usize) -> f64 {
+    index_hash01(index, 0xA070_F8AC)
 }
 
 /// How a tenant's worker finished.

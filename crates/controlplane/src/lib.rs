@@ -11,6 +11,7 @@
 pub mod api;
 pub mod faults;
 pub mod fleet_driver;
+pub mod flight;
 pub mod lock_protocol;
 pub mod metrics;
 pub mod plane;
@@ -26,8 +27,12 @@ pub mod wakeup;
 pub use api::ManagementApi;
 pub use faults::{FaultInjector, FaultKind, FaultPoint};
 pub use fleet_driver::{
-    FleetDriver, FleetDriverConfig, FleetReport, SchedulingMode, TenantOutcome, TenantScript,
-    TenantStatus,
+    index_hash01, FleetDriver, FleetDriverConfig, FleetReport, SchedulingMode, TenantOutcome,
+    TenantScript, TenantStatus,
+};
+pub use flight::{
+    region_decision, tenant_verdict, FlightConfig, FlightDecision, FlightDriver, FlightRecord,
+    FlightReport, FlightState, TenantVerdict, TenantVerdictRecord,
 };
 pub use metrics::{Histogram, MetricsRegistry};
 pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy, RetryPolicy};

@@ -138,6 +138,21 @@ pub struct DashboardSnapshot {
     pub journal_bytes_reclaimed: u64,
     /// Recoveries that stepped down the checkpoint fallback ladder.
     pub fallback_recoveries: u64,
+    /// Tenants sampled into the policy-flight cohort (0 when the
+    /// snapshot was built without flight context — see
+    /// [`DashboardSnapshot::with_flight`]).
+    pub flight_cohort: u64,
+    /// Cohort tenants where the candidate policy measurably improved.
+    pub flight_improved: u64,
+    /// Cohort tenants where the candidate policy measurably regressed.
+    pub flight_regressed: u64,
+    /// Cohort tenants with no significant difference.
+    pub flight_washed: u64,
+    /// Cohort tenants discarded by the divergence guard.
+    pub flight_discarded: u64,
+    /// The region-level flight decision ("ship" / "abort"; empty when no
+    /// flight context was attached).
+    pub flight_verdict: String,
 }
 
 impl DashboardSnapshot {
@@ -176,6 +191,12 @@ impl DashboardSnapshot {
             frames_compacted: 0,
             journal_bytes_reclaimed: 0,
             fallback_recoveries: 0,
+            flight_cohort: 0,
+            flight_improved: 0,
+            flight_regressed: 0,
+            flight_washed: 0,
+            flight_discarded: 0,
+            flight_verdict: String::new(),
         }
     }
 
@@ -219,6 +240,27 @@ impl DashboardSnapshot {
         self.frames_compacted = frames_compacted;
         self.journal_bytes_reclaimed = bytes_reclaimed;
         self.fallback_recoveries = fallback_recoveries;
+        self
+    }
+
+    /// Attach policy-flight verdict counters (flight state is journaled
+    /// store state, not merged metrics, so it arrives via this builder
+    /// rather than `from_metrics`). Gates the "flight" render block.
+    pub fn with_flight(
+        mut self,
+        cohort: u64,
+        improved: u64,
+        regressed: u64,
+        washed: u64,
+        discarded: u64,
+        verdict: impl Into<String>,
+    ) -> DashboardSnapshot {
+        self.flight_cohort = cohort;
+        self.flight_improved = improved;
+        self.flight_regressed = regressed;
+        self.flight_washed = washed;
+        self.flight_discarded = discarded;
+        self.flight_verdict = verdict.into();
         self
     }
 
@@ -435,6 +477,33 @@ impl DashboardSnapshot {
             out.push_str(&format!(
                 "  fallback recoveries           {:>8}\n",
                 self.fallback_recoveries
+            ));
+        }
+        if self.flight_cohort > 0 || !self.flight_verdict.is_empty() {
+            out.push_str("flight (\u{a7}7 policy A/B)\n");
+            out.push_str(&format!(
+                "  cohort tenants                {:>8}\n",
+                self.flight_cohort
+            ));
+            out.push_str(&format!(
+                "  improved                      {:>8}\n",
+                self.flight_improved
+            ));
+            out.push_str(&format!(
+                "  regressed                     {:>8}\n",
+                self.flight_regressed
+            ));
+            out.push_str(&format!(
+                "  wash                          {:>8}\n",
+                self.flight_washed
+            ));
+            out.push_str(&format!(
+                "  discarded (divergence)        {:>8}\n",
+                self.flight_discarded
+            ));
+            out.push_str(&format!(
+                "  verdict                       {:>8}\n",
+                self.flight_verdict
             ));
         }
         out.push_str(&format!(

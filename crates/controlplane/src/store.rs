@@ -26,6 +26,7 @@
 //! nothing. Checkpoint frames are pure redundancy, never the only copy
 //! of any state.
 
+use crate::flight::FlightRecord;
 use crate::stages::WakeSchedule;
 use crate::state::{RecoId, TrackedReco};
 use autoindex::Recommendation;
@@ -53,6 +54,11 @@ enum JournalEntry {
     /// Recovery restores from the newest intact checkpoint and replays
     /// only the tail after it.
     Checkpoint(Box<CheckpointState>),
+    /// A policy-flight state transition (§7): started, per-tenant
+    /// verdicts as they land, and the terminal ship/abort decision.
+    /// Journaled on every change so a crash mid-flight recovers the
+    /// completed verdicts and resumes to the same region decision.
+    Flight(Box<FlightRecord>),
 }
 
 /// Everything a checkpoint must carry to make the prefix before it
@@ -63,6 +69,7 @@ enum JournalEntry {
 struct CheckpointState {
     recos: Vec<TrackedReco>,
     schedules: BTreeMap<String, WakeSchedule>,
+    flights: BTreeMap<String, FlightRecord>,
     id_base: u64,
     next_id: u64,
     writes_total: u64,
@@ -223,6 +230,8 @@ pub struct StateStore {
     journal: Vec<String>,
     /// Last recorded wake schedule per database (journaled on change).
     schedules: BTreeMap<String, WakeSchedule>,
+    /// Latest journaled state per flight id (journaled on change).
+    flights: BTreeMap<String, FlightRecord>,
     last_recovery: Option<RecoveryReport>,
     /// Cumulative chaos counters (survive across recoveries).
     recoveries: u64,
@@ -338,6 +347,29 @@ impl StateStore {
         self.schedules.get(database)
     }
 
+    /// Record a flight state transition. Journaled only when it differs
+    /// from the last recorded state for the same flight id, so replaying
+    /// an already-journaled transition (resume after a crash) does not
+    /// grow the journal.
+    pub fn record_flight(&mut self, rec: &FlightRecord) {
+        if self.flights.get(&rec.id) == Some(rec) {
+            return;
+        }
+        self.append(&JournalEntry::Flight(Box::new(rec.clone())));
+        self.flights.insert(rec.id.clone(), rec.clone());
+    }
+
+    /// The last journaled state of a flight (journal-backed: survives
+    /// [`StateStore::crash_and_recover`]).
+    pub fn flight(&self, id: &str) -> Option<&FlightRecord> {
+        self.flights.get(id)
+    }
+
+    /// All journaled flights, by id.
+    pub fn flights(&self) -> &BTreeMap<String, FlightRecord> {
+        &self.flights
+    }
+
     /// All recommendations for one database.
     pub fn for_database<'a>(
         &'a self,
@@ -444,7 +476,7 @@ impl StateStore {
         if !policy.enabled {
             return false;
         }
-        let live = self.recos.len() + self.schedules.len() + 1;
+        let live = self.recos.len() + self.schedules.len() + self.flights.len() + 1;
         let by_ratio = (policy.garbage_ratio.max(0.0) * live as f64).ceil() as usize;
         self.appends_since_checkpoint >= policy.min_frames.max(1).max(by_ratio)
     }
@@ -459,6 +491,7 @@ impl StateStore {
         let state = CheckpointState {
             recos: self.recos.values().cloned().collect(),
             schedules: self.schedules.clone(),
+            flights: self.flights.clone(),
             id_base: self.id_base,
             next_id: self.next_id,
             writes_total: self.writes_total,
@@ -517,6 +550,7 @@ impl StateStore {
     fn restore_checkpoint(&mut self, state: CheckpointState) {
         self.recos = state.recos.into_iter().map(|r| (r.id, r)).collect();
         self.schedules = state.schedules;
+        self.flights = state.flights;
         self.id_base = state.id_base;
         self.next_id = state.next_id;
         self.writes_total = state.writes_total;
@@ -605,6 +639,9 @@ impl StateStore {
                 JournalEntry::Schedule { database, schedule } => {
                     s.schedules.insert(database, schedule);
                 }
+                JournalEntry::Flight(rec) => {
+                    s.flights.insert(rec.id.clone(), *rec);
+                }
                 // Unreachable (the backward scan would have picked it as
                 // the base), but harmless: treat it as a newer snapshot.
                 JournalEntry::Checkpoint(state) => {
@@ -683,6 +720,7 @@ impl StateStore {
         self.id_base = recovered.id_base;
         self.journal = recovered.journal;
         self.schedules = recovered.schedules;
+        self.flights = recovered.flights;
         self.last_checkpoint = recovered.last_checkpoint;
         self.appends_since_checkpoint = recovered.appends_since_checkpoint;
         // `writes_total` stays monotonic across the simulated crash
@@ -1190,5 +1228,92 @@ mod tests {
         let counts = s.count_by_state();
         assert_eq!(counts.get("Active"), Some(&1));
         assert_eq!(counts.get("Implementing"), Some(&1));
+    }
+
+    // -----------------------------------------------------------------
+    // Flight frames (§7 policy A/B journaling).
+    // -----------------------------------------------------------------
+
+    fn flight_rec(id: &str, verdicts: usize) -> crate::flight::FlightRecord {
+        use crate::flight::{FlightState, TenantVerdict, TenantVerdictRecord};
+        crate::flight::FlightRecord {
+            id: id.to_string(),
+            seed: 7,
+            state: FlightState::Running,
+            cohort: (0..verdicts + 2).collect(),
+            verdicts: (0..verdicts)
+                .map(|i| {
+                    (
+                        i,
+                        TenantVerdictRecord {
+                            verdict: TenantVerdict::Wash,
+                            control_cost: 10.0 + i as f64,
+                            candidate_cost: 9.0,
+                            p_candidate_greater: Some(0.5),
+                            divergence: 0.01,
+                            replayed: 100,
+                            replay_cpu_us: 5_000,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn flight_frames_journal_only_on_change() {
+        let mut s = StateStore::new();
+        let rec = flight_rec("fl", 1);
+        s.record_flight(&rec);
+        assert_eq!(s.journal_len(), 1);
+        // Unchanged record: dedup, no frame.
+        s.record_flight(&rec);
+        assert_eq!(s.journal_len(), 1);
+        // A new verdict is a change: one more frame.
+        let grown = flight_rec("fl", 2);
+        s.record_flight(&grown);
+        assert_eq!(s.journal_len(), 2);
+        assert_eq!(s.flight("fl"), Some(&grown));
+    }
+
+    #[test]
+    fn flight_frames_survive_crash_recovery() {
+        let mut s = StateStore::new();
+        s.insert("db1", reco(1), Timestamp(0));
+        s.record_flight(&flight_rec("fl-a", 2));
+        let mut terminal = flight_rec("fl-b", 3);
+        terminal.state = crate::flight::FlightState::Shipped;
+        s.record_flight(&terminal);
+        let before = s.flights().clone();
+        s.crash_and_recover();
+        assert_eq!(s.flights(), &before);
+        assert_eq!(
+            s.flight("fl-b").unwrap().state,
+            crate::flight::FlightState::Shipped
+        );
+    }
+
+    #[test]
+    fn checkpoint_compaction_carries_flights() {
+        let policy = CompactionPolicy {
+            enabled: true,
+            min_frames: 2,
+            garbage_ratio: 0.0,
+        };
+        let mut s = StateStore::new();
+        // Successively larger snapshots of the same flight: all but the
+        // last are garbage, so compaction has something to reclaim.
+        for k in 1..=4 {
+            s.record_flight(&flight_rec("fl", k));
+        }
+        let before = s.flights().clone();
+        assert!(s.maybe_compact(&policy), "garbage-heavy journal compacts");
+        assert_eq!(s.flights(), &before, "checkpoint carries flight state");
+        s.crash_and_recover();
+        assert_eq!(
+            s.flights(),
+            &before,
+            "recovery from checkpoint + tail restores flights"
+        );
     }
 }

@@ -803,3 +803,133 @@ fn torn_checkpoint_falls_back_losslessly_and_reports() {
     let torn_parallel = FleetDriver::new(mk(vec![tear])).run(fleet, 24, 4);
     assert_eq!(torn.canonical_string(), torn_parallel.canonical_string());
 }
+
+// ---------------------------------------------------------------------
+// Flight chaos (§7 policy A/B under crashes).
+// ---------------------------------------------------------------------
+
+use controlplane::{FlightConfig, FlightDecision, FlightDriver};
+
+/// A quick flight config over the chaos fleet: full cohort so every
+/// tenant exercises the two-arm pipeline.
+fn flight_cfg(seed: u64) -> FlightConfig {
+    FlightConfig {
+        id: format!("chaos-flight-{seed:x}"),
+        seed,
+        cohort_fraction: 1.0,
+        control: PlanePolicy {
+            analysis_interval: Duration::from_hours(100_000),
+            ..PlanePolicy::default()
+        },
+        candidate: fast_policy(),
+        baseline_ticks: 3,
+        measure_ticks: 8,
+        scheduling: sched_mode(),
+        ..FlightConfig::default()
+    }
+}
+
+/// Crash-recovering the region store after **every** journal write
+/// during an active flight must converge to the same `FlightReport` as
+/// the uncrashed run — cohort, per-tenant verdicts, decision, all of it.
+#[test]
+fn flight_crash_sweep_after_every_write_matches_uncrashed() {
+    let seed = chaos_seed();
+    let fleet = small_fleet(6, seed);
+    let cfg = flight_cfg(seed);
+
+    let mut clean_store = StateStore::new();
+    let clean = FlightDriver::new(cfg.clone()).run_with_store(&fleet, &mut clean_store, 1);
+
+    let swept_cfg = FlightConfig {
+        crash_every_writes: Some(1),
+        ..cfg
+    };
+    let mut swept_store = StateStore::new();
+    let swept = FlightDriver::new(swept_cfg).run_with_store(&fleet, &mut swept_store, 2);
+
+    assert_eq!(
+        clean.canonical_string(),
+        swept.canonical_string(),
+        "crash sweep changed the flight verdict"
+    );
+    assert_eq!(
+        clean_store.flight(&clean.record.id),
+        swept_store.flight(&swept.record.id),
+        "journaled terminal flight records diverged"
+    );
+}
+
+/// Recovery from **every** journal prefix, followed by a resumed run,
+/// must land on the identical report: completed verdicts are never
+/// recomputed, missing ones are, and the decision is stable.
+#[test]
+fn flight_resume_from_every_journal_prefix_converges() {
+    let seed = chaos_seed();
+    let fleet = small_fleet(4, seed ^ 0xF11);
+    let cfg = flight_cfg(seed ^ 0xF11);
+    let driver = FlightDriver::new(cfg);
+
+    let mut full_store = StateStore::new();
+    let full = driver.run_with_store(&fleet, &mut full_store, 1);
+    let lines = full_store.journal_lines().to_vec();
+    assert!(lines.len() >= fleet.len(), "one frame per verdict at least");
+
+    for k in 0..=lines.len() {
+        let (mut recovered, report) = StateStore::recovered_from(lines[..k].to_vec());
+        assert!(!report.torn_tail, "prefix {k} reported torn tail");
+        let resumed = driver.run_with_store(&fleet, &mut recovered, 1);
+        assert_eq!(
+            full.canonical_string(),
+            resumed.canonical_string(),
+            "resume from journal prefix {k} diverged"
+        );
+    }
+}
+
+/// An aborted flight leaves **zero debris**: the workflow cleanups tore
+/// down every B-instance fork, and the real fleet is untouched — a
+/// fleet that hosted an aborted flight is canonically indistinguishable
+/// from one that never flew it.
+#[test]
+fn aborted_flight_leaves_zero_debris() {
+    let seed = chaos_seed();
+    let flighted = small_fleet(5, seed ^ 0xDEB);
+    let pristine = small_fleet(5, seed ^ 0xDEB);
+
+    // Regressive candidate + hair-trigger divergence guard: the flight
+    // aborts and at least one tenant exercises the discard/cleanup path.
+    let cfg = FlightConfig {
+        candidate: PlanePolicy {
+            analysis_interval: Duration::from_hours(100_000),
+            ..PlanePolicy::default()
+        },
+        control: fast_policy(),
+        replay_drop_prob: 0.6,
+        divergence_tolerance: 0.02,
+        ..flight_cfg(seed ^ 0xDEB)
+    };
+    let report = FlightDriver::new(cfg).run(&flighted, 2);
+    assert_eq!(report.decision, FlightDecision::Abort);
+    assert!(
+        report.discarded >= 1,
+        "60% replay drops must trip the divergence guard somewhere:\n{}",
+        report.canonical_string()
+    );
+
+    // Drive both fleets through the region afterwards: byte-identical.
+    let drive = |fleet: Vec<Tenant>| {
+        FleetDriver::new(FleetDriverConfig {
+            policy: fast_policy(),
+            scheduling: sched_mode(),
+            ..FleetDriverConfig::default()
+        })
+        .run(fleet, 10, 1)
+        .canonical_string()
+    };
+    assert_eq!(
+        drive(flighted),
+        drive(pristine),
+        "aborted flight left debris in the fleet"
+    );
+}

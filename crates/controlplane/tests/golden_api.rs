@@ -192,6 +192,95 @@ fn management_api_views_match_golden_fixture() {
     }
 }
 
+// ---------------------------------------------------------------------
+// §8.1 dashboard "flight" block goldens
+// ---------------------------------------------------------------------
+
+/// A tiny seeded flight — idle control vs tuning candidate over a
+/// full-cohort three-tenant fleet — rendered as the flight dashboard
+/// block plus the canonical verdict lines. Fully deterministic, so the
+/// fixture pins the §7 verdict pipeline end to end: cohort hash, replay
+/// accounting, Welch verdicts, ship/no-ship, and the render format.
+fn flight_snapshot(seed: u64) -> String {
+    use controlplane::{FlightConfig, FlightDriver};
+    use sqlmini::engine::ServiceTier;
+    use workload::fleet::{generate_tenant, TenantConfig};
+
+    let fleet: Vec<_> = (0..3)
+        .map(|i| {
+            let s = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 + 1);
+            let mut cfg = TenantConfig::new(format!("gold{i}"), s, ServiceTier::Basic);
+            cfg.schema.min_tables = 1;
+            cfg.schema.max_tables = 2;
+            cfg.schema.min_rows = 1_000;
+            cfg.schema.max_rows = 3_000;
+            cfg.workload.base_rate_per_hour = 120.0;
+            generate_tenant(&cfg)
+        })
+        .collect();
+    let cfg = FlightConfig {
+        id: format!("golden-flight-{seed}"),
+        seed,
+        cohort_fraction: 1.0,
+        control: PlanePolicy {
+            analysis_interval: Duration::from_hours(100_000),
+            ..PlanePolicy::default()
+        },
+        candidate: PlanePolicy {
+            analysis_interval: Duration::from_hours(2),
+            validation_min_wait: Duration::from_hours(1),
+            ..PlanePolicy::default()
+        },
+        baseline_ticks: 3,
+        measure_ticks: 8,
+        ..FlightConfig::default()
+    };
+    let report = FlightDriver::new(cfg).run(&fleet, 1);
+    let mut out = String::new();
+    out.push_str("== flight dashboard ==\n");
+    out.push_str(&report.dashboard().render());
+    out.push_str("== flight canonical ==\n");
+    out.push_str(&report.canonical_string());
+    out
+}
+
+fn flight_fixture_path(seed: u64) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("golden_flight_seed{seed}.txt"))
+}
+
+fn check_flight_seed(seed: u64) {
+    let got = flight_snapshot(seed);
+    let path = flight_fixture_path(seed);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "flight dashboard snapshot drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn flight_dashboard_matches_golden_fixture() {
+    for seed in seeds() {
+        check_flight_seed(seed);
+    }
+}
+
 #[test]
 fn snapshot_is_deterministic_across_runs() {
     // The golden files only pin drift over time; this pins drift across

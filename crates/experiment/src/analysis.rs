@@ -72,6 +72,36 @@ pub fn workload_cost_fixed_counts(
     }
 }
 
+/// Pool independent workload-cost samples (e.g. one per tenant in a
+/// flight cohort) into a single region-level sample: totals and
+/// variances add, and the effective degrees of freedom follow the
+/// Welch–Satterthwaite combination of the per-sample variances.
+pub fn pool_samples(samples: &[CostSample]) -> CostSample {
+    let mut total = 0.0f64;
+    let mut variance = 0.0f64;
+    let mut df_den = 0.0f64;
+    let mut queries = 0usize;
+    for s in samples {
+        total += s.total;
+        variance += s.variance;
+        queries += s.queries;
+        if s.variance > 0.0 {
+            df_den += s.variance * s.variance / s.df.max(1.0);
+        }
+    }
+    let df = if df_den > 0.0 {
+        (variance * variance / df_den).max(1.0)
+    } else {
+        1.0
+    };
+    CostSample {
+        total,
+        variance,
+        df,
+        queries,
+    }
+}
+
 /// Per-query CPU means over a window (used for the ">2× improved queries"
 /// operational statistic).
 pub fn per_query_cpu_means(
@@ -280,6 +310,39 @@ mod tests {
         assert!(c.p_b_greater < 0.01);
         let c2 = compare_costs(&costly, &cheap).unwrap();
         assert!(c2.p_b_greater > 0.99);
+    }
+
+    #[test]
+    fn pool_samples_hand_computed() {
+        // (10, var 4, df 4) + (20, var 9, df 9):
+        //   total = 30, variance = 13,
+        //   df = 13^2 / (4^2/4 + 9^2/9) = 169 / (4 + 9) = 13.
+        let a = CostSample {
+            total: 10.0,
+            variance: 4.0,
+            df: 4.0,
+            queries: 2,
+        };
+        let b = CostSample {
+            total: 20.0,
+            variance: 9.0,
+            df: 9.0,
+            queries: 3,
+        };
+        let p = pool_samples(&[a, b]);
+        assert_eq!(p.total, 30.0);
+        assert_eq!(p.variance, 13.0);
+        assert!((p.df - 13.0).abs() < 1e-12, "df = {}", p.df);
+        assert_eq!(p.queries, 5);
+        // Pooling a single sample is the identity.
+        let solo = pool_samples(&[a]);
+        assert_eq!(solo.total, a.total);
+        assert_eq!(solo.variance, a.variance);
+        assert!((solo.df - a.df).abs() < 1e-12);
+        // Empty / zero-variance pools degrade to df = 1.
+        let empty = pool_samples(&[]);
+        assert_eq!(empty.total, 0.0);
+        assert_eq!(empty.df, 1.0);
     }
 
     #[test]

@@ -38,12 +38,24 @@ pub struct DivergenceReport {
 
 impl DivergenceReport {
     /// Maximum relative row-count divergence across tables.
+    ///
+    /// Divergence is relative to the A-instance: `|a - b| / a`. An empty
+    /// A-table with rows on B is total divergence (`+inf`), not the
+    /// `|a - b| / 1` a clamped denominator would report; two empty tables
+    /// agree exactly (`0.0`), as does an empty report.
     pub fn max_relative(&self) -> f64 {
         self.tables
             .iter()
             .map(|t| {
-                let a = t.a_rows.max(1) as f64;
-                (t.a_rows as f64 - t.b_rows as f64).abs() / a
+                if t.a_rows == 0 {
+                    if t.b_rows == 0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (t.a_rows as f64 - t.b_rows as f64).abs() / t.a_rows as f64
+                }
             })
             .fold(0.0, f64::max)
     }
@@ -68,6 +80,20 @@ pub fn create_b_instance(primary: &Database, seed: u64) -> BInstance {
     }
 }
 
+/// Per-table divergence between two databases sharing a catalog lineage
+/// (tables are enumerated from `a`, the reference instance).
+pub fn divergence_between(a: &Database, b: &Database) -> DivergenceReport {
+    let mut tables = Vec::new();
+    for (t, _) in a.catalog().tables() {
+        tables.push(TableDivergence {
+            table: t,
+            a_rows: a.table_rows(t),
+            b_rows: b.table_rows(t),
+        });
+    }
+    DivergenceReport { tables }
+}
+
 impl BInstance {
     /// Replay a traffic fork onto this instance (accumulates stats).
     pub fn replay_fork(
@@ -86,15 +112,7 @@ impl BInstance {
 
     /// Compare storage state against the primary.
     pub fn divergence(&self, primary: &Database) -> DivergenceReport {
-        let mut tables = Vec::new();
-        for (t, _) in primary.catalog().tables() {
-            tables.push(TableDivergence {
-                table: t,
-                a_rows: primary.table_rows(t),
-                b_rows: self.db.table_rows(t),
-            });
-        }
-        DivergenceReport { tables }
+        divergence_between(primary, &self.db)
     }
 }
 
@@ -159,6 +177,66 @@ mod tests {
         b.db.create_index(def).unwrap();
         assert_eq!(t.db.catalog().n_indexes(), n_before);
         assert_eq!(b.db.catalog().n_indexes(), n_before + 1);
+    }
+
+    #[test]
+    fn empty_report_has_zero_divergence() {
+        let d = DivergenceReport::default();
+        assert_eq!(d.max_relative(), 0.0);
+        // Even a zero tolerance is not exceeded by an empty report.
+        assert!(!d.excessive(0.0));
+    }
+
+    #[test]
+    fn empty_a_table_with_b_rows_is_total_divergence() {
+        // Previously the denominator was clamped with `max(1)`, so an
+        // empty A-table with one B row reported divergence 1.0 — under
+        // a tolerance of e.g. 2.0 that understated real divergence.
+        let d = DivergenceReport {
+            tables: vec![TableDivergence {
+                table: sqlmini::schema::TableId(1),
+                a_rows: 0,
+                b_rows: 1,
+            }],
+        };
+        assert_eq!(d.max_relative(), f64::INFINITY);
+        assert!(d.excessive(1e18), "any finite tolerance is exceeded");
+    }
+
+    #[test]
+    fn both_empty_tables_agree_exactly() {
+        let d = DivergenceReport {
+            tables: vec![TableDivergence {
+                table: sqlmini::schema::TableId(1),
+                a_rows: 0,
+                b_rows: 0,
+            }],
+        };
+        assert_eq!(d.max_relative(), 0.0);
+        assert!(!d.excessive(0.0));
+    }
+
+    #[test]
+    fn tolerance_boundary_is_strict() {
+        // |100 - 125| / 100 = 0.25 exactly: equal-to-tolerance is NOT
+        // excessive (strict `>`), pinning the boundary semantics.
+        let d = DivergenceReport {
+            tables: vec![TableDivergence {
+                table: sqlmini::schema::TableId(1),
+                a_rows: 100,
+                b_rows: 125,
+            }],
+        };
+        assert_eq!(d.max_relative(), 0.25);
+        assert!(!d.excessive(0.25));
+        assert!(d.excessive(0.2499));
+    }
+
+    #[test]
+    fn divergence_between_matches_binstance_divergence() {
+        let t = tenant();
+        let b = create_b_instance(&t.db, 5);
+        assert_eq!(b.divergence(&t.db), divergence_between(&t.db, &b.db));
     }
 
     #[test]

@@ -14,9 +14,10 @@ pub mod user_emulation;
 pub mod workflow;
 
 pub use analysis::{
-    compare_costs, determine_winner, workload_cost_fixed_counts, CostSample, Winner, WinnerAnalysis,
+    compare_costs, determine_winner, pool_samples, workload_cost_fixed_counts, CostSample, Winner,
+    WinnerAnalysis,
 };
-pub use binstance::{create_b_instance, BInstance, DivergenceReport};
+pub use binstance::{create_b_instance, divergence_between, BInstance, DivergenceReport};
 pub use design::{run_phased_experiment, ExperimentConfig, ExperimentOutcome};
 pub use user_emulation::select_user_tuning;
 pub use workflow::{FnStep, Step, StepStatus, Workflow, WorkflowRun};

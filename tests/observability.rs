@@ -237,3 +237,160 @@ fn disabled_tracer_records_nothing() {
     assert!(t.roots().is_empty());
     assert!(!t.is_enabled());
 }
+
+// ---------------------------------------------------------------------
+// Flight verdict aggregation (§7 policy A/B → §8.1 dashboard)
+// ---------------------------------------------------------------------
+//
+// Hand-computed references for the region-level ship/no-ship rule:
+// per-tenant Welch verdicts compose across the cohort, a single
+// regression vetoes everything, and the dashboard flight block foots
+// with the tallies.
+
+mod flight_verdicts {
+    use controlplane::{
+        region_decision, tenant_verdict, DashboardSnapshot, FlightDecision, MetricsRegistry,
+        TenantVerdict,
+    };
+    use experiment::{pool_samples, CostSample};
+    use sqlmini::clock::Duration;
+
+    fn s(total: f64, variance: f64, df: f64) -> CostSample {
+        CostSample {
+            total,
+            variance,
+            df,
+            queries: 10,
+        }
+    }
+
+    /// Welch t hand-check: control 1000±10 vs candidate 800±10.
+    /// t = (800 − 1000) / √(100 + 100) = −14.14 with Welch df
+    /// (100+100)² / (100²/30 + 100²/30) = 60 — overwhelming evidence
+    /// the candidate is cheaper, and 200 ≫ the 1% margin (10).
+    #[test]
+    fn hand_computed_improvement() {
+        let (v, p) = tenant_verdict(&s(1000.0, 100.0, 30.0), &s(800.0, 100.0, 30.0), 0.05, 0.01);
+        assert_eq!(v, TenantVerdict::Improved);
+        assert!(p.unwrap() > 0.999, "p_b_greater = {:?}", p);
+    }
+
+    /// Welch t hand-check near the null: control 100, var 16, df 8 vs
+    /// candidate 106, var 9, df 8. t = 6/√25 = 1.2, Welch df
+    /// 25² / (16²/8 + 9²/8) = 625/42.125 ≈ 14.8; one-sided
+    /// p(candidate costlier) ≈ 0.124 — not significant at α=0.05, so a
+    /// 6% cost increase is (correctly) a wash, not a regression.
+    #[test]
+    fn hand_computed_insignificant_regression_is_wash() {
+        let (v, p) = tenant_verdict(&s(100.0, 16.0, 8.0), &s(106.0, 9.0, 8.0), 0.05, 0.01);
+        assert_eq!(v, TenantVerdict::Wash);
+        let p = p.unwrap();
+        assert!((0.10..0.15).contains(&p), "p_b_greater = {p}");
+    }
+
+    /// The practical-significance margin is strict: a statistically
+    /// overwhelming 1.0% improvement does not clear a 1% margin
+    /// (10.0 > 10.0 is false) — verdicts require *more* than margin.
+    #[test]
+    fn margin_boundary_is_strict() {
+        let (v, p) = tenant_verdict(&s(1000.0, 0.01, 30.0), &s(990.0, 0.01, 30.0), 0.05, 0.01);
+        assert_eq!(v, TenantVerdict::Wash);
+        assert!(p.unwrap() > 0.999, "significance was never in doubt");
+        // One epsilon past the margin flips it.
+        let (v, _) = tenant_verdict(&s(1000.0, 0.01, 30.0), &s(989.9, 0.01, 30.0), 0.05, 0.01);
+        assert_eq!(v, TenantVerdict::Improved);
+    }
+
+    /// All-wash composition: a cohort where no tenant moved must abort
+    /// — shipping requires positive evidence, not absence of harm.
+    #[test]
+    fn all_wash_cohort_aborts() {
+        let verdicts = [TenantVerdict::Wash; 8];
+        assert_eq!(region_decision(verdicts.iter()), FlightDecision::Abort);
+    }
+
+    /// Single-tenant-dominates composition, both directions: one
+    /// improvement among washes ships; one regression among many
+    /// improvements vetoes the ship.
+    #[test]
+    fn single_tenant_dominates() {
+        let mut mostly_wash = vec![TenantVerdict::Wash; 7];
+        mostly_wash.push(TenantVerdict::Improved);
+        assert_eq!(region_decision(mostly_wash.iter()), FlightDecision::Ship);
+
+        let mut mostly_improved = vec![TenantVerdict::Improved; 7];
+        mostly_improved.push(TenantVerdict::Regressed);
+        assert_eq!(
+            region_decision(mostly_improved.iter()),
+            FlightDecision::Abort
+        );
+    }
+
+    /// Discarded tenants are evidence-free: they neither ship nor veto.
+    #[test]
+    fn discarded_tenants_are_neutral() {
+        use TenantVerdict::*;
+        assert_eq!(
+            region_decision([Discarded, Discarded].iter()),
+            FlightDecision::Abort
+        );
+        assert_eq!(
+            region_decision([Improved, Discarded].iter()),
+            FlightDecision::Ship
+        );
+    }
+
+    /// Pooling per-tenant samples (Welch–Satterthwaite composition)
+    /// then comparing pooled arms agrees with the hand computation:
+    /// (10, var 4, df 4) + (20, var 9, df 9) pools to
+    /// total 30, var 13, df 13² /(4²/4 + 9²/9) = 169/13 = 13.
+    #[test]
+    fn pooled_samples_compose_hand_checked() {
+        let pooled = pool_samples(&[
+            CostSample {
+                total: 10.0,
+                variance: 4.0,
+                df: 4.0,
+                queries: 3,
+            },
+            CostSample {
+                total: 20.0,
+                variance: 9.0,
+                df: 9.0,
+                queries: 4,
+            },
+        ]);
+        assert_eq!(pooled.total, 30.0);
+        assert_eq!(pooled.variance, 13.0);
+        assert!((pooled.df - 13.0).abs() < 1e-9);
+        assert_eq!(pooled.queries, 7);
+        // A pooled region-level comparison yields the same verdict
+        // machinery as any per-tenant one.
+        let control = pool_samples(&[s(500.0, 50.0, 15.0), s(500.0, 50.0, 15.0)]);
+        let candidate = pool_samples(&[s(400.0, 50.0, 15.0), s(400.0, 50.0, 15.0)]);
+        let (v, _) = tenant_verdict(&control, &candidate, 0.05, 0.01);
+        assert_eq!(v, TenantVerdict::Improved);
+    }
+
+    /// The dashboard flight block foots with the verdict tallies and
+    /// renders the ship/abort label verbatim.
+    #[test]
+    fn dashboard_flight_block_foots() {
+        let dash =
+            DashboardSnapshot::from_metrics(&MetricsRegistry::new(), Duration::from_hours(1))
+                .with_flight(12, 3, 0, 8, 1, "ship");
+        let rendered = dash.render();
+        for needle in [
+            "flight (\u{a7}7 policy A/B)",
+            "cohort tenants",
+            "      12",
+            "ship",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle:?}:\n{rendered}");
+        }
+        // Absent a flight, the block stays out of the dashboard.
+        let plain =
+            DashboardSnapshot::from_metrics(&MetricsRegistry::new(), Duration::from_hours(1));
+        assert!(!plain.render().contains("flight ("));
+    }
+}
