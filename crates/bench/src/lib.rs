@@ -2,7 +2,7 @@
 
 use sqlmini::engine::ServiceTier;
 use std::collections::BTreeMap;
-use workload::fleet::{generate_tenant, Tenant, UserIndexPolicy};
+use workload::fleet::{generate_tenant, FleetSpec, Tenant, UserIndexPolicy};
 use workload::TenantConfig;
 
 /// Minimal `--key value` argument parsing (no external CLI crates).
@@ -101,50 +101,91 @@ pub fn harness_tenant(name: String, seed: u64, tier: ServiceTier) -> TenantConfi
     cfg
 }
 
-/// A mostly-idle fleet for scheduler benchmarks: `active_pct` of the
-/// tenants run the Basic-tier harness workload; the rest are *provably*
-/// idle — no statements, no user indexes (so the drop analyzer finds
-/// nothing and no validation window ever opens), a one-table schema.
-/// Which tenants are active is a pure hash of the fleet index, so the
-/// same `(n, active_pct, seed)` always yields the same fleet.
-pub fn sparse_fleet(n: usize, active_pct: f64, seed: u64) -> Vec<Tenant> {
-    (0..n)
-        .map(|i| {
-            let mut s = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            s ^= s >> 31;
-            let active = (s % 10_000) as f64 / 10_000.0 < active_pct;
-            let mut cfg = if active {
-                harness_tenant(format!("sf{i:05}"), s, ServiceTier::Basic)
-            } else {
-                let mut cfg = TenantConfig::new(format!("sf{i:05}"), s, ServiceTier::Basic);
-                cfg.schema.min_tables = 1;
-                cfg.schema.max_tables = 1;
-                cfg.schema.min_rows = 50;
-                cfg.schema.max_rows = 100;
-                cfg.workload.base_rate_per_hour = 0.0;
-                cfg.workload.reads_per_table = 0;
-                cfg.workload.write_fraction = 0.0;
-                cfg.workload.with_joins = false;
-                cfg.workload.with_report = false;
-                cfg
+/// A mostly-idle fleet for scheduler benchmarks and million-tenant
+/// region runs, as a lazily-hydratable [`FleetSpec`]: `active_pct` of
+/// the tenants run the Basic-tier harness workload; the rest are
+/// *provably* idle — no statements, no user indexes (so the drop
+/// analyzer finds nothing and no validation window ever opens), a
+/// one-table schema. Which tenants are active is a pure hash of the
+/// global fleet index, so every tenant is a pure function of
+/// `(n, active_pct, seed, index)` — the property that lets a sharded
+/// region driver hydrate any slice of the fleet, in any order, and get
+/// byte-identical tenants to a full materialization.
+#[derive(Debug, Clone)]
+pub struct SparseFleetSpec {
+    pub n: usize,
+    pub active_pct: f64,
+    pub seed: u64,
+}
+
+impl SparseFleetSpec {
+    pub fn new(n: usize, active_pct: f64, seed: u64) -> SparseFleetSpec {
+        SparseFleetSpec {
+            n,
+            active_pct,
+            seed,
+        }
+    }
+
+    /// The per-index hash that decides active-vs-idle (splitmix64
+    /// finalizer — the same mixer the fleet driver's index streams use).
+    fn index_hash(&self, i: usize) -> u64 {
+        let mut s = self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^= s >> 31;
+        s
+    }
+
+    /// Is tenant `i` one of the active minority?
+    pub fn is_active(&self, i: usize) -> bool {
+        (self.index_hash(i) % 10_000) as f64 / 10_000.0 < self.active_pct
+    }
+}
+
+impl FleetSpec for SparseFleetSpec {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn hydrate(&self, i: usize) -> Tenant {
+        let s = self.index_hash(i);
+        let active = self.is_active(i);
+        let mut cfg = if active {
+            harness_tenant(format!("sf{i:05}"), s, ServiceTier::Basic)
+        } else {
+            let mut cfg = TenantConfig::new(format!("sf{i:05}"), s, ServiceTier::Basic);
+            cfg.schema.min_tables = 1;
+            cfg.schema.max_tables = 1;
+            cfg.schema.min_rows = 50;
+            cfg.schema.max_rows = 100;
+            cfg.workload.base_rate_per_hour = 0.0;
+            cfg.workload.reads_per_table = 0;
+            cfg.workload.write_fraction = 0.0;
+            cfg.workload.with_joins = false;
+            cfg.workload.with_report = false;
+            cfg
+        };
+        if !active {
+            cfg.user_indexes = UserIndexPolicy {
+                n_useful: 0,
+                n_duplicate: 0,
+                n_unused: 0,
+                hint_prob: 0.0,
             };
-            if !active {
-                cfg.user_indexes = UserIndexPolicy {
-                    n_useful: 0,
-                    n_duplicate: 0,
-                    n_unused: 0,
-                    hint_prob: 0.0,
-                };
-            }
-            let mut t = generate_tenant(&cfg);
-            if !active {
-                t.model.templates.clear();
-            }
-            t
-        })
-        .collect()
+        }
+        let mut t = generate_tenant(&cfg);
+        if !active {
+            t.model.templates.clear();
+        }
+        t
+    }
+}
+
+/// Eagerly materialize a [`SparseFleetSpec`] — the historical interface,
+/// kept for the scheduler benches that want the whole fleet resident.
+pub fn sparse_fleet(n: usize, active_pct: f64, seed: u64) -> Vec<Tenant> {
+    SparseFleetSpec::new(n, active_pct, seed).materialize()
 }
 
 /// Render a labelled percentage bar (terminal pie-chart stand-in).

@@ -1,0 +1,431 @@
+//! The region coordinator: the top tier of the sharded region driver.
+//!
+//! Decomposes the monolithic fleet loop into
+//! coordinator → [`ShardDriver`] workers → tenants. The coordinator
+//! owns the tenant→shard [`ShardAssignment`], dispatches
+//! [`ShardCommand`]s, and merges the per-shard [`ShardReport`]s into a
+//! [`RegionReport`] whose canonical surfaces — digest, optional
+//! canonical string, merged counters/metrics, dashboards — are
+//! byte-identical to an unsharded
+//! [`FleetDriver::run`](crate::fleet_driver::FleetDriver::run) over the
+//! same fleet. That is the refactor's contract: sharding (any count),
+//! shard concurrency, hydration mode, scheduling mode, thread count,
+//! and plan-cache setting are all *invisible* in canonical output.
+//!
+//! The merge algebra: every shard returns its members' canonical-line
+//! digests keyed by **global** index; the region sorts the union by
+//! index and folds exactly the way
+//! [`FleetReport::canonical_digest`](crate::fleet_driver::FleetReport::canonical_digest)
+//! does. Counters and metrics merge as commutative monoids, so shard
+//! boundaries cannot leak into them by construction.
+
+use crate::fleet_driver::{
+    counters_line, fnv1a64_extend, scheduler_annotated, FleetDriver, FleetDriverConfig,
+    TenantOutcome, FNV_OFFSET,
+};
+use crate::metrics::MetricsRegistry;
+use crate::region::DashboardSnapshot;
+use crate::shard::{
+    HydrationGauge, HydrationMode, ShardAssignment, ShardCommand, ShardDriver, ShardReport,
+};
+use crate::telemetry::{EventKind, Telemetry};
+use sqlmini::clock::Duration;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use workload::fleet::FleetSpec;
+
+/// Whether shard workers run one at a time or concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardConcurrency {
+    /// Shards execute in shard order on the caller's thread — the
+    /// replay oracle, and the bounded-memory configuration (peak
+    /// residency is one shard's worth).
+    Sequential,
+    /// All shards execute concurrently, one OS thread each. Canonical
+    /// output is identical by contract; only wall clock and peak
+    /// residency change.
+    Parallel,
+}
+
+/// Knobs for a sharded region run.
+#[derive(Debug, Clone)]
+pub struct RegionConfig {
+    /// The per-shard fleet-driver config (identical across shards —
+    /// a tenant's behavior must not depend on its shard).
+    pub driver: FleetDriverConfig,
+    pub shards: usize,
+    /// Worker threads within each shard.
+    pub threads_per_shard: usize,
+    pub shard_concurrency: ShardConcurrency,
+    pub hydration: HydrationMode,
+    /// Lazy-mode hydration chunk size.
+    pub chunk: usize,
+    /// Retain full per-tenant outcomes (and thus the region canonical
+    /// string). Affordable for test-scale fleets; off at the million
+    /// scale, where the digest is the comparison surface.
+    pub retain_outcomes: bool,
+    /// Raw-event cap applied while folding shard telemetry.
+    pub event_retention: usize,
+}
+
+impl Default for RegionConfig {
+    fn default() -> RegionConfig {
+        RegionConfig {
+            driver: FleetDriverConfig::default(),
+            shards: 4,
+            threads_per_shard: 1,
+            shard_concurrency: ShardConcurrency::Sequential,
+            hydration: HydrationMode::Eager,
+            chunk: 64,
+            retain_outcomes: true,
+            event_retention: 10_000,
+        }
+    }
+}
+
+/// Per-shard aggregate row for the management surface (the
+/// [`crate::api::RegionFront`] ingests these as dashboard rows).
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    pub shard: usize,
+    pub tenants: usize,
+    pub statements: u64,
+    pub errors: u64,
+    pub poisoned: usize,
+    pub quarantines: u64,
+    /// The shard's merged telemetry counters.
+    pub counters: BTreeMap<EventKind, u64>,
+    pub elapsed: std::time::Duration,
+}
+
+/// Merged end-of-run state of a sharded region run.
+#[derive(Debug)]
+pub struct RegionReport {
+    pub tenants: usize,
+    pub shards: usize,
+    pub ticks: u32,
+    pub sim_time: Duration,
+    /// Streaming canonical digest — byte-equality surface vs the
+    /// unsharded oracle's
+    /// [`canonical_digest`](crate::fleet_driver::FleetReport::canonical_digest).
+    pub digest: u64,
+    /// Full canonical string, present iff `retain_outcomes` was on.
+    pub canonical: Option<String>,
+    /// Full outcomes in global fleet order, iff `retain_outcomes`.
+    pub outcomes: Option<Vec<TenantOutcome>>,
+    /// All shards' telemetry merged in shard order (counters exact;
+    /// events capped).
+    pub telemetry: Telemetry,
+    /// All shards' canonical metrics merged.
+    pub metrics: MetricsRegistry,
+    /// Driver bookkeeping merged across shards.
+    pub scheduler_metrics: MetricsRegistry,
+    pub by_state: BTreeMap<String, usize>,
+    pub statements: u64,
+    pub errors: u64,
+    pub poisoned: usize,
+    pub quarantines: u64,
+    /// High-water mark of simultaneously hydrated tenants — the number
+    /// the million-tenant smoke run bounds with a static cap.
+    pub peak_hydrated: usize,
+    pub per_shard: Vec<ShardSummary>,
+    pub elapsed: std::time::Duration,
+}
+
+impl RegionReport {
+    /// The §8.1 ops table from the merged canonical metrics — identical
+    /// to the unsharded report's `dashboard()`.
+    pub fn dashboard(&self) -> DashboardSnapshot {
+        DashboardSnapshot::from_metrics(&self.metrics, self.sim_time)
+    }
+
+    /// Ops table plus the scheduler / plan-cache / journal blocks, via
+    /// the same annotation helper the unsharded report uses.
+    pub fn dashboard_with_scheduler(&self) -> DashboardSnapshot {
+        scheduler_annotated(self.dashboard(), &self.scheduler_metrics)
+    }
+
+    /// Control-plane passes that actually ran, region-wide.
+    pub fn control_ticks_executed(&self) -> u64 {
+        self.scheduler_metrics.counter("scheduler.ticks_executed")
+    }
+
+    /// Control-plane passes the sparse scheduler proved unnecessary.
+    pub fn control_ticks_skipped(&self) -> u64 {
+        self.scheduler_metrics.counter("scheduler.ticks_skipped")
+    }
+
+    /// Tenant-ticks per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.tenants as u64 * self.ticks as u64) as f64 / secs
+    }
+}
+
+/// The coordinator: owns assignment, dispatches shard commands, merges.
+#[derive(Debug, Clone)]
+pub struct RegionCoordinator {
+    pub config: RegionConfig,
+}
+
+impl RegionCoordinator {
+    pub fn new(config: RegionConfig) -> RegionCoordinator {
+        RegionCoordinator { config }
+    }
+
+    /// The coordinator's tenant→shard mapping.
+    pub fn assignment(&self) -> ShardAssignment {
+        ShardAssignment::new(self.config.shards)
+    }
+
+    /// Drive the whole fleet for `ticks` passes through the shard tier.
+    pub fn run(&self, spec: &dyn FleetSpec, ticks: u32) -> RegionReport {
+        let start = std::time::Instant::now();
+        let cfg = &self.config;
+        let assignment = self.assignment();
+        let gauge = Arc::new(HydrationGauge::new());
+        let drivers: Vec<ShardDriver> = assignment
+            .partition(spec.len())
+            .into_iter()
+            .enumerate()
+            .map(|(shard, members)| ShardDriver {
+                shard,
+                members,
+                driver: FleetDriver::new(cfg.driver.clone()),
+                threads: cfg.threads_per_shard,
+                hydration: cfg.hydration,
+                chunk: cfg.chunk,
+                retain_outcomes: cfg.retain_outcomes,
+                event_retention: cfg.event_retention,
+                gauge: gauge.clone(),
+            })
+            .collect();
+
+        let command = ShardCommand::Drive { ticks };
+        let reports: Vec<ShardReport> = match cfg.shard_concurrency {
+            ShardConcurrency::Sequential => {
+                drivers.iter().map(|d| d.execute(spec, command)).collect()
+            }
+            ShardConcurrency::Parallel => {
+                let slots: Vec<Mutex<Option<ShardReport>>> =
+                    drivers.iter().map(|_| Mutex::new(None)).collect();
+                crossbeam::thread::scope(|scope| {
+                    for (s, d) in drivers.iter().enumerate() {
+                        let slots = &slots;
+                        scope.spawn(move || {
+                            *slots[s].lock().unwrap() = Some(d.execute(spec, command));
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap().expect("shard slot filled"))
+                    .collect()
+            }
+        };
+
+        let sim_time = Duration::from_millis(cfg.driver.tick_interval.millis() * ticks as u64);
+        self.merge(
+            spec.len(),
+            ticks,
+            sim_time,
+            reports,
+            gauge.peak(),
+            start.elapsed(),
+        )
+    }
+
+    /// Fold shard reports (in shard order) into the region report. The
+    /// per-tenant surfaces re-sort by global index, so the result is
+    /// independent of how tenants were scattered across shards.
+    fn merge(
+        &self,
+        tenants: usize,
+        ticks: u32,
+        sim_time: Duration,
+        reports: Vec<ShardReport>,
+        peak_hydrated: usize,
+        elapsed: std::time::Duration,
+    ) -> RegionReport {
+        let cfg = &self.config;
+        let mut digests: Vec<(usize, u64)> = Vec::with_capacity(tenants);
+        let mut outcomes: Option<Vec<(usize, TenantOutcome)>> =
+            cfg.retain_outcomes.then(|| Vec::with_capacity(tenants));
+        let mut telemetry = Telemetry::new();
+        let mut metrics = MetricsRegistry::new();
+        let mut scheduler_metrics = MetricsRegistry::new();
+        let mut by_state: BTreeMap<String, usize> = BTreeMap::new();
+        let mut statements = 0u64;
+        let mut errors = 0u64;
+        let mut poisoned = 0usize;
+        let mut quarantines = 0u64;
+        let mut per_shard = Vec::with_capacity(reports.len());
+        for report in reports {
+            per_shard.push(ShardSummary {
+                shard: report.shard,
+                tenants: report.members,
+                statements: report.statements,
+                errors: report.errors,
+                poisoned: report.poisoned,
+                quarantines: report.quarantines,
+                counters: report.telemetry.counters().clone(),
+                elapsed: report.elapsed,
+            });
+            digests.extend(report.digests);
+            if let (Some(acc), Some(part)) = (&mut outcomes, report.outcomes) {
+                acc.extend(part);
+            }
+            telemetry.merge(&report.telemetry);
+            telemetry.retain_recent(cfg.event_retention);
+            metrics.merge(&report.metrics);
+            scheduler_metrics.merge(&report.scheduler_metrics);
+            for (state, n) in report.by_state {
+                *by_state.entry(state).or_default() += n;
+            }
+            statements += report.statements;
+            errors += report.errors;
+            poisoned += report.poisoned;
+            quarantines += report.quarantines;
+        }
+
+        // Canonical digest: per-tenant line hashes folded in *global*
+        // fleet order, then the merged counters line — exactly
+        // `FleetReport::canonical_digest`'s construction.
+        digests.sort_unstable_by_key(|&(i, _)| i);
+        let mut h = FNV_OFFSET;
+        for &(_, line) in &digests {
+            h = fnv1a64_extend(h, &line.to_le_bytes());
+        }
+        let digest = fnv1a64_extend(h, counters_line(&telemetry).as_bytes());
+
+        let (canonical, outcomes) = match outcomes {
+            None => (None, None),
+            Some(mut pairs) => {
+                pairs.sort_unstable_by_key(|&(i, _)| i);
+                let ordered: Vec<TenantOutcome> = pairs.into_iter().map(|(_, o)| o).collect();
+                let mut out = String::new();
+                for o in &ordered {
+                    out.push_str(&crate::fleet_driver::canonical_line(o));
+                }
+                out.push_str(&counters_line(&telemetry));
+                (Some(out), Some(ordered))
+            }
+        };
+
+        RegionReport {
+            tenants,
+            shards: cfg.shards,
+            ticks,
+            sim_time,
+            digest,
+            canonical,
+            outcomes,
+            telemetry,
+            metrics,
+            scheduler_metrics,
+            by_state,
+            statements,
+            errors,
+            poisoned,
+            quarantines,
+            peak_hydrated,
+            per_shard,
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet_driver::SchedulingMode;
+    use crate::plane::PlanePolicy;
+    use workload::fleet::{MixedFleetSpec, TierMix};
+
+    fn small_config(shards: usize) -> RegionConfig {
+        RegionConfig {
+            driver: FleetDriverConfig {
+                policy: PlanePolicy {
+                    analysis_interval: Duration::from_hours(2),
+                    validation_min_wait: Duration::from_hours(1),
+                    ..PlanePolicy::default()
+                },
+                scheduling: SchedulingMode::Sparse,
+                ..FleetDriverConfig::default()
+            },
+            shards,
+            ..RegionConfig::default()
+        }
+    }
+
+    fn spec(n: usize, seed: u64) -> MixedFleetSpec {
+        MixedFleetSpec::new(
+            n,
+            TierMix {
+                basic: 1.0,
+                standard: 0.0,
+                premium: 0.0,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_oracle() {
+        let spec = spec(6, 33);
+        let oracle = FleetDriver::new(small_config(1).driver).run(spec.materialize(), 4, 1);
+        for shards in [1usize, 3, 4] {
+            let region = RegionCoordinator::new(small_config(shards)).run(&spec, 4);
+            assert_eq!(region.digest, oracle.canonical_digest(), "{shards} shards");
+            assert_eq!(
+                region.canonical.as_deref(),
+                Some(oracle.canonical_string().as_str()),
+                "{shards} shards"
+            );
+            assert_eq!(region.dashboard().render(), oracle.dashboard().render());
+        }
+    }
+
+    #[test]
+    fn lazy_hydration_bounds_residency_and_matches_eager() {
+        let spec = spec(6, 91);
+        let eager = RegionCoordinator::new(small_config(3)).run(&spec, 3);
+        let lazy = RegionCoordinator::new(RegionConfig {
+            hydration: HydrationMode::Lazy,
+            chunk: 2,
+            ..small_config(3)
+        })
+        .run(&spec, 3);
+        assert_eq!(lazy.digest, eager.digest);
+        assert_eq!(lazy.canonical, eager.canonical);
+        assert_eq!(
+            lazy.peak_hydrated, 1,
+            "sequential lazy single-thread hydrates one tenant at a time"
+        );
+        assert!(
+            eager.peak_hydrated >= 2,
+            "eager keeps a whole shard resident"
+        );
+    }
+
+    #[test]
+    fn parallel_shards_match_sequential() {
+        let spec = spec(5, 12);
+        let seq = RegionCoordinator::new(small_config(4)).run(&spec, 3);
+        let par = RegionCoordinator::new(RegionConfig {
+            shard_concurrency: ShardConcurrency::Parallel,
+            hydration: HydrationMode::Lazy,
+            ..small_config(4)
+        })
+        .run(&spec, 3);
+        assert_eq!(seq.digest, par.digest);
+        assert_eq!(seq.canonical, par.canonical);
+        assert_eq!(
+            seq.dashboard_with_scheduler().render(),
+            par.dashboard_with_scheduler().render()
+        );
+    }
+}

@@ -185,17 +185,38 @@ impl Default for FleetDriverConfig {
     }
 }
 
-/// Deterministic uniform draw in [0, 1) from a fleet index and a salt —
-/// splitmix64 finalizer, so sampled assignments replay regardless of
-/// threading and of any fault seeding. Distinct salts give independent
-/// streams over the same fleet (auto-implement assignment vs flight
-/// cohorts).
-pub fn index_hash01(index: usize, salt: u64) -> f64 {
+/// Deterministic 64-bit hash of a fleet index and a salt — splitmix64
+/// finalizer. The raw-bits form of [`index_hash01`], shared with the
+/// shard assignment (which needs integer slots, not a float draw).
+pub fn index_hash_bits(index: usize, salt: u64) -> u64 {
     let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    z
+}
+
+/// Deterministic uniform draw in [0, 1) from a fleet index and a salt —
+/// splitmix64 finalizer, so sampled assignments replay regardless of
+/// threading and of any fault seeding. Distinct salts give independent
+/// streams over the same fleet (auto-implement assignment vs flight
+/// cohorts vs shard slots).
+pub fn index_hash01(index: usize, salt: u64) -> f64 {
+    (index_hash_bits(index, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a offset basis — seed value for [`fnv1a64_extend`].
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Extend an FNV-1a digest with more bytes. Streaming form so the
+/// sharded region driver can digest a million canonical tenant lines
+/// without ever holding the concatenated string.
+pub(crate) fn fnv1a64_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// The auto-fraction stream (historical salt, kept byte-identical).
@@ -350,10 +371,10 @@ pub struct FleetReport {
 
 /// What one tenant's worker hands back at quiesce: outcome, telemetry,
 /// canonical metrics, and the (non-canonical) scheduler counters.
-type TenantResult = (TenantOutcome, Telemetry, MetricsRegistry, MetricsRegistry);
+pub(crate) type TenantResult = (TenantOutcome, Telemetry, MetricsRegistry, MetricsRegistry);
 
 impl FleetReport {
-    fn assemble(
+    pub(crate) fn assemble(
         results: Vec<TenantResult>,
         scheduling: SchedulingMode,
         ticks: u32,
@@ -411,19 +432,7 @@ impl FleetReport {
     /// [`FleetReport::dashboard`] when comparing runs across modes or
     /// across cache settings.
     pub fn dashboard_with_scheduler(&self) -> DashboardSnapshot {
-        self.dashboard()
-            .with_scheduler(self.control_ticks_executed(), self.control_ticks_skipped())
-            .with_plan_cache(
-                self.plan_cache_hits(),
-                self.plan_cache_misses(),
-                self.plan_cache_invalidations(),
-            )
-            .with_journal(
-                self.checkpoints_written(),
-                self.frames_compacted(),
-                self.journal_bytes_reclaimed(),
-                self.fallback_recoveries(),
-            )
+        scheduler_annotated(self.dashboard(), &self.scheduler_metrics)
     }
 
     /// Control-plane passes that actually ran.
@@ -503,15 +512,26 @@ impl FleetReport {
     pub fn canonical_string(&self) -> String {
         let mut out = String::new();
         for t in &self.tenants {
-            out.push_str(&serde_json::to_string(t).expect("outcome serializes"));
-            out.push('\n');
+            out.push_str(&canonical_line(t));
         }
-        out.push_str("counters:");
-        for (kind, n) in self.telemetry.counters() {
-            out.push_str(&format!(" {kind:?}={n}"));
-        }
-        out.push('\n');
+        out.push_str(&counters_line(&self.telemetry));
         out
+    }
+
+    /// Streaming digest of [`FleetReport::canonical_string`]: the FNV-1a
+    /// fold of each tenant line's own FNV-1a hash (in fleet order),
+    /// extended with the counters line. Two reports have equal digests
+    /// iff their canonical strings are byte-identical (modulo hash
+    /// collisions) — this is the surface the sharded region driver
+    /// compares at fleet sizes where retaining a million `TenantOutcome`s
+    /// is not an option.
+    pub fn canonical_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for t in &self.tenants {
+            let line = fnv1a64_extend(FNV_OFFSET, canonical_line(t).as_bytes());
+            h = fnv1a64_extend(h, &line.to_le_bytes());
+        }
+        fnv1a64_extend(h, counters_line(&self.telemetry).as_bytes())
     }
 
     /// Tenant-ticks per wall-clock second — the bench's throughput metric.
@@ -522,6 +542,51 @@ impl FleetReport {
         }
         (self.tenants.len() as u64 * self.ticks as u64) as f64 / secs
     }
+}
+
+/// Attach the driver-bookkeeping blocks (fleet scheduler, plan cache,
+/// journal/recovery) from a merged scheduler registry to a §8.1
+/// dashboard. Shared by [`FleetReport::dashboard_with_scheduler`] and
+/// the sharded region report, so both annotate identically.
+pub(crate) fn scheduler_annotated(
+    dash: DashboardSnapshot,
+    sched: &MetricsRegistry,
+) -> DashboardSnapshot {
+    dash.with_scheduler(
+        sched.counter("scheduler.ticks_executed"),
+        sched.counter("scheduler.ticks_skipped"),
+    )
+    .with_plan_cache(
+        sched.counter("plan_cache.hits"),
+        sched.counter("plan_cache.misses"),
+        sched.counter("plan_cache.invalidations"),
+    )
+    .with_journal(
+        sched.counter("journal.checkpoints_written"),
+        sched.counter("journal.frames_compacted"),
+        sched.counter("journal.bytes_reclaimed"),
+        sched.counter("journal.fallback_recoveries"),
+    )
+}
+
+/// One tenant's line of the canonical fleet serialization (JSON +
+/// newline). Shared by [`FleetReport::canonical_string`] and the sharded
+/// region driver's streaming digest, so both surfaces are byte-defined
+/// by the same formatter.
+pub fn canonical_line(outcome: &TenantOutcome) -> String {
+    let mut line = serde_json::to_string(outcome).expect("outcome serializes");
+    line.push('\n');
+    line
+}
+
+/// The trailing counters line of the canonical fleet serialization.
+pub fn counters_line(telemetry: &Telemetry) -> String {
+    let mut out = String::from("counters:");
+    for (kind, n) in telemetry.counters() {
+        out.push_str(&format!(" {kind:?}={n}"));
+    }
+    out.push('\n');
+    out
 }
 
 /// Render a caught panic payload as a short note for telemetry.
@@ -535,9 +600,12 @@ fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A tenant waiting to be driven; `index` is its position in the fleet,
-/// which seeds every per-tenant random stream.
+/// A tenant waiting to be driven. `index` is its *global* fleet index —
+/// the value that seeds every per-tenant random stream — while `pos` is
+/// its position in the slice being driven (they coincide for unsharded
+/// runs; a shard's slice holds a scattered subset of global indices).
 struct TenantTask {
+    pos: usize,
     index: usize,
     tenant: Tenant,
 }
@@ -587,6 +655,23 @@ impl FleetDriver {
     /// `threads` worker threads (`0` and `1` both mean serial). Consumes
     /// the fleet; the merged end-of-run state comes back in the report.
     pub fn run(&self, fleet: Vec<Tenant>, ticks: u32, threads: usize) -> FleetReport {
+        let fleet = fleet.into_iter().enumerate().collect();
+        self.run_indexed(fleet, ticks, threads)
+    }
+
+    /// Drive a slice of a larger fleet: each tenant carries its *global*
+    /// fleet index, which seeds its random streams, its RecoId block,
+    /// and its auto/cohort assignments — so a shard driving
+    /// `[(3, t3), (11, t11)]` produces, tenant for tenant, exactly the
+    /// results an unsharded run over the whole fleet would. `run` is the
+    /// special case where positions and indices coincide. Report order
+    /// follows the slice order passed in.
+    pub fn run_indexed(
+        &self,
+        fleet: Vec<(usize, Tenant)>,
+        ticks: u32,
+        threads: usize,
+    ) -> FleetReport {
         let start = std::time::Instant::now();
         let results = if threads > 1 && fleet.len() > 1 {
             self.run_parallel(fleet, ticks, threads)
@@ -595,7 +680,6 @@ impl FleetDriver {
         } else {
             fleet
                 .into_iter()
-                .enumerate()
                 .map(|(i, t)| self.run_tenant(i, t, ticks))
                 .collect()
         };
@@ -946,7 +1030,7 @@ impl FleetDriver {
     /// modes) and the dense serial path: workload slice, then — when due
     /// — one control-plane pass, `ticks` times. All state is owned here;
     /// nothing is shared with other tenants.
-    fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> TenantResult {
+    pub(crate) fn run_tenant(&self, index: usize, tenant: Tenant, ticks: u32) -> TenantResult {
         let mut w = self.worker(index, tenant);
         let sparse = self.config.scheduling == SchedulingMode::Sparse;
         for tick in 0..ticks {
@@ -960,29 +1044,28 @@ impl FleetDriver {
     }
 
     /// Sparse serial execution, tick-major: a [`WakeupHeap`] keyed
-    /// `(due_tick, tenant_index)` pops exactly the tenants whose control
-    /// pass is due this tick; everyone else gets only a workload slice.
-    /// Equivalent to the per-tenant `tick >= next_wake` comparison the
-    /// parallel pool uses (each tenant's decisions read only its own
+    /// `(due_tick, slice position)` pops exactly the tenants whose
+    /// control pass is due this tick; everyone else gets only a workload
+    /// slice. Equivalent to the per-tenant `tick >= next_wake` comparison
+    /// the parallel pool uses (each tenant's decisions read only its own
     /// state), but a fleet step here does O(due) scheduling work instead
-    /// of scanning every tenant's schedule.
-    fn run_serial_sparse(&self, fleet: Vec<Tenant>, ticks: u32) -> Vec<TenantResult> {
-        let mut workers: Vec<TenantWorker> = fleet
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| self.worker(i, t))
-            .collect();
+    /// of scanning every tenant's schedule. Heap keys are positions in
+    /// the slice (dense, bounded by the slice length); the worker's
+    /// global index seeds everything tenant-visible.
+    fn run_serial_sparse(&self, fleet: Vec<(usize, Tenant)>, ticks: u32) -> Vec<TenantResult> {
+        let mut workers: Vec<TenantWorker> =
+            fleet.into_iter().map(|(i, t)| self.worker(i, t)).collect();
         let mut heap = WakeupHeap::new(workers.len());
         let mut due = vec![false; workers.len()];
         for tick in 0..ticks {
             for i in heap.pop_due(tick as u64) {
                 due[i] = true;
             }
-            for w in workers.iter_mut() {
+            for (pos, w) in workers.iter_mut().enumerate() {
                 if w.done {
                     continue;
                 }
-                let claimed = due[w.index];
+                let claimed = due[pos];
                 let executed = self.step_tenant(w, tick, claimed);
                 // Re-arm on any executed pass, not just claimed ones: a
                 // journal tear forces a pass the heap never scheduled,
@@ -995,7 +1078,7 @@ impl FleetDriver {
                     // tenant is parked for good.
                     let resume = w.next_wake.max(w.quarantined_until as u64);
                     if resume != NEVER {
-                        heap.schedule(w.index, resume);
+                        heap.schedule(pos, resume);
                     }
                 }
             }
@@ -1010,11 +1093,16 @@ impl FleetDriver {
     /// tenant therefore pins one worker while the rest drain everything
     /// else; results land in a per-tenant slot so assembly order is
     /// fleet order regardless of completion order.
-    fn run_parallel(&self, fleet: Vec<Tenant>, ticks: u32, threads: usize) -> Vec<TenantResult> {
+    fn run_parallel(
+        &self,
+        fleet: Vec<(usize, Tenant)>,
+        ticks: u32,
+        threads: usize,
+    ) -> Vec<TenantResult> {
         let n = fleet.len();
         let injector = Injector::new();
-        for (index, tenant) in fleet.into_iter().enumerate() {
-            injector.push(TenantTask { index, tenant });
+        for (pos, (index, tenant)) in fleet.into_iter().enumerate() {
+            injector.push(TenantTask { pos, index, tenant });
         }
         let slots: Vec<Mutex<Option<TenantResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers: Vec<Worker<TenantTask>> = (0..threads).map(|_| Worker::new_fifo()).collect();
@@ -1036,12 +1124,12 @@ impl FleetDriver {
                                 .filter(|(other, _)| *other != me)
                                 .find_map(|(_, s)| s.steal().success())
                         });
-                    let Some(TenantTask { index, tenant }) = task else {
+                    let Some(TenantTask { pos, index, tenant }) = task else {
                         // Injector and every deque drained: quiesce.
                         break;
                     };
                     let result = self.run_tenant(index, tenant, ticks);
-                    *slots[index].lock().unwrap() = Some(result);
+                    *slots[pos].lock().unwrap() = Some(result);
                 });
             }
         });

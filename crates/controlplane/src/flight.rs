@@ -31,6 +31,7 @@ use crate::fleet_driver::{index_hash01, SchedulingMode};
 use crate::metrics::MetricsRegistry;
 use crate::plane::{ControlPlane, ManagedDb, PlanePolicy};
 use crate::region::DashboardSnapshot;
+use crate::shard::ShardAssignment;
 use crate::state::{DbSettings, ServerSettings};
 use crate::store::StateStore;
 use crate::telemetry::{EventKind, Telemetry};
@@ -42,7 +43,9 @@ use sqlmini::clock::{Duration, Timestamp};
 use sqlmini::engine::Database;
 use sqlmini::querystore::Metric;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use workload::fleet::FleetSpec;
 use workload::runner::{replay, ReplayFidelity, Trace};
 use workload::{Tenant, WorkloadModel, WorkloadRunner};
 
@@ -140,7 +143,17 @@ impl FlightConfig {
 
     /// The cohort over a fleet of `fleet_size` tenants, in fleet order.
     pub fn cohort(&self, fleet_size: usize) -> Vec<usize> {
-        (0..fleet_size).filter(|&i| self.in_cohort(i)).collect()
+        self.cohort_of(0..fleet_size)
+    }
+
+    /// Cohort membership over an arbitrary set of *global* indices —
+    /// the sharded view, where each shard filters its own member list.
+    /// Because membership hashes the global index (never the shard or
+    /// the position within a shard), the union over any partition of
+    /// the fleet equals the unsharded cohort exactly — resharding can
+    /// never move a tenant in or out of a flight.
+    pub fn cohort_of(&self, indices: impl IntoIterator<Item = usize>) -> Vec<usize> {
+        indices.into_iter().filter(|&i| self.in_cohort(i)).collect()
     }
 
     fn total_ticks(&self) -> u32 {
@@ -456,7 +469,7 @@ impl FlightDriver {
             .map(|t| t.db.clock().now())
             .unwrap_or(Timestamp(0));
 
-        let mut record = match store.flight(&cfg.id) {
+        let record = match store.flight(&cfg.id) {
             Some(r) => r.clone(),
             None => FlightRecord {
                 id: cfg.id.clone(),
@@ -493,15 +506,125 @@ impl FlightDriver {
             .copied()
             .filter(|i| !record.verdicts.contains_key(i))
             .collect();
-        let computed = self.flight_tenants(fleet, &missing, threads);
+        let computed: Vec<(usize, String, TenantVerdictRecord)> = self
+            .flight_tenants(fleet, &missing, threads)
+            .into_iter()
+            .map(|(i, v)| (i, fleet[i].name.clone(), v))
+            .collect();
+        let record = self.journal_and_decide(record, computed, store, &mut telemetry, t_now);
 
-        // Journal sequentially in cohort order, with the chaos
-        // crash-sweep knob applied at write boundaries.
+        FlightReport::from_record(
+            record,
+            telemetry,
+            cfg.sim_time(),
+            threads.max(1),
+            start.elapsed(),
+        )
+    }
+
+    /// Run the flight over a lazily-hydratable fleet through a shard
+    /// assignment — the sharded region's flight path. The cohort is
+    /// computed from **global** tenant indices ([`FlightConfig::in_cohort`]
+    /// hashes the index, never the shard), each shard worker computes
+    /// verdicts for its own members, and the merged verdicts journal in
+    /// global cohort order — so the journal sequence, the record, and
+    /// the report are byte-identical to [`FlightDriver::run_with_store`]
+    /// over the materialized fleet, for *any* shard count.
+    pub fn run_sharded(
+        &self,
+        spec: &dyn FleetSpec,
+        assignment: &ShardAssignment,
+        store: &mut StateStore,
+        threads: usize,
+    ) -> FlightReport {
+        let start = std::time::Instant::now();
+        let cfg = &self.config;
+        let mut telemetry = Telemetry::new();
+        let t_now = if spec.is_empty() {
+            Timestamp(0)
+        } else {
+            // The unsharded path reads the first tenant's clock; a
+            // hydrated tenant is a pure function of its index, so this
+            // is the same instant.
+            spec.hydrate(0).db.clock().now()
+        };
+
+        let record = match store.flight(&cfg.id) {
+            Some(r) => r.clone(),
+            None => FlightRecord {
+                id: cfg.id.clone(),
+                seed: cfg.seed,
+                state: FlightState::Running,
+                cohort: cfg.cohort(spec.len()),
+                verdicts: BTreeMap::new(),
+            },
+        };
+        if record.state != FlightState::Running {
+            return FlightReport::from_record(
+                record,
+                telemetry,
+                cfg.sim_time(),
+                threads.max(1),
+                start.elapsed(),
+            );
+        }
+        telemetry.emit(
+            EventKind::FlightStarted,
+            &cfg.id,
+            format!("cohort {} of {}", record.cohort.len(), spec.len()),
+            t_now,
+        );
+        store.record_flight(&record);
+
+        let missing: Vec<usize> = record
+            .cohort
+            .iter()
+            .copied()
+            .filter(|i| !record.verdicts.contains_key(i))
+            .collect();
+        // Shard dispatch: each shard computes its members' verdicts
+        // (pure per tenant); the merge re-sorts by global index, which
+        // reproduces the unsharded journal order exactly.
+        let mut computed: Vec<(usize, String, TenantVerdictRecord)> =
+            Vec::with_capacity(missing.len());
+        for shard in 0..assignment.shards() {
+            let members: Vec<usize> = missing
+                .iter()
+                .copied()
+                .filter(|&i| assignment.shard_of(i) == shard)
+                .collect();
+            computed.extend(self.flight_tenants_spec(spec, &members, threads));
+        }
+        computed.sort_unstable_by_key(|&(i, _, _)| i);
+        let record = self.journal_and_decide(record, computed, store, &mut telemetry, t_now);
+
+        FlightReport::from_record(
+            record,
+            telemetry,
+            cfg.sim_time(),
+            threads.max(1),
+            start.elapsed(),
+        )
+    }
+
+    /// The shared tail of every flight run: journal the computed
+    /// verdicts sequentially in the order given (global cohort order),
+    /// with the chaos crash-sweep knob applied at write boundaries,
+    /// then journal the region-level decision.
+    fn journal_and_decide(
+        &self,
+        mut record: FlightRecord,
+        computed: Vec<(usize, String, TenantVerdictRecord)>,
+        store: &mut StateStore,
+        telemetry: &mut Telemetry,
+        t_now: Timestamp,
+    ) -> FlightRecord {
+        let cfg = &self.config;
         let mut writes_at_last_crash = store.journal_writes();
-        for (index, verdict) in computed {
+        for (index, name, verdict) in computed {
             telemetry.emit(
                 EventKind::FlightTenantVerdict,
-                &fleet[index].name,
+                &name,
                 format!("{:?}", verdict.verdict),
                 t_now,
             );
@@ -533,14 +656,7 @@ impl FlightDriver {
             FlightDecision::Abort => (EventKind::FlightAborted, "abort"),
         };
         telemetry.emit(kind, &cfg.id, label, t_now);
-
-        FlightReport::from_record(
-            record,
-            telemetry,
-            cfg.sim_time(),
-            threads.max(1),
-            start.elapsed(),
-        )
+        record
     }
 
     /// Run the per-tenant pipelines for `missing` (fleet indexes),
@@ -584,6 +700,56 @@ impl FlightDriver {
             .iter()
             .zip(slots)
             .map(|(&i, slot)| (i, slot.into_inner().unwrap().expect("slot filled")))
+            .collect()
+    }
+
+    /// Spec-hydrating variant of [`FlightDriver::flight_tenants`] for
+    /// the sharded path: hydrate each missing cohort member from the
+    /// fleet spec, run its pipeline, and return
+    /// `(index, name, verdict)` in `missing` order. Hydration happens
+    /// inside the worker, so at most `threads` cohort tenants are
+    /// resident at once.
+    fn flight_tenants_spec(
+        &self,
+        spec: &dyn FleetSpec,
+        missing: &[usize],
+        threads: usize,
+    ) -> Vec<(usize, String, TenantVerdictRecord)> {
+        if threads <= 1 || missing.len() <= 1 {
+            return missing
+                .iter()
+                .map(|&i| {
+                    let tenant = spec.hydrate(i);
+                    let verdict = self.flight_tenant(i, &tenant);
+                    (i, tenant.name, verdict)
+                })
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<(String, TenantVerdictRecord)>>> =
+            missing.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(missing.len()) {
+                let slots = &slots;
+                let next = &next;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::SeqCst);
+                    if k >= missing.len() {
+                        break;
+                    }
+                    let tenant = spec.hydrate(missing[k]);
+                    let verdict = self.flight_tenant(missing[k], &tenant);
+                    *slots[k].lock().unwrap() = Some((tenant.name, verdict));
+                });
+            }
+        });
+        missing
+            .iter()
+            .zip(slots)
+            .map(|(&i, slot)| {
+                let (name, verdict) = slot.into_inner().unwrap().expect("slot filled");
+                (i, name, verdict)
+            })
             .collect()
     }
 

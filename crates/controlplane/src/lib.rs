@@ -9,6 +9,7 @@
 //! survives crashes; health flows through anonymized telemetry.
 
 pub mod api;
+pub mod coordinator;
 pub mod faults;
 pub mod fleet_driver;
 pub mod flight;
@@ -17,6 +18,7 @@ pub mod metrics;
 pub mod plane;
 pub mod region;
 pub mod scheduler;
+pub mod shard;
 pub mod stages;
 pub mod state;
 pub mod store;
@@ -24,11 +26,14 @@ pub mod telemetry;
 pub mod trace;
 pub mod wakeup;
 
-pub use api::ManagementApi;
+pub use api::{ManagementApi, RegionFront};
+pub use coordinator::{
+    RegionConfig, RegionCoordinator, RegionReport, ShardConcurrency, ShardSummary,
+};
 pub use faults::{FaultInjector, FaultKind, FaultPoint};
 pub use fleet_driver::{
-    index_hash01, FleetDriver, FleetDriverConfig, FleetReport, SchedulingMode, TenantOutcome,
-    TenantScript, TenantStatus,
+    canonical_line, counters_line, index_hash01, index_hash_bits, FleetDriver, FleetDriverConfig,
+    FleetReport, SchedulingMode, TenantOutcome, TenantScript, TenantStatus,
 };
 pub use flight::{
     region_decision, tenant_verdict, FlightConfig, FlightDecision, FlightDriver, FlightRecord,
@@ -37,6 +42,10 @@ pub use flight::{
 pub use metrics::{Histogram, MetricsRegistry};
 pub use plane::{ControlPlane, ManagedDb, PlanePolicy, RecommenderPolicy, RetryPolicy};
 pub use region::{DashboardSnapshot, GlobalDashboard, Region};
+pub use shard::{
+    HydrationGauge, HydrationMode, ShardAssignment, ShardCommand, ShardDriver, ShardReport,
+    ASSIGNMENT_SLOTS,
+};
 pub use stages::{NextDue, Stage, WakeSchedule};
 pub use state::{DbSettings, RecoId, RecoState, ServerSettings, Setting, TrackedReco};
 pub use store::{CheckpointStats, CompactionPolicy, RecoveryReport, StateStore};

@@ -542,6 +542,33 @@ impl GlobalDashboard {
         );
     }
 
+    /// Ingest one shard's aggregate row from a sharded region run: its
+    /// merged counters become a per-"region" dashboard row (so the
+    /// anomaly view works per shard), and its merged metrics — when the
+    /// caller hasn't already merged them at region level — fold into
+    /// the global registry. The sharded equivalent of
+    /// [`GlobalDashboard::ingest`].
+    pub fn ingest_shard(
+        &mut self,
+        name: impl Into<String>,
+        counters: &BTreeMap<EventKind, u64>,
+        metrics: Option<&MetricsRegistry>,
+    ) {
+        self.merged.merge_counters(counters);
+        if let Some(m) = metrics {
+            self.metrics.merge(m);
+        }
+        self.per_region.insert(name.into(), counters.clone());
+    }
+
+    /// Merge a registry into the global metrics without adding a
+    /// dashboard row (region-level metrics for sharded runs, where the
+    /// per-shard rows arrive via [`GlobalDashboard::ingest_shard`] with
+    /// counters only).
+    pub fn merge_metrics(&mut self, metrics: &MetricsRegistry) {
+        self.metrics.merge(metrics);
+    }
+
     /// Cross-region merged metrics.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics

@@ -1,0 +1,516 @@
+//! The shard tier of the region driver: tenant→shard assignment and the
+//! per-shard worker that drives its slice of the fleet.
+//!
+//! The paper's service manages hundreds of thousands of databases per
+//! region with *one logical* control plane that is physically many
+//! workers; no tenant's tuning outcome may depend on which worker ran
+//! it, or on how many workers there are. This module supplies the two
+//! pieces under the [`crate::coordinator::RegionCoordinator`]:
+//!
+//! * [`ShardAssignment`] — a pure, *shard-count-stable* mapping from
+//!   global fleet index to shard. Tenants hash (splitmix64) onto a fixed
+//!   ring of [`ASSIGNMENT_SLOTS`] slots; a shard owns a contiguous slot
+//!   range. Because the slot of a tenant never depends on the shard
+//!   count, resharding from `a` to `b = k·a` shards splits each shard
+//!   into exactly `k` successors (`shard_a(i) == shard_b(i) / k`) and
+//!   never shuffles a tenant between unrelated shards.
+//! * [`ShardDriver`] — a thin wrapper around the
+//!   [`FleetDriver`](crate::fleet_driver::FleetDriver) loop that drives
+//!   one shard's members. Each member carries its **global** fleet
+//!   index, so every per-tenant random stream (faults, auto-fraction,
+//!   flight cohorts, RecoId blocks) is identical to what an unsharded
+//!   run would draw — the byte-identical determinism contract.
+//!
+//! # Lazy hydration
+//!
+//! A million-tenant fleet cannot be resident at once. Under
+//! [`HydrationMode::Lazy`] the shard never materializes its slice:
+//! members are hydrated from the [`FleetSpec`] one chunk at a time,
+//! each tenant is constructed, driven for *all* its ticks, folded into
+//! the shard accumulator, and dropped — so peak resident tenants is
+//! bounded by the worker thread count, independent of fleet size (the
+//! [`HydrationGauge`] proves it). The fold keeps only a per-tenant
+//! canonical-line digest (plus merged counters/metrics), which is
+//! exactly enough for the region to reconstruct
+//! [`FleetReport::canonical_digest`](crate::fleet_driver::FleetReport::canonical_digest)
+//! byte-for-byte.
+
+use crate::fleet_driver::{
+    canonical_line, fnv1a64_extend, index_hash_bits, FleetDriver, FleetReport, TenantOutcome,
+    TenantResult, FNV_OFFSET,
+};
+use crate::metrics::MetricsRegistry;
+use crate::telemetry::Telemetry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use workload::fleet::{FleetSpec, Tenant};
+
+/// Size of the consistent-assignment slot ring. Shards own contiguous
+/// slot ranges, so any shard count up to this many is supported and
+/// dividing shard counts nest (see [`ShardAssignment`]).
+pub const ASSIGNMENT_SLOTS: usize = 4096;
+
+/// Salt for the tenant→slot hash stream — distinct from the
+/// auto-fraction and flight-cohort salts, so shard placement is
+/// independent of both.
+const SHARD_SLOT_SALT: u64 = 0x5348_4152_4453;
+
+/// Pure, shard-count-stable tenant→shard mapping.
+///
+/// `slot_of` depends only on the global index; `shard_of` maps the
+/// slot ring onto `shards` contiguous ranges. Membership in a flight
+/// cohort, the auto fraction, and every other per-tenant stream is keyed
+/// by the global index, never by the shard — so resharding changes
+/// *where* a tenant runs and nothing about *what* it computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardAssignment {
+    shards: usize,
+}
+
+impl ShardAssignment {
+    /// A mapping onto `shards` shards (1 ≤ shards ≤ [`ASSIGNMENT_SLOTS`]).
+    pub fn new(shards: usize) -> ShardAssignment {
+        assert!(
+            (1..=ASSIGNMENT_SLOTS).contains(&shards),
+            "shard count {shards} out of range 1..={ASSIGNMENT_SLOTS}"
+        );
+        ShardAssignment { shards }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The tenant's slot on the ring — a pure splitmix hash of the
+    /// global index, independent of the shard count.
+    pub fn slot_of(index: usize) -> usize {
+        (index_hash_bits(index, SHARD_SLOT_SALT) % ASSIGNMENT_SLOTS as u64) as usize
+    }
+
+    /// Which shard owns a slot: slot `s` belongs to shard
+    /// `s·shards / SLOTS`, i.e. shards own contiguous slot ranges. For
+    /// shard counts `a | b`, `shard_a(s) == shard_b(s)·a / b` — the
+    /// nesting property resharding tests pin down.
+    pub fn shard_of_slot(&self, slot: usize) -> usize {
+        slot * self.shards / ASSIGNMENT_SLOTS
+    }
+
+    /// Which shard owns a tenant.
+    pub fn shard_of(&self, index: usize) -> usize {
+        self.shard_of_slot(Self::slot_of(index))
+    }
+
+    /// The global indices shard `shard` owns, ascending.
+    pub fn members(&self, shard: usize, fleet_len: usize) -> Vec<usize> {
+        (0..fleet_len)
+            .filter(|&i| self.shard_of(i) == shard)
+            .collect()
+    }
+
+    /// All shards' member lists (`partition(n)[s] == members(s, n)`).
+    pub fn partition(&self, fleet_len: usize) -> Vec<Vec<usize>> {
+        let mut parts = vec![Vec::new(); self.shards];
+        for i in 0..fleet_len {
+            parts[self.shard_of(i)].push(i);
+        }
+        parts
+    }
+}
+
+/// Region-wide gauge of simultaneously hydrated tenants. Shared by all
+/// shard drivers; `peak()` is the number the million-tenant smoke run
+/// asserts a static bound on.
+#[derive(Debug, Default)]
+pub struct HydrationGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl HydrationGauge {
+    pub fn new() -> HydrationGauge {
+        HydrationGauge::default()
+    }
+
+    /// One tenant is about to hydrate.
+    pub fn enter(&self) {
+        self.enter_n(1);
+    }
+
+    /// `n` tenants are about to hydrate (eager shard materialization).
+    pub fn enter_n(&self, n: usize) {
+        let now = self.current.fetch_add(n, Ordering::SeqCst) + n;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// One tenant finished all its ticks and dropped.
+    pub fn exit(&self) {
+        self.exit_n(1);
+    }
+
+    pub fn exit_n(&self, n: usize) {
+        self.current.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Tenants resident right now.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of simultaneously resident tenants.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+/// Whether a shard materializes its whole slice up front or streams it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HydrationMode {
+    /// Hydrate every member before driving — the small-fleet path that
+    /// reuses the [`FleetDriver`] loop verbatim (including the serial
+    /// wakeup heap) and retains full per-tenant outcomes.
+    Eager,
+    /// Hydrate tenant-major in chunks: construct a tenant, run all its
+    /// ticks, fold, drop. Peak resident tenants ≤ worker threads,
+    /// independent of fleet size.
+    Lazy,
+}
+
+/// Lifecycle commands the coordinator sends a shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCommand {
+    /// Drive every member tenant for `ticks` control-plane passes.
+    Drive { ticks: u32 },
+}
+
+/// What one shard hands back to the coordinator: per-tenant canonical
+/// digests keyed by global index (always), full outcomes when retained,
+/// and the shard's merged sinks. Merging shard reports in global-index
+/// order reconstructs the unsharded [`FleetReport`] surfaces exactly —
+/// the algebra the `sharded_region` proptests pin down.
+#[derive(Debug)]
+pub struct ShardReport {
+    pub shard: usize,
+    /// Member count (the digests vector has exactly this many entries).
+    pub members: usize,
+    /// `(global index, FNV-1a of the tenant's canonical line)`, in
+    /// ascending index order.
+    pub digests: Vec<(usize, u64)>,
+    /// Full outcomes, retained only when the coordinator asked (small
+    /// fleets / oracle comparisons) — `None` keeps memory O(1) per
+    /// tenant at the million scale.
+    pub outcomes: Option<Vec<(usize, TenantOutcome)>>,
+    /// Members' telemetry merged in member order (events capped under
+    /// lazy streaming; counters always exact).
+    pub telemetry: Telemetry,
+    /// Members' canonical metrics merged (a commutative monoid).
+    pub metrics: MetricsRegistry,
+    /// Driver bookkeeping (scheduler/plan-cache/journal counters).
+    pub scheduler_metrics: MetricsRegistry,
+    pub by_state: BTreeMap<String, usize>,
+    pub statements: u64,
+    pub errors: u64,
+    pub poisoned: usize,
+    pub quarantines: u64,
+    pub elapsed: std::time::Duration,
+}
+
+impl ShardReport {
+    /// Fold an unsharded-style [`FleetReport`] over `members` (the
+    /// global indices the report's slice positions correspond to) into
+    /// a shard report — the eager path, and the reference algebra the
+    /// merge proptests compare the streaming fold against.
+    pub fn from_fleet_report(
+        shard: usize,
+        members: &[usize],
+        report: FleetReport,
+        retain_outcomes: bool,
+    ) -> ShardReport {
+        assert_eq!(
+            members.len(),
+            report.tenants.len(),
+            "one outcome per member"
+        );
+        let digests = members
+            .iter()
+            .zip(&report.tenants)
+            .map(|(&i, t)| (i, fnv1a64_extend(FNV_OFFSET, canonical_line(t).as_bytes())))
+            .collect();
+        let outcomes =
+            retain_outcomes.then(|| members.iter().copied().zip(report.tenants).collect());
+        ShardReport {
+            shard,
+            members: members.len(),
+            digests,
+            outcomes,
+            telemetry: report.telemetry,
+            metrics: report.metrics,
+            scheduler_metrics: report.scheduler_metrics,
+            by_state: report.by_state,
+            statements: report.statements,
+            errors: report.errors,
+            poisoned: report.poisoned,
+            quarantines: report.quarantines,
+            elapsed: report.elapsed,
+        }
+    }
+}
+
+/// Streaming accumulator for the lazy path: one tenant's results fold in
+/// and the tenant drops. Produces the same [`ShardReport`] the eager
+/// [`ShardReport::from_fleet_report`] fold would (canonically — raw
+/// event retention differs by design).
+struct ShardAccumulator {
+    shard: usize,
+    digests: Vec<(usize, u64)>,
+    outcomes: Option<Vec<(usize, TenantOutcome)>>,
+    telemetry: Telemetry,
+    metrics: MetricsRegistry,
+    scheduler_metrics: MetricsRegistry,
+    by_state: BTreeMap<String, usize>,
+    statements: u64,
+    errors: u64,
+    poisoned: usize,
+    quarantines: u64,
+}
+
+impl ShardAccumulator {
+    fn new(shard: usize, retain_outcomes: bool) -> ShardAccumulator {
+        ShardAccumulator {
+            shard,
+            digests: Vec::new(),
+            outcomes: retain_outcomes.then(Vec::new),
+            telemetry: Telemetry::new(),
+            metrics: MetricsRegistry::new(),
+            scheduler_metrics: MetricsRegistry::new(),
+            by_state: BTreeMap::new(),
+            statements: 0,
+            errors: 0,
+            poisoned: 0,
+            quarantines: 0,
+        }
+    }
+
+    fn push(&mut self, index: usize, result: TenantResult, event_retention: usize) {
+        let (outcome, telemetry, metrics, sched) = result;
+        let line = fnv1a64_extend(FNV_OFFSET, canonical_line(&outcome).as_bytes());
+        self.digests.push((index, line));
+        self.telemetry.merge(&telemetry);
+        // Counters stay exact; raw events are bounded no matter how many
+        // million tenants stream through.
+        self.telemetry.retain_recent(event_retention);
+        self.metrics.merge(&metrics);
+        self.scheduler_metrics.merge(&sched);
+        for (state, n) in &outcome.by_state {
+            *self.by_state.entry(state.clone()).or_default() += n;
+        }
+        self.statements += outcome.statements;
+        self.errors += outcome.errors;
+        if outcome.status.is_poisoned() {
+            self.poisoned += 1;
+        }
+        self.quarantines += outcome.quarantines;
+        if let Some(out) = &mut self.outcomes {
+            out.push((index, outcome));
+        }
+    }
+
+    fn finish(self, elapsed: std::time::Duration) -> ShardReport {
+        ShardReport {
+            shard: self.shard,
+            members: self.digests.len(),
+            digests: self.digests,
+            outcomes: self.outcomes,
+            telemetry: self.telemetry,
+            metrics: self.metrics,
+            scheduler_metrics: self.scheduler_metrics,
+            by_state: self.by_state,
+            statements: self.statements,
+            errors: self.errors,
+            poisoned: self.poisoned,
+            quarantines: self.quarantines,
+            elapsed,
+        }
+    }
+}
+
+/// One shard's worker: a [`FleetDriver`] configured like the region's,
+/// driving the shard's member slice with every tenant keyed by its
+/// global index. Thin by design — all tuning semantics live in the
+/// fleet driver; the shard only decides hydration and accounting.
+pub struct ShardDriver {
+    pub shard: usize,
+    /// Global fleet indices this shard owns, ascending.
+    pub members: Vec<usize>,
+    /// The shard's driver (same config as every other shard's).
+    pub driver: FleetDriver,
+    /// Worker threads *within* the shard.
+    pub threads: usize,
+    pub hydration: HydrationMode,
+    /// Lazy-mode chunk size: members hydrated per dispatch wave (the
+    /// deterministic-fold granularity; results always fold in member
+    /// order regardless of intra-chunk completion order).
+    pub chunk: usize,
+    /// Retain full [`TenantOutcome`]s (small fleets only).
+    pub retain_outcomes: bool,
+    /// Raw-event cap applied between lazy folds.
+    pub event_retention: usize,
+    /// Region-shared residency gauge.
+    pub gauge: Arc<HydrationGauge>,
+}
+
+impl ShardDriver {
+    /// Execute one coordinator command.
+    pub fn execute(&self, spec: &dyn FleetSpec, command: ShardCommand) -> ShardReport {
+        match command {
+            ShardCommand::Drive { ticks } => self.drive(spec, ticks),
+        }
+    }
+
+    fn drive(&self, spec: &dyn FleetSpec, ticks: u32) -> ShardReport {
+        match self.hydration {
+            HydrationMode::Eager => {
+                self.gauge.enter_n(self.members.len());
+                let slice: Vec<(usize, Tenant)> =
+                    self.members.iter().map(|&i| (i, spec.hydrate(i))).collect();
+                let report = self.driver.run_indexed(slice, ticks, self.threads);
+                let out = ShardReport::from_fleet_report(
+                    self.shard,
+                    &self.members,
+                    report,
+                    self.retain_outcomes,
+                );
+                self.gauge.exit_n(self.members.len());
+                out
+            }
+            HydrationMode::Lazy => self.drive_lazy(spec, ticks),
+        }
+    }
+
+    /// Tenant-major streaming: hydrate → run *all* ticks → fold → drop.
+    /// Tenant-major (not tick-major) is what bounds residency: a tenant
+    /// finishes completely before the next hydrates, so at most
+    /// `threads` tenants are ever live. The per-tenant loop is the same
+    /// `run_tenant` the parallel pool uses, whose canonical output is
+    /// pinned byte-equal to the serial wakeup-heap path.
+    fn drive_lazy(&self, spec: &dyn FleetSpec, ticks: u32) -> ShardReport {
+        let start = std::time::Instant::now();
+        let mut acc = ShardAccumulator::new(self.shard, self.retain_outcomes);
+        let chunk = self.chunk.max(1);
+        for wave in self.members.chunks(chunk) {
+            let results: Vec<TenantResult> = if self.threads <= 1 || wave.len() <= 1 {
+                wave.iter()
+                    .map(|&i| self.one_tenant(spec, i, ticks))
+                    .collect()
+            } else {
+                // Parallel within the wave; slots keyed by wave position
+                // so the fold below is in member order regardless of
+                // which worker finished first.
+                let slots: Vec<Mutex<Option<TenantResult>>> =
+                    wave.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                crossbeam::thread::scope(|scope| {
+                    for _ in 0..self.threads.min(wave.len()) {
+                        let slots = &slots;
+                        let next = &next;
+                        scope.spawn(move || loop {
+                            let k = next.fetch_add(1, Ordering::SeqCst);
+                            if k >= wave.len() {
+                                break;
+                            }
+                            let result = self.one_tenant(spec, wave[k], ticks);
+                            *slots[k].lock().unwrap() = Some(result);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap().expect("wave slot filled"))
+                    .collect()
+            };
+            for (&i, result) in wave.iter().zip(results) {
+                acc.push(i, result, self.event_retention);
+            }
+        }
+        acc.finish(start.elapsed())
+    }
+
+    /// Hydrate one tenant, drive it to completion, release it.
+    fn one_tenant(&self, spec: &dyn FleetSpec, index: usize, ticks: u32) -> TenantResult {
+        self.gauge.enter();
+        let result = self.driver.run_tenant(index, spec.hydrate(index), ticks);
+        self.gauge.exit();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_stable_and_cover_the_ring() {
+        // Pure function of the index: same slot every call.
+        for i in [0usize, 1, 17, 999_999] {
+            assert_eq!(ShardAssignment::slot_of(i), ShardAssignment::slot_of(i));
+            assert!(ShardAssignment::slot_of(i) < ASSIGNMENT_SLOTS);
+        }
+        // A large fleet spreads over many slots (hash sanity).
+        let distinct: std::collections::BTreeSet<usize> =
+            (0..10_000).map(ShardAssignment::slot_of).collect();
+        assert!(distinct.len() > ASSIGNMENT_SLOTS / 2, "{}", distinct.len());
+    }
+
+    #[test]
+    fn partition_is_exact_and_balanced_enough() {
+        let a = ShardAssignment::new(8);
+        let parts = a.partition(4_000);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 4_000);
+        let mut seen = vec![false; 4_000];
+        for (s, part) in parts.iter().enumerate() {
+            for &i in part {
+                assert!(!seen[i], "tenant {i} owned twice");
+                seen[i] = true;
+                assert_eq!(a.shard_of(i), s);
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Hash balance: no shard more than 2x the even share.
+        for part in &parts {
+            assert!(part.len() < 2 * 4_000 / 8, "{}", part.len());
+        }
+    }
+
+    #[test]
+    fn dividing_shard_counts_nest() {
+        // shard_4(i) == shard_8(i) / 2 and shard_1 == 0: a reshard from
+        // a to k·a shards splits shards, never shuffles tenants across
+        // unrelated ones.
+        let a1 = ShardAssignment::new(1);
+        let a4 = ShardAssignment::new(4);
+        let a8 = ShardAssignment::new(8);
+        let a16 = ShardAssignment::new(16);
+        for i in 0..5_000 {
+            assert_eq!(a1.shard_of(i), 0);
+            assert_eq!(a4.shard_of(i), a8.shard_of(i) / 2);
+            assert_eq!(a4.shard_of(i), a16.shard_of(i) / 4);
+            assert_eq!(a8.shard_of(i), a16.shard_of(i) / 2);
+        }
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = HydrationGauge::new();
+        g.enter();
+        g.enter();
+        assert_eq!(g.current(), 2);
+        g.exit();
+        g.enter_n(3);
+        assert_eq!(g.current(), 4);
+        assert_eq!(g.peak(), 4);
+        g.exit_n(4);
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 4, "peak is a high-water mark");
+    }
+}

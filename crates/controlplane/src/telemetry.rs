@@ -164,12 +164,45 @@ impl Telemetry {
 
     /// Merge another telemetry sink into this one (cross-region
     /// aggregation for dashboards, §8.3).
+    ///
+    /// Unlike [`Telemetry::emit`], merging does **not** enforce the
+    /// event-retention cap — the fleet driver's quiesce merge keeps
+    /// every shard's events in fleet order. Accumulators that fold an
+    /// unbounded stream of shards (the million-tenant region driver)
+    /// must call [`Telemetry::retain_recent`] between merges to stay
+    /// bounded; counters aggregate exactly either way.
     pub fn merge(&mut self, other: &Telemetry) {
         for (k, v) in &other.counters {
             *self.counters.entry(*k).or_default() += v;
         }
         self.events.extend(other.events.iter().cloned());
         self.incidents.extend(other.incidents.iter().cloned());
+    }
+
+    /// Merge a bare counters map (a shard's aggregate row — see
+    /// [`crate::region::GlobalDashboard::ingest_shard`]). Counter-only
+    /// by design: shard rows carry no raw events across the management
+    /// boundary.
+    pub fn merge_counters(&mut self, counters: &BTreeMap<EventKind, u64>) {
+        for (k, v) in counters {
+            *self.counters.entry(*k).or_default() += v;
+        }
+    }
+
+    /// Drop all but the most recent `n` raw events and incidents —
+    /// the same policy [`Telemetry::emit`] applies continuously, exposed
+    /// for merge-heavy accumulators whose event memory must stay bounded
+    /// no matter how many shards fold in. Counters (the canonical
+    /// surface) are never touched.
+    pub fn retain_recent(&mut self, n: usize) {
+        if self.events.len() > n {
+            let excess = self.events.len() - n;
+            self.events.drain(..excess);
+        }
+        if self.incidents.len() > n {
+            let excess = self.incidents.len() - n;
+            self.incidents.drain(..excess);
+        }
     }
 
     /// Export counters as a JSON object (dashboard feed).

@@ -256,25 +256,93 @@ impl Default for TierMix {
     }
 }
 
+/// A fleet whose tenants are pure functions of their *global index*.
+///
+/// A million-tenant fleet cannot be a `Vec<Tenant>` — materializing it
+/// would pin every database in memory at once. A `FleetSpec` is the
+/// recipe instead: `hydrate(i)` constructs tenant `i` on demand (and the
+/// caller drops it when done), so a sharded driver can stream through a
+/// fleet with only the tenants it is actively driving resident.
+///
+/// The contract that makes lazy hydration sound: `hydrate(i)` must
+/// depend only on `(self, i)` — no shared RNG sequence, no
+/// neighbor-dependent state — so hydrating any subset, in any order, on
+/// any thread yields the same tenants a full `materialize()` would.
+/// `Sync` is required because shard workers hydrate concurrently.
+pub trait FleetSpec: Sync {
+    /// Fleet size (global indices are `0..len()`).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Construct tenant `index`. Pure in `(self, index)`.
+    fn hydrate(&self, index: usize) -> Tenant;
+
+    /// Hydrate the whole fleet eagerly — the small-fleet / oracle path.
+    fn materialize(&self) -> Vec<Tenant> {
+        (0..self.len()).map(|i| self.hydrate(i)).collect()
+    }
+}
+
+/// The classic mixed-tier fleet as a [`FleetSpec`].
+///
+/// [`generate_fleet`] historically drew each tenant's tier from one
+/// sequential `StdRng` stream, which cannot be random-accessed. The spec
+/// precomputes those draws at construction (one `u64`-sized decision per
+/// tenant), after which `hydrate(i)` is pure per-index and byte-identical
+/// to the `generate_fleet` tenant at position `i`.
+#[derive(Debug, Clone)]
+pub struct MixedFleetSpec {
+    seed: u64,
+    tiers: Vec<ServiceTier>,
+}
+
+impl MixedFleetSpec {
+    pub fn new(n: usize, mix: TierMix, seed: u64) -> MixedFleetSpec {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x464c454554);
+        let tiers = (0..n)
+            .map(|_| {
+                let r: f64 = rng.random();
+                if r < mix.basic {
+                    ServiceTier::Basic
+                } else if r < mix.basic + mix.standard {
+                    ServiceTier::Standard
+                } else {
+                    ServiceTier::Premium
+                }
+            })
+            .collect();
+        MixedFleetSpec { seed, tiers }
+    }
+
+    pub fn tier(&self, index: usize) -> ServiceTier {
+        self.tiers[index]
+    }
+}
+
+impl FleetSpec for MixedFleetSpec {
+    fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    fn hydrate(&self, index: usize) -> Tenant {
+        let tenant_seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(index as u64);
+        generate_tenant(&TenantConfig::new(
+            format!("db{index:04}"),
+            tenant_seed,
+            self.tiers[index],
+        ))
+    }
+}
+
 /// Generate a fleet of `n` tenants with the given tier mix.
 pub fn generate_fleet(n: usize, mix: TierMix, seed: u64) -> Vec<Tenant> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x464c454554);
-    (0..n)
-        .map(|i| {
-            let r: f64 = rng.random();
-            let tier = if r < mix.basic {
-                ServiceTier::Basic
-            } else if r < mix.basic + mix.standard {
-                ServiceTier::Standard
-            } else {
-                ServiceTier::Premium
-            };
-            let tenant_seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(i as u64);
-            generate_tenant(&TenantConfig::new(format!("db{i:04}"), tenant_seed, tier))
-        })
-        .collect()
+    MixedFleetSpec::new(n, mix, seed).materialize()
 }
 
 #[cfg(test)]
@@ -318,6 +386,25 @@ mod tests {
             "premium {prem_rows} vs basic {basic_rows}"
         );
         assert!(prem.model.templates.len() >= basic.model.templates.len());
+    }
+
+    #[test]
+    fn mixed_spec_hydrates_identically_to_generate_fleet() {
+        let spec = MixedFleetSpec::new(8, TierMix::default(), 13);
+        let eager = generate_fleet(8, TierMix::default(), 13);
+        assert_eq!(spec.len(), eager.len());
+        // Hydrate out of order: per-index purity must hold anyway.
+        for i in [5usize, 0, 7, 2] {
+            let lazy = spec.hydrate(i);
+            assert_eq!(lazy.name, eager[i].name);
+            assert_eq!(lazy.tier, eager[i].tier);
+            assert_eq!(
+                lazy.db.catalog().n_indexes(),
+                eager[i].db.catalog().n_indexes()
+            );
+            assert_eq!(lazy.db.storage_bytes(), eager[i].db.storage_bytes());
+            assert_eq!(lazy.model.templates.len(), eager[i].model.templates.len());
+        }
     }
 
     #[test]

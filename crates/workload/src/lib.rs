@@ -13,7 +13,10 @@ pub mod gen;
 pub mod model;
 pub mod runner;
 
-pub use fleet::{generate_fleet, generate_tenant, Tenant, TenantConfig, TierMix, UserIndexPolicy};
+pub use fleet::{
+    generate_fleet, generate_tenant, FleetSpec, MixedFleetSpec, Tenant, TenantConfig, TierMix,
+    UserIndexPolicy,
+};
 pub use gen::{generate_schema, ColumnDist, ColumnSpec, SchemaGenConfig, TableSpec};
 pub use model::{
     generate_workload, ParamGen, TemplateKind, TemplateSpec, WorkloadGenConfig, WorkloadModel,

@@ -22,11 +22,25 @@
 //! K-th tick — the chaos smoke: recovery (checkpoint + tail replay
 //! under the default compaction policy) must be invisible in the
 //! determinism check.
+//!
+//! `--shards N` routes the run through the sharded region driver
+//! (coordinator → shard workers, lazy hydration) instead of the
+//! monolithic loop, then replays unsharded and asserts the canonical
+//! digests match — the sharding-is-invisible contract. CI drives
+//! `{1, 4, 16}` shards through this flag:
+//!
+//! ```text
+//! cargo run -p bench --release --example fleet_smoke -- \
+//!     --shards 16 --tenants 2048 --active-pct 0.05 --sparse
+//! ```
 
-use bench::{sparse_fleet, Args};
-use controlplane::{FleetDriver, FleetDriverConfig, PlanePolicy, SchedulingMode};
+use bench::{sparse_fleet, Args, SparseFleetSpec};
+use controlplane::{
+    FleetDriver, FleetDriverConfig, HydrationMode, PlanePolicy, RegionConfig, RegionCoordinator,
+    SchedulingMode,
+};
 use sqlmini::clock::Duration;
-use workload::fleet::{generate_fleet, Tenant, TierMix};
+use workload::fleet::{generate_fleet, FleetSpec, MixedFleetSpec, Tenant, TierMix};
 
 fn main() {
     let args = Args::parse();
@@ -62,7 +76,7 @@ fn main() {
             )
         }
     };
-    let driver = FleetDriver::new(FleetDriverConfig {
+    let driver_config = FleetDriverConfig {
         policy: PlanePolicy {
             analysis_interval: Duration::from_hours(2),
             validation_min_wait: Duration::from_hours(1),
@@ -74,8 +88,71 @@ fn main() {
         scheduling,
         crash_every_ticks: (crash_every > 0).then_some(crash_every),
         ..FleetDriverConfig::default()
-    });
+    };
 
+    if args.has("shards") {
+        let shards = args.get_usize("shards", 4);
+        let spec: Box<dyn FleetSpec> = if scheduler_fleet {
+            Box::new(SparseFleetSpec::new(tenants, active_pct, seed))
+        } else {
+            Box::new(MixedFleetSpec::new(
+                tenants,
+                TierMix {
+                    basic: 0.9,
+                    standard: 0.1,
+                    premium: 0.0,
+                },
+                seed,
+            ))
+        };
+        let coordinator = RegionCoordinator::new(RegionConfig {
+            driver: driver_config.clone(),
+            shards,
+            threads_per_shard: threads,
+            hydration: HydrationMode::Lazy,
+            ..RegionConfig::default()
+        });
+        let region = coordinator.run(spec.as_ref(), ticks);
+        println!(
+            "sharded: {} tenants across {} shards x {} ticks in {:.2?} ({:.1} tenant-ticks/s)",
+            region.tenants,
+            region.shards,
+            region.ticks,
+            region.elapsed,
+            region.throughput(),
+        );
+        println!("fleet states: {:?}", region.by_state);
+        println!(
+            "scheduler ({:?}): {} control passes executed, {} skipped",
+            scheduling,
+            region.control_ticks_executed(),
+            region.control_ticks_skipped(),
+        );
+        println!(
+            "peak hydrated tenants: {} (fleet size {})",
+            region.peak_hydrated, region.tenants,
+        );
+
+        // Sharding-is-invisible contract: the monolithic loop over the
+        // same spec must produce the same canonical digest.
+        let oracle = FleetDriver::new(driver_config).run(spec.materialize(), ticks, threads);
+        assert_eq!(
+            region.digest,
+            oracle.canonical_digest(),
+            "sharded region digest must match the unsharded oracle"
+        );
+        if let Some(canonical) = &region.canonical {
+            assert_eq!(
+                canonical,
+                &oracle.canonical_string(),
+                "sharded canonical string must match the unsharded oracle"
+            );
+        }
+        println!("determinism check: {shards} shards == unsharded, byte for byte");
+        return;
+    }
+
+    let driver = FleetDriver::new(driver_config);
     let parallel = driver.run(fleet(seed), ticks, threads);
     println!(
         "parallel: {} tenants x {} ticks on {} threads in {:.2?} ({:.1} tenant-ticks/s)",
